@@ -1,0 +1,57 @@
+// Figure 9: effect of crowd error rate on F1, run time, and cost.
+//
+// Paper: error 0 -> 15% degrades F1 only minimally/gracefully; run time
+// grows mildly; cost shows no clear trend (early convergence can offset
+// extra noise); everything stays far below the $349.60 cap.
+#include <cstdio>
+
+#include "harness.h"
+
+using namespace falcon;
+using namespace falcon::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  int runs = static_cast<int>(flags.GetInt("runs", 1));
+  std::string dataset = flags.GetString("dataset", "songs");
+
+  std::printf("=== Figure 9: crowd error rate sweep on %s (%d run(s) per "
+              "point) ===\n",
+              dataset.c_str(), runs);
+  TablePrinter table(
+      {"Error rate", "F1(%)", "Total time", "Cost", "Blk.Recall"});
+  for (double error : {0.0, 0.05, 0.10, 0.15}) {
+    double f1 = 0, cost = 0, brec = 0;
+    VDuration total;
+    int ok_runs = 0;
+    for (int run = 0; run < runs; ++run) {
+      uint64_t seed = 300 + run;
+      auto data =
+          GenerateByName(dataset, DatasetOptions(dataset, scale, seed));
+      auto result =
+          RunPipeline(*data, BenchFalconConfig(scale, seed),
+                      BenchCrowdConfig(error, seed), BenchClusterConfig());
+      if (!result.ok()) {
+        std::fprintf(stderr, "error=%.2f run %d: %s\n", error, run,
+                     result.status().ToString().c_str());
+        continue;
+      }
+      ++ok_runs;
+      f1 += result->quality.f1;
+      cost += result->metrics.cost;
+      brec += result->blocking_recall;
+      total += result->metrics.total_time;
+    }
+    if (ok_runs == 0) continue;
+    double n = ok_runs;
+    table.AddRow({Pct(error, 0) + "%", Pct(f1 / n),
+                  (total * (1.0 / n)).ToString(), Money(cost / n),
+                  Pct(brec / n)});
+  }
+  table.Print();
+  std::printf(
+      "\nShape check vs paper: F1 decreases gracefully with error rate; cost\n"
+      "shows no monotone trend; all costs far below the $349.60 cap.\n");
+  return 0;
+}

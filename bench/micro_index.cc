@@ -1,0 +1,122 @@
+// Microbenchmarks: index build and probe paths (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "blocking/filters.h"
+#include "blocking/index_builder.h"
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "mapreduce/cluster.h"
+#include "workload/generator.h"
+
+namespace falcon {
+namespace {
+
+const GeneratedDataset& Data() {
+  static GeneratedDataset* data = [] {
+    WorkloadOptions opt;
+    opt.size_a = 5000;
+    opt.size_b = 5000;
+    opt.seed = 3;
+    return new GeneratedDataset(GenerateProducts(opt));
+  }();
+  return *data;
+}
+
+void BM_HashIndexBuild(benchmark::State& state) {
+  const auto& d = Data();
+  int col = d.a.schema().IndexOf("modelno");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(HashIndex::Build(d.a, col));
+  }
+}
+BENCHMARK(BM_HashIndexBuild);
+
+void BM_HashIndexProbe(benchmark::State& state) {
+  const auto& d = Data();
+  int col = d.a.schema().IndexOf("modelno");
+  static HashIndex idx = HashIndex::Build(d.a, col);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        idx.Probe(d.b.Get(i++ % d.b.num_rows(), col)));
+  }
+}
+BENCHMARK(BM_HashIndexProbe);
+
+void BM_BTreeBuild(benchmark::State& state) {
+  const auto& d = Data();
+  int col = d.a.schema().IndexOf("price");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(BTreeIndex::Build(d.a, col));
+  }
+}
+BENCHMARK(BM_BTreeBuild);
+
+void BM_BTreeRangeProbe(benchmark::State& state) {
+  const auto& d = Data();
+  int col = d.a.schema().IndexOf("price");
+  static BTreeIndex idx = BTreeIndex::Build(d.a, col);
+  size_t i = 0;
+  std::vector<RowId> out;
+  for (auto _ : state) {
+    out.clear();
+    double v = d.b.GetNumeric(i++ % d.b.num_rows(), col);
+    if (!std::isnan(v)) idx.ProbeRange(v - 10, v + 10, &out);
+    benchmark::DoNotOptimize(out);
+  }
+}
+BENCHMARK(BM_BTreeRangeProbe);
+
+struct TokenFixture {
+  Cluster cluster;
+  IndexCatalog catalog;
+  FeatureSet fs;
+  Predicate pred;
+
+  TokenFixture() : cluster(ClusterConfig{}) {
+    const auto& d = Data();
+    fs = FeatureSet::Generate(d.a, d.b);
+    int jac = -1;
+    for (const auto& f : fs.features()) {
+      if (f.fn == SimFunction::kJaccard && f.tok == Tokenization::kWord &&
+          f.name.find("(title,title)") != std::string::npos) {
+        jac = f.id;
+        break;
+      }
+    }
+    pred = Predicate{jac, jac, PredOp::kGt, 0.5};
+    IndexBuilder builder(&d.a, &cluster);
+    builder.Ensure({ClassifyPredicate(pred, fs)}, &catalog);
+  }
+};
+
+void BM_TokenIndexBuild(benchmark::State& state) {
+  const auto& d = Data();
+  TokenFixture fx;
+  IndexNeed need = ClassifyPredicate(fx.pred, fx.fs);
+  for (auto _ : state) {
+    Cluster cluster((ClusterConfig()));
+    IndexCatalog catalog;
+    IndexBuilder builder(&d.a, &cluster);
+    builder.Ensure({need}, &catalog);
+    benchmark::DoNotOptimize(catalog.TotalMemoryUsage());
+  }
+}
+BENCHMARK(BM_TokenIndexBuild)->Unit(benchmark::kMillisecond);
+
+void BM_PrefixFilterProbe(benchmark::State& state) {
+  const auto& d = Data();
+  static TokenFixture* fx = new TokenFixture();
+  ClauseProber prober(&fx->catalog, &fx->fs, d.a.num_rows());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.ProbePredicate(
+        fx->pred, d.b, static_cast<RowId>(i++ % d.b.num_rows())));
+  }
+}
+BENCHMARK(BM_PrefixFilterProbe);
+
+}  // namespace
+}  // namespace falcon
+
+BENCHMARK_MAIN();

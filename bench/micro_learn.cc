@@ -1,0 +1,84 @@
+// Microbenchmarks: forest training/prediction and MapReduce overhead.
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "learn/random_forest.h"
+#include "mapreduce/job.h"
+
+namespace falcon {
+namespace {
+
+struct TrainData {
+  std::vector<FeatureVec> x;
+  std::vector<char> y;
+
+  explicit TrainData(size_t n, size_t features) {
+    Rng rng(11);
+    for (size_t i = 0; i < n; ++i) {
+      FeatureVec fv(features);
+      for (auto& v : fv) v = rng.NextDouble();
+      y.push_back(fv[0] + fv[1] > 1.0 ? 1 : 0);
+      x.push_back(std::move(fv));
+    }
+  }
+};
+
+void BM_ForestTrain(benchmark::State& state) {
+  TrainData data(static_cast<size_t>(state.range(0)), 20);
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        RandomForest::Train(data.x, data.y, ForestOptions{}, &rng));
+  }
+}
+BENCHMARK(BM_ForestTrain)->Arg(100)->Arg(600)->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredict(benchmark::State& state) {
+  static TrainData* data = new TrainData(600, 20);
+  static Rng* rng = new Rng(5);
+  static RandomForest forest =
+      RandomForest::Train(data->x, data->y, ForestOptions{}, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.Predict(data->x[i++ % data->x.size()]));
+  }
+}
+BENCHMARK(BM_ForestPredict);
+
+void BM_ForestDisagreement(benchmark::State& state) {
+  static TrainData* data = new TrainData(600, 20);
+  static Rng* rng = new Rng(5);
+  static RandomForest forest =
+      RandomForest::Train(data->x, data->y, ForestOptions{}, rng);
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        forest.Disagreement(data->x[i++ % data->x.size()]));
+  }
+}
+BENCHMARK(BM_ForestDisagreement);
+
+void BM_MapReduceOverhead(benchmark::State& state) {
+  // Cost of the framework itself: trivial map over N ints.
+  std::vector<int> input(static_cast<size_t>(state.range(0)));
+  for (size_t i = 0; i < input.size(); ++i) input[i] = static_cast<int>(i);
+  for (auto _ : state) {
+    Cluster cluster((ClusterConfig()));
+    auto r = RunMapReduce<int, int, int, int>(
+        &cluster, input, {.name = "overhead"},
+        [](const int& v, Emitter<int, int>* em) { em->Emit(v % 64, v); },
+        [](const int&, const std::vector<int>& vals, std::vector<int>* out) {
+          out->push_back(static_cast<int>(vals.size()));
+        });
+    benchmark::DoNotOptimize(r.output);
+  }
+}
+BENCHMARK(BM_MapReduceOverhead)
+    ->Arg(1000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace falcon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,159 @@
+// Microbenchmarks: similarity functions and tokenizers (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+#include "workload/generator.h"
+
+namespace falcon {
+namespace {
+
+std::string RandomPhrase(Rng* rng, const Vocabulary& vocab, int words) {
+  std::string s;
+  for (int i = 0; i < words; ++i) {
+    if (i) s += ' ';
+    s += vocab.SampleZipf(rng);
+  }
+  return s;
+}
+
+struct Corpus {
+  std::vector<std::string> phrases;
+  std::vector<std::vector<std::string>> word_sets;
+  std::vector<std::vector<std::string>> gram_sets;
+
+  Corpus() {
+    Rng rng(7);
+    Vocabulary vocab(2000, 3);
+    for (int i = 0; i < 256; ++i) {
+      phrases.push_back(RandomPhrase(&rng, vocab, 3 + i % 8));
+      word_sets.push_back(ToTokenSet(WordTokens(phrases.back())));
+      gram_sets.push_back(ToTokenSet(QGramTokens(phrases.back(), 3)));
+    }
+  }
+};
+
+const Corpus& GetCorpus() {
+  static Corpus* corpus = new Corpus();
+  return *corpus;
+}
+
+void BM_WordTokenize(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(WordTokens(c.phrases[i++ % c.phrases.size()]));
+  }
+}
+BENCHMARK(BM_WordTokenize);
+
+void BM_QGramTokenize(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        QGramTokens(c.phrases[i++ % c.phrases.size()], 3));
+  }
+}
+BENCHMARK(BM_QGramTokenize);
+
+template <double (*F)(const std::vector<std::string>&,
+                      const std::vector<std::string>&)>
+void BM_SetSimWord(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = c.word_sets[i % c.word_sets.size()];
+    const auto& y = c.word_sets[(i * 7 + 3) % c.word_sets.size()];
+    benchmark::DoNotOptimize(F(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_SetSimWord<&JaccardSim>)->Name("BM_Jaccard_word");
+BENCHMARK(BM_SetSimWord<&DiceSim>)->Name("BM_Dice_word");
+BENCHMARK(BM_SetSimWord<&OverlapSim>)->Name("BM_Overlap_word");
+BENCHMARK(BM_SetSimWord<&CosineSim>)->Name("BM_Cosine_word");
+
+void BM_Jaccard3gram(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = c.gram_sets[i % c.gram_sets.size()];
+    const auto& y = c.gram_sets[(i * 7 + 3) % c.gram_sets.size()];
+    benchmark::DoNotOptimize(JaccardSim(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_Jaccard3gram);
+
+void BM_Levenshtein(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        LevenshteinSim(c.phrases[i % c.phrases.size()],
+                       c.phrases[(i * 7 + 3) % c.phrases.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_Levenshtein);
+
+void BM_JaroWinkler(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        JaroWinklerSim(c.phrases[i % c.phrases.size()],
+                       c.phrases[(i * 7 + 3) % c.phrases.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_JaroWinkler);
+
+void BM_MongeElkan(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = c.word_sets[i % c.word_sets.size()];
+    const auto& y = c.word_sets[(i * 7 + 3) % c.word_sets.size()];
+    benchmark::DoNotOptimize(MongeElkanSim(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_MongeElkan);
+
+void BM_SmithWatermanGotoh(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SmithWatermanGotohSim(c.phrases[i % c.phrases.size()],
+                              c.phrases[(i * 7 + 3) % c.phrases.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_SmithWatermanGotoh);
+
+void BM_TfIdf(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  static IdfDict* idf = [] {
+    auto* d = new IdfDict();
+    for (const auto& s : GetCorpus().word_sets) d->AddDocument(s);
+    d->Finalize();
+    return d;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = c.word_sets[i % c.word_sets.size()];
+    const auto& y = c.word_sets[(i * 7 + 3) % c.word_sets.size()];
+    benchmark::DoNotOptimize(TfIdfSim(x, y, *idf));
+    ++i;
+  }
+}
+BENCHMARK(BM_TfIdf);
+
+}  // namespace
+}  // namespace falcon
+
+BENCHMARK_MAIN();

@@ -1,0 +1,116 @@
+// Section 11.2 (sel_opt_seq): the optimal rule sequence vs executing all
+// rules, the top-1 rule, or the top-3 rules.
+//
+// Paper shape: the optimal sequence achieves the highest recall (or within
+// 0.3%), the lowest run time (or within 4%), and a near-smallest candidate
+// set among the alternatives.
+#include <cstdio>
+
+#include "blocking/apply.h"
+#include "blocking/index_builder.h"
+#include "core/al_matcher.h"
+#include "core/eval_rules.h"
+#include "core/gen_fvs.h"
+#include "core/get_rules.h"
+#include "core/sample_pairs.h"
+#include "core/select_opt_seq.h"
+#include "harness.h"
+
+using namespace falcon;
+using namespace falcon::bench;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  double scale = flags.GetDouble("scale", 1.0);
+  uint64_t seed = flags.GetInt("seed", 100);
+
+  std::printf("=== Section 11.2: optimal rule sequence vs alternatives ===\n\n");
+  for (const char* name : {"products", "songs", "citations"}) {
+    auto data = GenerateByName(name, DatasetOptions(name, scale, seed));
+    FeatureSet fs = FeatureSet::Generate(data->a, data->b);
+    Cluster cluster(BenchClusterConfig());
+    SimulatedCrowd crowd(BenchCrowdConfig(0.05, seed),
+                         data->truth.MakeOracle());
+    Rng rng(seed);
+    FalconConfig cfg = BenchFalconConfig(scale, seed);
+
+    // Run the blocking stage by hand so the retained rules are available.
+    auto sample = SamplePairs(data->a, data->b, cfg.sample_size,
+                              cfg.sample_y, &cluster, &rng);
+    if (!sample.ok()) continue;
+    auto fvs = GenFvs(data->a, data->b, sample->pairs, fs,
+                      fs.blocking_ids(), &cluster);
+    AlMatcherOptions al;
+    al.max_iterations = cfg.al_max_iterations;
+    auto blocker =
+        AlMatcher(fvs.fvs, sample->pairs, &crowd, al, &cluster, &rng);
+    if (!blocker.ok()) continue;
+    GetRulesOptions gr;
+    gr.max_rules = cfg.max_rules_to_eval;
+    auto cands = GetBlockingRules(blocker->matcher, fs.blocking_ids(), fs,
+                                  fvs.fvs, blocker->labeled_indices,
+                                  blocker->labels, gr, &cluster);
+    auto evaluated = EvalRules(cands.rules, cands.coverage, sample->pairs,
+                               &crowd, EvalRulesOptions{}, &rng);
+    if (!evaluated.ok() || evaluated->retained.empty()) {
+      std::fprintf(stderr, "%s: no retained rules\n", name);
+      continue;
+    }
+    SelectSeqOptions ss;
+    ss.max_rules_exhaustive = cfg.max_rules_exhaustive;
+    auto opt = SelectOptSeq(evaluated->retained,
+                            evaluated->retained_coverage,
+                            sample->pairs.size(), ss);
+    if (!opt.ok()) continue;
+
+    // Alternatives in eval_rules rank order.
+    auto subsequence = [&](size_t k) {
+      RuleSequence s;
+      for (size_t i = 0; i < std::min(k, evaluated->retained.size()); ++i) {
+        s.rules.push_back(evaluated->retained[i]);
+      }
+      s.selectivity = opt->sequence.selectivity;
+      return s;
+    };
+    struct Variant {
+      const char* label;
+      RuleSequence seq;
+    };
+    std::vector<Variant> variants = {
+        {"optimal seq", opt->sequence},
+        {"all rules", subsequence(evaluated->retained.size())},
+        {"top-1 rule", subsequence(1)},
+        {"top-3 rules", subsequence(3)},
+    };
+
+    std::printf("--- %s (%zu retained rules; sel_opt_seq took %s) ---\n",
+                name, evaluated->retained.size(), opt->time.ToString().c_str());
+    TablePrinter table(
+        {"Variant", "Rules", "Recall(%)", "Virtual time", "Candidates"});
+    IndexCatalog catalog;
+    IndexBuilder builder(&data->a, &cluster);
+    for (auto& v : variants) {
+      CnfRule q = ToCnf(v.seq);
+      builder.Ensure(IndexBuilder::NeedsOfCnf(q, fs), &catalog);
+      ApplyMethod m = SelectApplyMethod(data->a, data->b, v.seq, fs, catalog,
+                                        cluster);
+      auto res = ApplyBlockingRules(data->a, data->b, v.seq, fs, catalog,
+                                    &cluster, m, ApplyOptions{});
+      if (!res.ok()) {
+        table.AddRow({v.label, std::to_string(v.seq.rules.size()),
+                      "-", res.status().ToString().substr(0, 30), "-"});
+        continue;
+      }
+      table.AddRow({v.label, std::to_string(v.seq.rules.size()),
+                    Pct(BlockingRecall(res->pairs, data->truth)),
+                    res->time.ToString(), std::to_string(res->pairs.size())});
+    }
+    table.Print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check vs paper: the optimal sequence's recall is highest or\n"
+      "within a fraction of a percent; its run time and candidate set are\n"
+      "at or near the best of the alternatives.\n");
+  return 0;
+}

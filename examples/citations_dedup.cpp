@@ -1,0 +1,81 @@
+// Deduplicating bibliography databases (Citeseer x DBLP in the paper).
+//
+// Demonstrates: CSV round-tripping (load your own data the same way),
+// inspecting the learned blocking rules, and exporting matches to CSV.
+//
+//   ./build/examples/citations_dedup [output.csv]
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "table/csv.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+using namespace falcon;
+
+int main(int argc, char** argv) {
+  // Generate two citation tables, round-trip them through CSV to show the
+  // I/O path a real deployment uses.
+  WorkloadOptions data_opts;
+  data_opts.size_a = 800;
+  data_opts.size_b = 1400;
+  data_opts.seed = 19;
+  GeneratedDataset data = GenerateCitations(data_opts);
+
+  std::string csv_a = WriteCsvString(data.a);
+  auto reloaded = ReadCsvString(csv_a, CsvOptions{});
+  if (!reloaded.ok()) {
+    std::fprintf(stderr, "CSV round-trip failed: %s\n",
+                 reloaded.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("loaded %zu Citeseer-style and %zu DBLP-style records "
+              "(CSV round-trip OK)\n\n",
+              reloaded->num_rows(), data.b.num_rows());
+
+  Cluster cluster{ClusterConfig{}};
+  SimulatedCrowdConfig crowd_cfg;
+  crowd_cfg.error_rate = 0.03;
+  SimulatedCrowd crowd(crowd_cfg, data.truth.MakeOracle());
+
+  FalconConfig config;
+  config.sample_size = 10000;
+  config.matcher_only_max_bytes = 1 << 20;
+  FalconPipeline pipeline(&data.a, &data.b, &crowd, &cluster, config);
+  auto result = pipeline.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("--- learned blocking rules (extracted from the random "
+              "forest, crowd-validated) ---\n%s\n",
+              result->sequence.ToString(pipeline.features()).c_str());
+
+  auto q = EvaluateMatches(result->matches, data.truth);
+  std::printf("matched %zu citation pairs: precision %.1f%%, recall %.1f%% "
+              "(%zu questions, $%.2f)\n",
+              result->matches.size(), q.precision * 100, q.recall * 100,
+              result->metrics.questions, result->metrics.cost);
+
+  // Export matches as a CSV of row-id pairs plus both titles.
+  Table out(Schema({{"a_row", AttrType::kNumeric},
+                    {"b_row", AttrType::kNumeric},
+                    {"a_title", AttrType::kString},
+                    {"b_title", AttrType::kString}}));
+  int title_a = data.a.schema().IndexOf("title");
+  for (auto [a, b] : result->matches) {
+    (void)out.AppendRow({std::to_string(a), std::to_string(b),
+                         std::string(data.a.Get(a, title_a)),
+                         std::string(data.b.Get(b, title_a))});
+  }
+  const char* path = argc > 1 ? argv[1] : "citation_matches.csv";
+  Status st = WriteCsvFile(out, path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "export failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::printf("wrote %zu matches to %s\n", out.num_rows(), path);
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Drug matching with an in-house "crowd of one" (Section 11.1 of the paper).
+//
+// Sensitive data cannot go to a public crowd, so a single in-house expert
+// labels pairs. Crowd latency collapses (the expert answers in seconds), so
+// machine time becomes the dominant share of total time — exactly the
+// regime where Falcon's crowd-time masking matters most. This example runs
+// the same task with masking on and off and prints the difference.
+//
+//   ./build/examples/drug_matching
+#include <cstdio>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+using namespace falcon;
+
+namespace {
+
+Result<MatchResult> RunOnce(const GeneratedDataset& data, bool masking) {
+  Cluster cluster{ClusterConfig{}};
+  OracleCrowdConfig crowd_cfg;
+  crowd_cfg.seconds_per_pair = VDuration::Seconds(2.0);  // a fast dedicated expert
+  OracleCrowd expert(crowd_cfg, data.truth.MakeOracle());
+  FalconConfig config;
+  config.sample_size = 8000;
+  config.matcher_only_max_bytes = 1 << 20;
+  config.enable_masking = masking;
+  FalconPipeline pipeline(&data.a, &data.b, &expert, &cluster, config);
+  return pipeline.Run();
+}
+
+}  // namespace
+
+int main() {
+  WorkloadOptions data_opts;
+  data_opts.size_a = 700;
+  data_opts.size_b = 700;
+  data_opts.seed = 23;
+  GeneratedDataset data = GenerateDrugs(data_opts);
+  std::printf("formulary A: %zu drugs, formulary B: %zu drugs\n\n",
+              data.a.num_rows(), data.b.num_rows());
+
+  auto masked = RunOnce(data, /*masking=*/true);
+  auto unmasked = RunOnce(data, /*masking=*/false);
+  if (!masked.ok() || !unmasked.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s / %s\n",
+                 masked.status().ToString().c_str(),
+                 unmasked.status().ToString().c_str());
+    return 1;
+  }
+
+  auto report = [&](const char* label, const MatchResult& r) {
+    auto q = EvaluateMatches(r.matches, data.truth);
+    const RunMetrics& m = r.metrics;
+    double machine_share =
+        m.total_time.seconds > 0
+            ? m.machine_unmasked.seconds / m.total_time.seconds
+            : 0.0;
+    std::printf("%-14s P %.2f%%  R %.2f%%  | expert time %s | machine "
+                "(unmasked) %s | total %s | machine share %.0f%%\n",
+                label, q.precision * 100, q.recall * 100,
+                m.crowd_time.ToString().c_str(),
+                m.machine_unmasked.ToString().c_str(),
+                m.total_time.ToString().c_str(), machine_share * 100);
+  };
+  report("masking OFF:", *unmasked);
+  report("masking ON: ", *masked);
+
+  double saved = unmasked->metrics.machine_unmasked.seconds -
+                 masked->metrics.machine_unmasked.seconds;
+  std::printf("\nmasking hid %s of machine work behind the expert's "
+              "labeling time\n(the paper reports a 49%% machine-time "
+              "reduction on its drug deployment)\n",
+              VDuration::Seconds(saved).ToString().c_str());
+  std::printf("the expert answered %zu questions at $0 — no crowd budget "
+              "needed for sensitive data\n",
+              masked->metrics.questions);
+  return 0;
+}

@@ -1,0 +1,172 @@
+// The paper's motivating scenario (Example 1): entity matching as a
+// service. A user submits two CSV tables and a budget; the service runs the
+// hands-off pipeline and returns the matches plus a report — no blocking
+// rules, no feature engineering, no developer.
+//
+//   # demo mode (synthetic catalogs + simulated crowd):
+//   ./build/examples/em_service --demo
+//
+//   # real tables, you label the pairs yourself (Example 1's no-crowd path):
+//   ./build/examples/em_service --a left.csv --b right.csv \
+//       --out matches.csv --rules rules.txt --interactive
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "core/pipeline.h"
+#include "crowd/cli_crowd.h"
+#include "rules/serialize.h"
+#include "table/csv.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+using namespace falcon;
+
+namespace {
+
+struct Args {
+  std::string a_path;
+  std::string b_path;
+  std::string out_path = "matches.csv";
+  std::string rules_path;
+  bool demo = false;
+  bool interactive = false;
+  double budget = 349.60;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    std::string flag = argv[i];
+    auto value = [&]() -> std::string {
+      return i + 1 < argc ? argv[++i] : "";
+    };
+    if (flag == "--a") args.a_path = value();
+    else if (flag == "--b") args.b_path = value();
+    else if (flag == "--out") args.out_path = value();
+    else if (flag == "--rules") args.rules_path = value();
+    else if (flag == "--budget") args.budget = std::atof(value().c_str());
+    else if (flag == "--demo") args.demo = true;
+    else if (flag == "--interactive") args.interactive = true;
+  }
+  return args;
+}
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "em_service: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (!args.demo && (args.a_path.empty() || args.b_path.empty())) {
+    std::fprintf(stderr,
+                 "usage: em_service --demo | --a A.csv --b B.csv "
+                 "[--out matches.csv] [--rules rules.txt] [--interactive] "
+                 "[--budget dollars]\n");
+    return 2;
+  }
+
+  // --- load the task ---------------------------------------------------------
+  Table table_a;
+  Table table_b;
+  GroundTruth demo_truth;
+  if (args.demo) {
+    WorkloadOptions opt;
+    opt.size_a = 400;
+    opt.size_b = 1200;
+    opt.seed = 77;
+    auto data = GenerateProducts(opt);
+    table_a = std::move(data.a);
+    table_b = std::move(data.b);
+    demo_truth = std::move(data.truth);
+    std::printf("demo task: %zu x %zu synthetic products\n",
+                table_a.num_rows(), table_b.num_rows());
+  } else {
+    auto a = ReadCsvFile(args.a_path, CsvOptions{});
+    if (!a.ok()) return Fail(a.status());
+    auto b = ReadCsvFile(args.b_path, CsvOptions{});
+    if (!b.ok()) return Fail(b.status());
+    table_a = std::move(a).value();
+    table_b = std::move(b).value();
+    std::printf("loaded %zu rows from %s, %zu rows from %s\n",
+                table_a.num_rows(), args.a_path.c_str(), table_b.num_rows(),
+                args.b_path.c_str());
+  }
+
+  // --- pick the labeling channel ----------------------------------------------
+  Cluster cluster{ClusterConfig{}};
+  std::unique_ptr<CrowdPlatform> crowd;
+  if (args.interactive) {
+    crowd = std::make_unique<CliCrowd>(&table_a, &table_b, &std::cin,
+                                       &std::cout);
+  } else if (args.demo) {
+    SimulatedCrowdConfig ccfg;
+    ccfg.error_rate = 0.05;
+    ccfg.budget_cap = args.budget;
+    GroundTruth* truth = &demo_truth;
+    crowd = std::make_unique<SimulatedCrowd>(
+        ccfg, [truth](RowId a, RowId b) { return truth->IsMatch(a, b); });
+  } else {
+    std::fprintf(stderr,
+                 "real tables need --interactive (no crowd platform is "
+                 "connected in this build)\n");
+    return 2;
+  }
+
+  // --- run --------------------------------------------------------------------
+  FalconConfig config;
+  config.sample_size = 8000;
+  config.matcher_only_max_bytes = 1 << 20;
+  config.estimate_accuracy = !args.interactive;  // spare the human labeler
+  FalconPipeline pipeline(&table_a, &table_b, crowd.get(), &cluster, config);
+  auto result = pipeline.Run();
+  if (!result.ok()) return Fail(result.status());
+
+  // --- report + artifacts ------------------------------------------------------
+  const RunMetrics& m = result->metrics;
+  std::printf("\n=== match report ===\n");
+  std::printf("matches:        %zu (from %zu candidate pairs)\n",
+              result->matches.size(), result->candidates.size());
+  std::printf("crowd:          %zu questions, $%.2f of $%.2f budget\n",
+              m.questions, m.cost, args.budget);
+  std::printf("time (virtual): crowd %s + machine %s = %s\n",
+              m.crowd_time.ToString().c_str(),
+              m.machine_unmasked.ToString().c_str(),
+              m.total_time.ToString().c_str());
+  if (m.has_accuracy_estimate) {
+    std::printf("estimated:      P %.1f%% (+-%.1f)  post-blocking R %.1f%% "
+                "(+-%.1f)\n",
+                m.accuracy.precision * 100, m.accuracy.precision_margin * 100,
+                m.accuracy.recall * 100, m.accuracy.recall_margin * 100);
+  }
+  if (args.demo) {
+    auto q = EvaluateMatches(result->matches, demo_truth);
+    std::printf("actual (demo):  P %.1f%%  R %.1f%%  F1 %.1f%%\n",
+                q.precision * 100, q.recall * 100, q.f1 * 100);
+  }
+
+  // Matches CSV.
+  Table out(Schema({{"a_row", AttrType::kNumeric},
+                    {"b_row", AttrType::kNumeric}}));
+  for (auto [a, b] : result->matches) {
+    (void)out.AppendRow({std::to_string(a), std::to_string(b)});
+  }
+  if (Status st = WriteCsvFile(out, args.out_path); !st.ok()) return Fail(st);
+  std::printf("wrote %zu matches to %s\n", out.num_rows(),
+              args.out_path.c_str());
+
+  // Learned rules, reviewable and reloadable.
+  if (!args.rules_path.empty() && !result->sequence.rules.empty()) {
+    std::ofstream rules_out(args.rules_path);
+    rules_out << SerializeRuleSequence(result->sequence,
+                                       pipeline.features());
+    std::printf("wrote %zu blocking rules to %s\n",
+                result->sequence.rules.size(), args.rules_path.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,83 @@
+// Matching product catalogs from two vendors (the paper's motivating
+// e-commerce scenario), with a per-operator cost breakdown.
+//
+// Demonstrates: configuring the pipeline, reading the Table-4-style
+// operator breakdown, and comparing the learned rule-based blocking against
+// a hand-picked key-based baseline.
+//
+//   ./build/examples/products_matching [--help]
+#include <cstdio>
+#include <cstring>
+
+#include "blocking/kbb.h"
+#include "core/pipeline.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+using namespace falcon;
+
+int main(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "--help") == 0) {
+    std::printf("usage: products_matching\n"
+                "Matches two synthetic product catalogs end to end and\n"
+                "prints the per-operator breakdown plus a KBB comparison.\n");
+    return 0;
+  }
+
+  WorkloadOptions data_opts;
+  data_opts.size_a = 600;
+  data_opts.size_b = 2400;
+  data_opts.seed = 7;
+  data_opts.dirtiness = 0.45;  // vendor feeds are messy
+  GeneratedDataset data = GenerateProducts(data_opts);
+  std::printf("catalog A: %zu products, catalog B: %zu products, "
+              "true matches: %zu\n\n",
+              data.a.num_rows(), data.b.num_rows(), data.truth.size());
+
+  Cluster cluster{ClusterConfig{}};
+  SimulatedCrowdConfig crowd_cfg;
+  crowd_cfg.error_rate = 0.05;
+  SimulatedCrowd crowd(crowd_cfg, data.truth.MakeOracle());
+
+  FalconConfig config;
+  config.sample_size = 10000;
+  config.matcher_only_max_bytes = 1 << 20;
+  FalconPipeline pipeline(&data.a, &data.b, &crowd, &cluster, config);
+  auto result = pipeline.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "pipeline failed: %s\n",
+                 result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("--- per-operator breakdown (crowd ops show crowd latency; "
+              "machine ops show unmasked/raw) ---\n");
+  for (const auto& op : result->metrics.operators) {
+    std::printf("  %-28s %10s", op.name.c_str(),
+                op.is_crowd ? op.raw.ToString().c_str()
+                            : op.unmasked.ToString().c_str());
+    if (!op.is_crowd && op.unmasked.seconds + 1e-9 < op.raw.seconds) {
+      std::printf("  (raw %s, rest masked by crowd time)",
+                  op.raw.ToString().c_str());
+    }
+    std::printf("\n");
+  }
+
+  auto q = EvaluateMatches(result->matches, data.truth);
+  std::printf("\nFalcon: F1 %.1f%% | blocking kept %zu pairs (recall "
+              "%.1f%%) | cost $%.2f | apply operator: %s\n",
+              q.f1 * 100, result->candidates.size(),
+              BlockingRecall(result->candidates, data.truth) * 100,
+              result->metrics.cost,
+              ApplyMethodName(result->metrics.apply_method));
+
+  // Compare against the blocking a developer might hand-write: exact match
+  // on model number.
+  int key = data.a.schema().IndexOf("modelno");
+  auto kbb = KeyBasedBlocking(data.a, data.b, key, key, &cluster);
+  std::printf("KBB on modelno: kept %zu pairs, recall %.1f%% — dirty and "
+              "missing keys lose matches (Section 3.2 of the paper)\n",
+              kbb.pairs.size(),
+              BlockingRecall(kbb.pairs, data.truth) * 100);
+  return 0;
+}

@@ -1,0 +1,665 @@
+#include "blocking/apply.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <map>
+#include <unordered_set>
+
+#include "blocking/index_builder.h"
+#include "mapreduce/job.h"
+
+namespace falcon {
+
+const char* ApplyMethodName(ApplyMethod m) {
+  switch (m) {
+    case ApplyMethod::kApplyAll:
+      return "apply_all";
+    case ApplyMethod::kApplyGreedy:
+      return "apply_greedy";
+    case ApplyMethod::kApplyConjunct:
+      return "apply_conjunct";
+    case ApplyMethod::kApplyPredicate:
+      return "apply_predicate";
+    case ApplyMethod::kMapSide:
+      return "MapSide";
+    case ApplyMethod::kReduceSplit:
+      return "ReduceSplit";
+  }
+  return "unknown";
+}
+
+// --- RuleApplier ---------------------------------------------------------------
+
+RuleApplier::RuleApplier(const RuleSequence& seq, const FeatureSet* fs,
+                         const Table* a, const Table* b)
+    : fs_(fs), a_(a), b_(b) {
+  // Slot assignment: one memoized value per distinct feature id, so a
+  // feature shared by several rules (e.g. jaccard_word(title,title)) is
+  // computed once per pair (Section 7.3, optimization 3).
+  std::map<int, int> slot_of;
+  for (const auto& rule : seq.rules) {
+    std::vector<BoundPredicate> bound;
+    bound.reserve(rule.predicates.size());
+    for (const auto& p : rule.predicates) {
+      auto [it, inserted] =
+          slot_of.emplace(p.feature_id, static_cast<int>(slot_of.size()));
+      if (inserted) feature_ids_.push_back(p.feature_id);
+      bound.push_back(BoundPredicate{it->second, p.feature_id, p.op, p.value});
+    }
+    rules_.push_back(std::move(bound));
+  }
+  slot_values_.resize(slot_of.size());
+  slot_computed_.resize(slot_of.size());
+}
+
+bool RuleApplier::Keep(RowId a_row, RowId b_row) const {
+  std::fill(slot_computed_.begin(), slot_computed_.end(), 0);
+  for (const auto& rule : rules_) {
+    bool fires = !rule.empty();
+    for (const auto& p : rule) {
+      if (!slot_computed_[p.slot]) {
+        slot_values_[p.slot] =
+            fs_->Compute(p.feature_id, *a_, a_row, *b_, b_row);
+        slot_computed_[p.slot] = 1;
+      }
+      double v = slot_values_[p.slot];
+      bool holds;
+      if (std::isnan(v)) {
+        holds = false;  // missing cannot prove a non-match
+      } else {
+        switch (p.op) {
+          case PredOp::kLe:
+            holds = v <= p.value;
+            break;
+          case PredOp::kGt:
+            holds = v > p.value;
+            break;
+          case PredOp::kLt:
+            holds = v < p.value;
+            break;
+          case PredOp::kGe:
+            holds = v >= p.value;
+            break;
+          default:
+            holds = false;
+        }
+      }
+      if (!holds) {
+        fires = false;
+        break;
+      }
+    }
+    if (fires) return false;  // dropped
+  }
+  return true;
+}
+
+namespace {
+
+/// Interleaved-input record (load-balancing optimization 1 of Section 7.3):
+/// every split carries both A and B rows.
+struct TaggedRow {
+  bool from_a;
+  RowId row;
+};
+
+/// Shuffle value with explicit byte accounting: the simulation ships row ids
+/// in-process but charges the bytes a real Hadoop job would move (whole
+/// tuples, or ids under the ship-ids optimization).
+struct ShuffleVal {
+  int32_t tag = 0;   // operator-specific (b_row, clause id, or -1 marker)
+  uint32_t aux = 0;  // operator-specific (k_b)
+  uint32_t bytes = 8;
+};
+
+size_t EstimateBytes(const ShuffleVal& v) { return v.bytes; }
+
+std::vector<TaggedRow> InterleavedInput(size_t na, size_t nb) {
+  // Interleave proportionally so every split sees the A:B ratio.
+  std::vector<TaggedRow> input;
+  input.reserve(na + nb);
+  size_t ia = 0;
+  size_t ib = 0;
+  while (ia < na || ib < nb) {
+    // Emit the stream that is behind its proportional position.
+    double pa = na == 0 ? 1.0 : static_cast<double>(ia) / na;
+    double pb = nb == 0 ? 1.0 : static_cast<double>(ib) / nb;
+    if (ia < na && (ib >= nb || pa <= pb)) {
+      input.push_back({true, static_cast<RowId>(ia++)});
+    } else {
+      input.push_back({false, static_cast<RowId>(ib++)});
+    }
+  }
+  return input;
+}
+
+size_t AvgRowBytes(const Table& t) {
+  if (t.num_rows() == 0) return 64;
+  return std::max<size_t>(16, t.MemoryUsage() / t.num_rows());
+}
+
+bool ClauseFilterable(const CnfClause& clause, const FeatureSet& fs,
+                      const IndexCatalog& catalog) {
+  if (clause.predicates.empty()) return false;
+  for (const auto& pred : clause.predicates) {
+    IndexNeed need = ClassifyPredicate(pred, fs);
+    if (need.kind == IndexKind::kNone || !catalog.Has(need)) return false;
+  }
+  return true;
+}
+
+uint64_t PackPair(RowId a, RowId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+/// Minimum rule selectivity: a cheap upper bound on sequence selectivity
+/// for the ship-ids decision.
+double MinRuleSelectivity(const RuleSequence& seq) {
+  double s = 1.0;
+  for (const auto& r : seq.rules) s = std::min(s, r.selectivity);
+  return s;
+}
+
+bool ShouldShipIds(const ApplyOptions& opts, const Cluster& cluster,
+                   const Table& b, const RuleSequence& seq) {
+  switch (opts.ship_ids) {
+    case ApplyOptions::ShipIds::kOn:
+      return true;
+    case ApplyOptions::ShipIds::kOff:
+      return false;
+    case ApplyOptions::ShipIds::kAuto:
+      break;
+  }
+  // Paper rule: only if an id index of B fits in reducer memory AND the rule
+  // sequence keeps enough pairs that the intermediate output is huge.
+  return b.MemoryUsage() <= cluster.config().reducer_memory_bytes &&
+         MinRuleSelectivity(seq) >= 1e-4;
+}
+
+/// Sample-based projection of the A x B enumeration cost for the baselines;
+/// returns the projected virtual duration of evaluating all pairs.
+VDuration ProjectEnumeration(const Table& a, const Table& b,
+                             const RuleApplier& applier,
+                             const Cluster& cluster, int slots) {
+  const size_t sample = 2000;
+  size_t na = a.num_rows();
+  size_t nb = b.num_rows();
+  if (na == 0 || nb == 0) return VDuration::Zero();
+  double secs = internal::MeasureSeconds([&] {
+    uint64_t state = 0x12345678;
+    for (size_t i = 0; i < sample; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      RowId ra = static_cast<RowId>((state >> 33) % na);
+      RowId rb = static_cast<RowId>((state >> 11) % nb);
+      (void)applier.Keep(ra, rb);
+    }
+  });
+  double per_pair = secs / sample;
+  double total =
+      per_pair * static_cast<double>(na) * static_cast<double>(nb);
+  return VDuration::Seconds(total * cluster.config().core_speed_factor /
+                            std::max(slots, 1));
+}
+
+}  // namespace
+
+// --- operator implementations -----------------------------------------------------
+
+namespace {
+
+/// Shared core of apply_all and apply_greedy: mappers probe with `probe_fn`
+/// (full rule or one clause), reducers apply the sequence.
+Result<ApplyResult> RunKeyedByA(
+    const Table& a, const Table& b, const RuleSequence& seq,
+    const FeatureSet& fs, const IndexCatalog& catalog, Cluster* cluster,
+    const ApplyOptions& opts, const std::string& name,
+    const std::function<CandidateSet(const ClauseProber&, const Table&,
+                                     RowId)>& probe_fn,
+    double map_setup_seconds) {
+  ClauseProber prober(&catalog, &fs, a.num_rows());
+  RuleApplier applier(seq, &fs, &a, &b);
+  bool ship_ids = ShouldShipIds(opts, *cluster, b, seq);
+  const uint32_t b_bytes =
+      ship_ids ? 8 : static_cast<uint32_t>(AvgRowBytes(b));
+  const uint32_t a_bytes = static_cast<uint32_t>(AvgRowBytes(a));
+
+  ApplyResult result;
+  size_t candidates_examined = 0;
+  auto input = InterleavedInput(a.num_rows(), b.num_rows());
+  auto job = RunMapReduce<TaggedRow, RowId, ShuffleVal, CandidatePair>(
+      cluster, input, {.name = name, .map_setup_seconds = map_setup_seconds},
+      [&](const TaggedRow& rec, Emitter<RowId, ShuffleVal>* em) {
+        if (rec.from_a) {
+          em->Emit(rec.row, ShuffleVal{-1, 0, a_bytes});
+          return;
+        }
+        CandidateSet cand = probe_fn(prober, b, rec.row);
+        if (cand.all) {
+          for (RowId ar = 0; ar < a.num_rows(); ++ar) {
+            em->Emit(ar, ShuffleVal{static_cast<int32_t>(rec.row), 0,
+                                    b_bytes});
+          }
+        } else {
+          for (RowId ar : cand.rows) {
+            em->Emit(ar, ShuffleVal{static_cast<int32_t>(rec.row), 0,
+                                    b_bytes});
+          }
+        }
+      },
+      [&](const RowId& a_row, const std::vector<ShuffleVal>& vals,
+          std::vector<CandidatePair>* out) {
+        for (const auto& v : vals) {
+          if (v.tag < 0) continue;  // the A-record marker
+          ++candidates_examined;
+          RowId b_row = static_cast<RowId>(v.tag);
+          if (applier.Keep(a_row, b_row)) out->emplace_back(a_row, b_row);
+        }
+      });
+  result.pairs = std::move(job.output);
+  result.main_job = job.stats;
+  result.time = job.stats.Total();
+  result.candidates_examined = candidates_examined;
+  if (result.time > opts.virtual_time_limit) {
+    return Status::Cancelled(name + " exceeded virtual time limit (" +
+                             result.time.ToString() + ")");
+  }
+  return result;
+}
+
+/// Shared core of apply_conjunct and apply_predicate: mappers are grouped by
+/// unit (clause or predicate); reducers check CNF coverage then apply R.
+struct Unit {
+  int clause_id;
+  const CnfClause* clause;       // for apply_conjunct
+  const Predicate* predicate;    // for apply_predicate (nullptr otherwise)
+};
+
+Result<ApplyResult> RunKeyedByPair(const Table& a, const Table& b,
+                                   const RuleSequence& seq,
+                                   const FeatureSet& fs,
+                                   const IndexCatalog& catalog,
+                                   Cluster* cluster, const ApplyOptions& opts,
+                                   const std::string& name,
+                                   const std::vector<Unit>& units,
+                                   const std::vector<const CnfClause*>&
+                                       filterable_clauses,
+                                   double map_setup_seconds) {
+  ClauseProber prober(&catalog, &fs, a.num_rows());
+  RuleApplier applier(seq, &fs, &a, &b);
+  bool ship_ids = ShouldShipIds(opts, *cluster, b, seq);
+  const uint32_t pair_bytes =
+      ship_ids ? 12 : static_cast<uint32_t>(AvgRowBytes(a) + AvgRowBytes(b));
+
+  // Input: every (unit, B-row) combination.
+  struct UnitRow {
+    int unit;
+    RowId b_row;
+  };
+  std::vector<UnitRow> input;
+  input.reserve(units.size() * b.num_rows());
+  for (int u = 0; u < static_cast<int>(units.size()); ++u) {
+    for (RowId r = 0; r < b.num_rows(); ++r) input.push_back({u, r});
+  }
+
+  auto active_count = [&](RowId b_row) {
+    uint32_t k = 0;
+    for (const CnfClause* c : filterable_clauses) {
+      if (prober.ClauseActive(*c, b, b_row)) ++k;
+    }
+    return k;
+  };
+
+  ApplyResult result;
+  size_t candidates_examined = 0;
+  auto job = RunMapReduce<UnitRow, uint64_t, ShuffleVal, CandidatePair>(
+      cluster, input, {.name = name, .map_setup_seconds = map_setup_seconds},
+      [&](const UnitRow& rec, Emitter<uint64_t, ShuffleVal>* em) {
+        const Unit& unit = units[rec.unit];
+        uint32_t k_b = active_count(rec.b_row);
+        if (k_b == 0) {
+          // No clause can filter this B-row: the designated first unit emits
+          // the full A side so the pair is not lost.
+          if (rec.unit == 0) {
+            for (RowId ar = 0; ar < a.num_rows(); ++ar) {
+              em->Emit(PackPair(ar, rec.b_row),
+                       ShuffleVal{-1, 0, pair_bytes});
+            }
+          }
+          return;
+        }
+        if (!prober.ClauseActive(*unit.clause, b, rec.b_row)) return;
+        CandidateSet cand =
+            unit.predicate != nullptr
+                ? prober.ProbePredicate(*unit.predicate, b, rec.b_row)
+                : prober.ProbeClause(*unit.clause, b, rec.b_row);
+        if (cand.all) return;  // inactive for this row after all
+        for (RowId ar : cand.rows) {
+          em->Emit(PackPair(ar, rec.b_row),
+                   ShuffleVal{unit.clause_id, k_b, pair_bytes});
+        }
+      },
+      [&](const uint64_t& key, const std::vector<ShuffleVal>& vals,
+          std::vector<CandidatePair>* out) {
+        RowId a_row = static_cast<RowId>(key >> 32);
+        RowId b_row = static_cast<RowId>(key & 0xFFFFFFFFu);
+        bool survives;
+        if (vals[0].tag < 0) {
+          survives = true;  // unfilterable B-row, emitted in full
+        } else {
+          uint32_t k_b = vals[0].aux;
+          // Count distinct clause ids among hits.
+          uint64_t mask = 0;
+          for (const auto& v : vals) {
+            if (v.tag >= 0 && v.tag < 64) mask |= (uint64_t{1} << v.tag);
+          }
+          survives =
+              static_cast<uint32_t>(std::popcount(mask)) >= k_b;
+        }
+        if (!survives) return;
+        ++candidates_examined;
+        if (applier.Keep(a_row, b_row)) out->emplace_back(a_row, b_row);
+      });
+  result.pairs = std::move(job.output);
+  result.main_job = job.stats;
+  result.time = job.stats.Total();
+  result.candidates_examined = candidates_examined;
+  if (result.time > opts.virtual_time_limit) {
+    return Status::Cancelled(name + " exceeded virtual time limit (" +
+                             result.time.ToString() + ")");
+  }
+  return result;
+}
+
+double IndexLoadSeconds(size_t bytes) {
+  // Virtual cost of loading indexes into a mapper (modeled at 200 MB/s),
+  // spread over tasks via JobOptions::map_setup_seconds.
+  return static_cast<double>(bytes) / (200.0 * 1024 * 1024);
+}
+
+}  // namespace
+
+namespace {
+
+/// Filterable clause with minimal selectivity (most pruning power), or
+/// nullptr if none is filterable.
+const CnfClause* MostSelectiveClause(
+    const std::vector<const CnfClause*>& filterable) {
+  const CnfClause* best = nullptr;
+  for (const CnfClause* c : filterable) {
+    if (best == nullptr || c->selectivity < best->selectivity) best = c;
+  }
+  return best;
+}
+
+/// Memory needed by the indexes of one clause / one predicate.
+size_t ClauseMemory(const CnfClause& clause, const FeatureSet& fs,
+                    const IndexCatalog& catalog) {
+  std::vector<IndexNeed> needs;
+  for (const auto& pred : clause.predicates) {
+    needs.push_back(ClassifyPredicate(pred, fs));
+  }
+  return catalog.MemoryUsageFor(needs);
+}
+
+size_t PredicateMemory(const Predicate& pred, const FeatureSet& fs,
+                       const IndexCatalog& catalog) {
+  return catalog.MemoryUsageFor({ClassifyPredicate(pred, fs)});
+}
+
+Result<ApplyResult> RunMapSide(const Table& a, const Table& b,
+                               const RuleSequence& seq, const FeatureSet& fs,
+                               Cluster* cluster, const ApplyOptions& opts) {
+  // Smaller table must fit in mapper memory.
+  const Table& small = a.MemoryUsage() <= b.MemoryUsage() ? a : b;
+  if (small.MemoryUsage() > cluster->config().mapper_memory_bytes) {
+    return Status::OutOfMemory("MapSide: smaller table does not fit");
+  }
+  RuleApplier applier(seq, &fs, &a, &b);
+  VDuration projected =
+      ProjectEnumeration(a, b, applier, *cluster, cluster->total_map_slots());
+  if (projected > opts.virtual_time_limit) {
+    return Status::Cancelled("MapSide killed: projected " +
+                             projected.ToString() + " to enumerate A x B");
+  }
+  // Iterate the larger table as input; inner-loop the in-memory table.
+  bool iterate_b = &small == &a;
+  std::vector<RowId> input(iterate_b ? b.num_rows() : a.num_rows());
+  for (RowId r = 0; r < input.size(); ++r) input[r] = r;
+  ApplyResult result;
+  double setup = IndexLoadSeconds(small.MemoryUsage());
+  auto job = RunMapOnly<RowId, CandidatePair>(
+      cluster, input, {.name = "MapSide", .map_setup_seconds = setup},
+      [&](const RowId& outer, std::vector<CandidatePair>* out) {
+        if (iterate_b) {
+          for (RowId ar = 0; ar < a.num_rows(); ++ar) {
+            if (applier.Keep(ar, outer)) out->emplace_back(ar, outer);
+          }
+        } else {
+          for (RowId br = 0; br < b.num_rows(); ++br) {
+            if (applier.Keep(outer, br)) out->emplace_back(outer, br);
+          }
+        }
+      });
+  result.pairs = std::move(job.output);
+  result.main_job = job.stats;
+  result.time = job.stats.Total();
+  result.candidates_examined = a.num_rows() * b.num_rows();
+  if (result.time > opts.virtual_time_limit) {
+    return Status::Cancelled("MapSide exceeded virtual time limit (" +
+                             result.time.ToString() + ")");
+  }
+  return result;
+}
+
+Result<ApplyResult> RunReduceSplit(const Table& a, const Table& b,
+                                   const RuleSequence& seq,
+                                   const FeatureSet& fs, Cluster* cluster,
+                                   const ApplyOptions& opts) {
+  RuleApplier applier(seq, &fs, &a, &b);
+  VDuration projected = ProjectEnumeration(a, b, applier, *cluster,
+                                           cluster->total_reduce_slots());
+  if (projected > opts.virtual_time_limit) {
+    return Status::Cancelled("ReduceSplit killed: projected " +
+                             projected.ToString() + " to enumerate A x B");
+  }
+  // Mappers spread B-rows over K blocks of A; reducers evaluate block x B.
+  const uint32_t num_blocks =
+      std::max<uint32_t>(1, cluster->total_reduce_slots());
+  const size_t block_size = (a.num_rows() + num_blocks - 1) / num_blocks;
+  const uint32_t b_bytes = static_cast<uint32_t>(AvgRowBytes(b));
+  std::vector<RowId> input(b.num_rows());
+  for (RowId r = 0; r < input.size(); ++r) input[r] = r;
+  ApplyResult result;
+  auto job = RunMapReduce<RowId, uint32_t, ShuffleVal, CandidatePair>(
+      cluster, input, {.name = "ReduceSplit"},
+      [&](const RowId& b_row, Emitter<uint32_t, ShuffleVal>* em) {
+        for (uint32_t blk = 0; blk < num_blocks; ++blk) {
+          em->Emit(blk, ShuffleVal{static_cast<int32_t>(b_row), 0, b_bytes});
+        }
+      },
+      [&](const uint32_t& blk, const std::vector<ShuffleVal>& vals,
+          std::vector<CandidatePair>* out) {
+        RowId lo = static_cast<RowId>(blk) * block_size;
+        RowId hi = std::min<size_t>(lo + block_size, a.num_rows());
+        for (const auto& v : vals) {
+          RowId b_row = static_cast<RowId>(v.tag);
+          for (RowId ar = lo; ar < hi; ++ar) {
+            if (applier.Keep(ar, b_row)) out->emplace_back(ar, b_row);
+          }
+        }
+      });
+  result.pairs = std::move(job.output);
+  result.main_job = job.stats;
+  result.time = job.stats.Total();
+  result.candidates_examined = a.num_rows() * b.num_rows();
+  if (result.time > opts.virtual_time_limit) {
+    return Status::Cancelled("ReduceSplit exceeded virtual time limit (" +
+                             result.time.ToString() + ")");
+  }
+  return result;
+}
+
+}  // namespace
+
+Result<ApplyResult> ApplyBlockingRules(const Table& a, const Table& b,
+                                       const RuleSequence& raw_seq,
+                                       const FeatureSet& fs,
+                                       const IndexCatalog& catalog,
+                                       Cluster* cluster, ApplyMethod method,
+                                       const ApplyOptions& opts) {
+  if (raw_seq.rules.empty()) {
+    return Status::InvalidArgument("empty rule sequence");
+  }
+  RuleSequence seq = SimplifySequence(raw_seq);
+  CnfRule q = ToCnf(seq);
+  const size_t mapper_mem = cluster->config().mapper_memory_bytes;
+
+  std::vector<const CnfClause*> filterable;
+  for (const auto& clause : q.clauses) {
+    if (ClauseFilterable(clause, fs, catalog)) filterable.push_back(&clause);
+  }
+
+  switch (method) {
+    case ApplyMethod::kApplyAll: {
+      if (filterable.empty()) {
+        return Status::InvalidArgument("apply_all: no filterable clause");
+      }
+      auto needs = IndexBuilder::NeedsOfCnf(q, fs);
+      size_t mem = catalog.MemoryUsageFor(needs);
+      if (mem > mapper_mem) {
+        return Status::OutOfMemory(
+            "apply_all: indexes (" + std::to_string(mem) +
+            " B) exceed mapper memory (" + std::to_string(mapper_mem) +
+            " B)");
+      }
+      return RunKeyedByA(
+          a, b, seq, fs, catalog, cluster, opts, "apply_all",
+          [&q](const ClauseProber& prober, const Table& b_table,
+               RowId b_row) { return prober.ProbeRule(q, b_table, b_row); },
+          IndexLoadSeconds(mem));
+    }
+    case ApplyMethod::kApplyGreedy: {
+      const CnfClause* best = MostSelectiveClause(filterable);
+      if (best == nullptr) {
+        return Status::InvalidArgument("apply_greedy: no filterable clause");
+      }
+      size_t mem = ClauseMemory(*best, fs, catalog);
+      if (mem > mapper_mem) {
+        return Status::OutOfMemory(
+            "apply_greedy: most selective conjunct's indexes do not fit");
+      }
+      return RunKeyedByA(
+          a, b, seq, fs, catalog, cluster, opts, "apply_greedy",
+          [best](const ClauseProber& prober, const Table& b_table,
+                 RowId b_row) {
+            return prober.ProbeClause(*best, b_table, b_row);
+          },
+          IndexLoadSeconds(mem));
+    }
+    case ApplyMethod::kApplyConjunct: {
+      if (filterable.empty()) {
+        return Status::InvalidArgument(
+            "apply_conjunct: no filterable clause");
+      }
+      size_t max_mem = 0;
+      std::vector<Unit> units;
+      for (size_t i = 0; i < filterable.size(); ++i) {
+        max_mem =
+            std::max(max_mem, ClauseMemory(*filterable[i], fs, catalog));
+        units.push_back(
+            Unit{static_cast<int>(i), filterable[i], nullptr});
+      }
+      if (max_mem > mapper_mem) {
+        return Status::OutOfMemory(
+            "apply_conjunct: largest conjunct's indexes do not fit");
+      }
+      return RunKeyedByPair(a, b, seq, fs, catalog, cluster, opts,
+                            "apply_conjunct", units, filterable,
+                            IndexLoadSeconds(max_mem));
+    }
+    case ApplyMethod::kApplyPredicate: {
+      if (filterable.empty()) {
+        return Status::InvalidArgument(
+            "apply_predicate: no filterable clause");
+      }
+      size_t max_mem = 0;
+      std::vector<Unit> units;
+      for (size_t i = 0; i < filterable.size(); ++i) {
+        for (const auto& pred : filterable[i]->predicates) {
+          max_mem = std::max(max_mem, PredicateMemory(pred, fs, catalog));
+          units.push_back(
+              Unit{static_cast<int>(i), filterable[i], &pred});
+        }
+      }
+      if (max_mem > mapper_mem) {
+        return Status::OutOfMemory(
+            "apply_predicate: largest predicate's indexes do not fit");
+      }
+      return RunKeyedByPair(a, b, seq, fs, catalog, cluster, opts,
+                            "apply_predicate", units, filterable,
+                            IndexLoadSeconds(max_mem));
+    }
+    case ApplyMethod::kMapSide:
+      return RunMapSide(a, b, seq, fs, cluster, opts);
+    case ApplyMethod::kReduceSplit:
+      return RunReduceSplit(a, b, seq, fs, cluster, opts);
+  }
+  return Status::Internal("unknown apply method");
+}
+
+ApplyMethod SelectApplyMethod(const Table& a, const Table& b,
+                              const RuleSequence& raw_seq,
+                              const FeatureSet& fs,
+                              const IndexCatalog& catalog,
+                              const Cluster& cluster) {
+  RuleSequence seq = SimplifySequence(raw_seq);
+  CnfRule q = ToCnf(seq);
+  const size_t mapper_mem = cluster.config().mapper_memory_bytes;
+
+  std::vector<const CnfClause*> filterable;
+  for (const auto& clause : q.clauses) {
+    if (ClauseFilterable(clause, fs, catalog)) filterable.push_back(&clause);
+  }
+
+  if (!filterable.empty()) {
+    // Rule 1 (Section 10.1): if the most selective conjunct is almost as
+    // selective as Q itself, apply_greedy wins.
+    const CnfClause* best = MostSelectiveClause(filterable);
+    double sel_q = seq.selectivity;
+    if (best->selectivity > 0.0 && sel_q / best->selectivity > 0.8 &&
+        ClauseMemory(*best, fs, catalog) <= mapper_mem) {
+      return ApplyMethod::kApplyGreedy;
+    }
+    // Rule 2: prefer apply_all, then apply_conjunct, then apply_predicate,
+    // depending on what fits in a mapper.
+    auto needs = IndexBuilder::NeedsOfCnf(q, fs);
+    if (catalog.MemoryUsageFor(needs) <= mapper_mem) {
+      return ApplyMethod::kApplyAll;
+    }
+    bool any_clause_fits = false;
+    bool all_clauses_fit = true;
+    for (const CnfClause* c : filterable) {
+      bool fits = ClauseMemory(*c, fs, catalog) <= mapper_mem;
+      any_clause_fits |= fits;
+      all_clauses_fit &= fits;
+    }
+    if (all_clauses_fit && any_clause_fits) {
+      return ApplyMethod::kApplyConjunct;
+    }
+    bool all_predicates_fit = true;
+    for (const CnfClause* c : filterable) {
+      for (const auto& pred : c->predicates) {
+        all_predicates_fit &=
+            PredicateMemory(pred, fs, catalog) <= mapper_mem;
+      }
+    }
+    if (all_predicates_fit) return ApplyMethod::kApplyPredicate;
+  }
+  if (std::min(a.MemoryUsage(), b.MemoryUsage()) <= mapper_mem) {
+    return ApplyMethod::kMapSide;
+  }
+  return ApplyMethod::kReduceSplit;
+}
+
+}  // namespace falcon

@@ -1,0 +1,125 @@
+// Physical operators for apply_blocking_rules (Sections 7.3 and 10.1).
+//
+// Six implementations share one contract: given tables A and B, a rule
+// sequence R (rewritten internally to the positive CNF rule Q), and the index
+// catalog, produce every pair (a, b) in A x B that R does NOT drop — without
+// materializing A x B (except for the two prior-work baselines).
+//
+//   apply_all        all of Q's indexes in every mapper; candidates =
+//                    intersection over clauses of the per-clause filter
+//                    unions (Algorithm 1).
+//   apply_greedy     only the most selective clause's indexes in mappers;
+//                    reducers re-check with the full sequence.
+//   apply_conjunct   one mapper group per clause, each holding only that
+//                    clause's indexes; reducers intersect.
+//   apply_predicate  one mapper group per predicate; reducers combine per
+//                    the CNF structure.
+//   MapSide          prior work [27]: the smaller table in mapper memory,
+//                    enumerate A x B in mappers.
+//   ReduceSplit      prior work [27]: enumerate A x B, spread evenly over
+//                    reducers.
+//
+// Memory contract: each operator verifies its index (or table) residency
+// requirement against the cluster's mapper memory and fails with
+// OutOfMemory when violated — this drives the operator-selection rules of
+// Section 10.1 and the memory-sweep experiment of Section 11.2.
+#ifndef FALCON_BLOCKING_APPLY_H_
+#define FALCON_BLOCKING_APPLY_H_
+
+#include <limits>
+#include <vector>
+
+#include "blocking/filters.h"
+#include "mapreduce/cluster.h"
+#include "rules/rule.h"
+
+namespace falcon {
+
+/// A surviving candidate pair (row in A, row in B).
+using CandidatePair = std::pair<RowId, RowId>;
+
+enum class ApplyMethod {
+  kApplyAll,
+  kApplyGreedy,
+  kApplyConjunct,
+  kApplyPredicate,
+  kMapSide,
+  kReduceSplit,
+};
+
+const char* ApplyMethodName(ApplyMethod m);
+
+struct ApplyOptions {
+  /// Kill the operator if its projected virtual run time exceeds this bound
+  /// (models the paper's "had to be killed as they took forever" for the
+  /// baselines on large tables). Projection is sample-based.
+  VDuration virtual_time_limit =
+      VDuration::Seconds(std::numeric_limits<double>::infinity());
+  /// Intermediate-output optimization (Section 7.3, optimization 2): ship
+  /// only B-row ids to reducers when an id->tuple index of B fits in reducer
+  /// memory. kAuto applies the paper's rule; kOn/kOff force it.
+  enum class ShipIds { kAuto, kOn, kOff };
+  ShipIds ship_ids = ShipIds::kAuto;
+};
+
+struct ApplyResult {
+  std::vector<CandidatePair> pairs;
+  /// Virtual duration of all jobs this operator ran.
+  VDuration time;
+  /// Stats of the main job (for the speculative-execution timeline).
+  JobStats main_job;
+  /// Candidate pairs examined by reducers (filter effectiveness metric).
+  size_t candidates_examined = 0;
+};
+
+/// Evaluates a rule sequence on raw tuple pairs with per-pair feature
+/// memoization (Section 7.3, optimization 3 is applied to the sequence
+/// beforehand via SimplifySequence).
+class RuleApplier {
+ public:
+  RuleApplier(const RuleSequence& seq, const FeatureSet* fs, const Table* a,
+              const Table* b);
+
+  /// True if the sequence does NOT drop (a_row, b_row).
+  bool Keep(RowId a_row, RowId b_row) const;
+
+  /// Features referenced by the sequence (unique global ids).
+  const std::vector<int>& feature_ids() const { return feature_ids_; }
+
+ private:
+  struct BoundPredicate {
+    int slot;  ///< index into the memoized value array
+    int feature_id;
+    PredOp op;
+    double value;
+  };
+  std::vector<std::vector<BoundPredicate>> rules_;
+  std::vector<int> feature_ids_;
+  const FeatureSet* fs_;
+  const Table* a_;
+  const Table* b_;
+  mutable std::vector<double> slot_values_;
+  mutable std::vector<char> slot_computed_;
+};
+
+/// Runs one physical operator. The rule sequence is simplified internally.
+Result<ApplyResult> ApplyBlockingRules(const Table& a, const Table& b,
+                                       const RuleSequence& seq,
+                                       const FeatureSet& fs,
+                                       const IndexCatalog& catalog,
+                                       Cluster* cluster, ApplyMethod method,
+                                       const ApplyOptions& opts = {});
+
+/// Section 10.1 operator selection: picks apply_greedy when the most
+/// selective conjunct is nearly as selective as Q (ratio > 0.8); otherwise
+/// the first of apply_all / apply_conjunct / apply_predicate whose indexes
+/// fit in mapper memory; otherwise MapSide if the smaller table fits;
+/// otherwise ReduceSplit.
+ApplyMethod SelectApplyMethod(const Table& a, const Table& b,
+                              const RuleSequence& seq, const FeatureSet& fs,
+                              const IndexCatalog& catalog,
+                              const Cluster& cluster);
+
+}  // namespace falcon
+
+#endif  // FALCON_BLOCKING_APPLY_H_

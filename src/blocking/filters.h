@@ -1,0 +1,174 @@
+// Filters and index probing for blocking rules (Sections 7.2-7.4, Alg. 1).
+//
+// Each keep-predicate of the positive CNF rule Q is assigned filters:
+//   - equivalence filter (hash index)       exact_match
+//   - range filter (B+tree index)           abs_diff / rel_diff
+//   - length filter (length index)          Jaccard / Dice / cosine
+//   - prefix filter (inverted index)        Jaccard / Dice / cosine /
+//                                           overlap / Levenshtein
+//   - position filter (postings positions)  Jaccard / Dice / cosine
+// A filter is a necessary condition: if it rejects (a,b), the predicate
+// cannot hold; survivors still get the full rule sequence applied.
+//
+// Missing values: an A-row with a missing value for a predicate's attribute
+// is appended to every probe result (its predicate might hold vacuously —
+// NaN cannot prove a non-match); a B-row with a missing value makes the
+// predicate unfilterable for that row (candidates = all of A).
+//
+// Unlike per-threshold prefix indexes, the inverted index stores the FULL
+// reordered token list of every A-row with positions. One index therefore
+// serves every predicate over the same (attribute, tokenization); the
+// index-side prefix bound is enforced at probe time from the posting's
+// position and set size. This mirrors Falcon's reuse of one index across the
+// 20 candidate rules during masking (Section 10.2).
+#ifndef FALCON_BLOCKING_FILTERS_H_
+#define FALCON_BLOCKING_FILTERS_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "index/btree_index.h"
+#include "index/hash_index.h"
+#include "index/inverted_index.h"
+#include "index/length_index.h"
+#include "index/token_ordering.h"
+#include "rules/rule.h"
+#include "table/table.h"
+
+namespace falcon {
+
+/// All token-derived indexes for one (A attribute, tokenization).
+struct TokenIndexBundle {
+  TokenOrdering ordering;
+  InvertedIndex inverted;
+  LengthIndex lengths;
+
+  size_t MemoryUsage() const {
+    return ordering.MemoryUsage() + inverted.MemoryUsage() +
+           lengths.MemoryUsage();
+  }
+};
+
+/// The kinds of indexes a predicate may need. kTokenOrdering is not used by
+/// predicates directly; it names the global token ordering (MR jobs 1-2 of
+/// Section 7.5) that the masking optimizer prebuilds while al_matcher
+/// crowdsources, before the blocking rules are known.
+enum class IndexKind { kNone, kHash, kBTree, kToken, kTokenOrdering };
+
+/// What one predicate needs from the catalog.
+struct IndexNeed {
+  IndexKind kind = IndexKind::kNone;
+  int col_a = -1;
+  Tokenization tok = Tokenization::kWord;
+
+  bool operator<(const IndexNeed& o) const {
+    if (kind != o.kind) return kind < o.kind;
+    if (col_a != o.col_a) return col_a < o.col_a;
+    return tok < o.tok;
+  }
+  bool operator==(const IndexNeed& o) const {
+    return kind == o.kind && col_a == o.col_a && tok == o.tok;
+  }
+};
+
+/// Classifies a keep-predicate: which index it needs (kNone = unfilterable,
+/// the predicate passes every pair).
+IndexNeed ClassifyPredicate(const Predicate& pred, const FeatureSet& fs);
+
+/// Holds the indexes built so far over table A.
+class IndexCatalog {
+ public:
+  const HashIndex* hash(int col_a) const;
+  const BTreeIndex* btree(int col_a) const;
+  const TokenIndexBundle* tokens(int col_a, Tokenization tok) const;
+  /// Standalone ordering (pre-built during masking); bundles carry their own.
+  const TokenOrdering* ordering(int col_a, Tokenization tok) const;
+
+  bool Has(const IndexNeed& need) const;
+  void PutHash(int col_a, HashIndex idx);
+  void PutBTree(int col_a, BTreeIndex idx);
+  void PutTokens(int col_a, Tokenization tok, TokenIndexBundle bundle);
+  void PutOrdering(int col_a, Tokenization tok, TokenOrdering ordering);
+
+  /// Memory footprint of the indexes satisfying `needs` (0 for kNone needs;
+  /// missing indexes contribute 0 — call Has() first).
+  size_t MemoryUsageFor(const std::vector<IndexNeed>& needs) const;
+  size_t TotalMemoryUsage() const;
+
+ private:
+  std::map<int, HashIndex> hash_;
+  std::map<int, BTreeIndex> btree_;
+  std::map<std::pair<int, int>, TokenIndexBundle> tokens_;
+  std::map<std::pair<int, int>, TokenOrdering> orderings_;
+};
+
+/// Result of probing: either an explicit candidate row list or "all of A".
+struct CandidateSet {
+  bool all = false;
+  std::vector<RowId> rows;
+};
+
+/// Probes the catalog's filters for candidate A-rows, per B-row.
+///
+/// A ClauseProber is bound to one (catalog, feature set, |A|) and reused
+/// across B-rows; it caches the tokenization of the current B-row.
+class ClauseProber {
+ public:
+  ClauseProber(const IndexCatalog* catalog, const FeatureSet* fs,
+               size_t num_a_rows)
+      : catalog_(catalog), fs_(fs), num_a_rows_(num_a_rows) {}
+
+  /// FindProbableCandidates of Algorithm 1: A-rows that may satisfy `pred`
+  /// against B-row `b`. `all` if the predicate is unfilterable (for this b).
+  CandidateSet ProbePredicate(const Predicate& pred, const Table& b_table,
+                              RowId b) const;
+
+  /// Union over the clause's predicates.
+  CandidateSet ProbeClause(const CnfClause& clause, const Table& b_table,
+                           RowId b) const;
+
+  /// True if the clause can filter for this B-row (no unfilterable
+  /// predicate, no missing B value among its predicates' attributes).
+  bool ClauseActive(const CnfClause& clause, const Table& b_table,
+                    RowId b) const;
+
+  /// Intersection over all active clauses of the CNF rule; `all` if no
+  /// clause is active.
+  CandidateSet ProbeRule(const CnfRule& rule, const Table& b_table,
+                         RowId b) const;
+
+  size_t num_a_rows() const { return num_a_rows_; }
+
+ private:
+  const std::vector<std::string>& TokensFor(const Table& b_table, RowId b,
+                                            int col_b, Tokenization tok,
+                                            const TokenOrdering& ord) const;
+
+  const IndexCatalog* catalog_;
+  const FeatureSet* fs_;
+  size_t num_a_rows_;
+
+  // Per-B-row caches; ClauseProber is used from single-threaded map tasks.
+  mutable RowId cached_b_ = static_cast<RowId>(-1);
+  mutable std::map<std::pair<int, int>, std::vector<std::string>>
+      token_cache_;
+  // Stamp-based dedup/intersection scratch.
+  mutable std::vector<uint32_t> stamps_;
+  mutable std::vector<uint32_t> counts_;
+  mutable uint32_t epoch_ = 0;
+};
+
+/// Required overlap alpha(x, y) for set-based predicates (ceil applied);
+/// returns 1 for functions without a usable count bound (overlap,
+/// Levenshtein). Exposed for tests.
+size_t RequiredOverlap(SimFunction fn, double t, size_t x, size_t y);
+
+/// Bounds [lo, hi] on |X| given |Y| = y for sim >= t; {1, SIZE_MAX} when the
+/// function admits no length bound. Exposed for tests.
+std::pair<size_t, size_t> LengthBounds(SimFunction fn, double t, size_t y);
+
+}  // namespace falcon
+
+#endif  // FALCON_BLOCKING_FILTERS_H_

@@ -1,0 +1,207 @@
+#include "blocking/index_builder.h"
+
+#include <algorithm>
+#include <set>
+
+#include "mapreduce/job.h"
+#include "text/tokenize.h"
+
+namespace falcon {
+namespace {
+
+void AddNeed(const Predicate& keep_pred, const FeatureSet& fs,
+             std::set<IndexNeed>* needs) {
+  IndexNeed need = ClassifyPredicate(keep_pred, fs);
+  if (need.kind != IndexKind::kNone) needs->insert(need);
+}
+
+}  // namespace
+
+std::vector<IndexNeed> IndexBuilder::NeedsOfCnf(const CnfRule& rule,
+                                                const FeatureSet& fs) {
+  std::set<IndexNeed> needs;
+  for (const auto& clause : rule.clauses) {
+    for (const auto& pred : clause.predicates) AddNeed(pred, fs, &needs);
+  }
+  return {needs.begin(), needs.end()};
+}
+
+std::vector<IndexNeed> IndexBuilder::NeedsOfRule(const Rule& rule,
+                                                 const FeatureSet& fs) {
+  RuleSequence seq;
+  seq.rules.push_back(rule);
+  return NeedsOfCnf(ToCnf(seq), fs);
+}
+
+std::vector<IndexNeed> IndexBuilder::GenericNeeds(const FeatureSet& fs) {
+  std::set<IndexNeed> needs;
+  std::set<int> seen_cols;
+  for (const Feature& f : fs.features()) {
+    if (!f.usable_for_blocking) continue;
+    switch (f.fn) {
+      case SimFunction::kExactMatch:
+        needs.insert({IndexKind::kHash, f.col_a, f.tok});
+        break;
+      case SimFunction::kAbsDiff:
+      case SimFunction::kRelDiff:
+        needs.insert({IndexKind::kBTree, f.col_a, f.tok});
+        break;
+      case SimFunction::kJaccard:
+      case SimFunction::kDice:
+      case SimFunction::kOverlap:
+      case SimFunction::kCosine:
+        needs.insert({IndexKind::kTokenOrdering, f.col_a, f.tok});
+        break;
+      case SimFunction::kLevenshtein:
+        needs.insert(
+            {IndexKind::kTokenOrdering, f.col_a, Tokenization::kQgram3});
+        break;
+      default:
+        break;
+    }
+    seen_cols.insert(f.col_a);
+  }
+  return {needs.begin(), needs.end()};
+}
+
+VDuration IndexBuilder::Ensure(const std::vector<IndexNeed>& needs,
+                               IndexCatalog* catalog) {
+  VDuration spent = VDuration::Zero();
+  for (const auto& need : needs) {
+    if (need.kind == IndexKind::kNone || catalog->Has(need)) continue;
+    switch (need.kind) {
+      case IndexKind::kHash:
+        spent += BuildHash(need.col_a, catalog);
+        break;
+      case IndexKind::kBTree:
+        spent += BuildBTree(need.col_a, catalog);
+        break;
+      case IndexKind::kTokenOrdering:
+        spent += BuildOrdering(need.col_a, need.tok, catalog);
+        break;
+      case IndexKind::kToken:
+        spent += BuildTokenBundle(need.col_a, need.tok, catalog);
+        break;
+      case IndexKind::kNone:
+        break;
+    }
+  }
+  return spent;
+}
+
+VDuration IndexBuilder::BuildHash(int col_a, IndexCatalog* catalog) {
+  // Map-only job: each map task scans its split of A and inserts into the
+  // (shared, single-threaded) index.
+  HashIndex idx;
+  std::vector<RowId> rows(a_->num_rows());
+  for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
+  auto result = RunMapOnly<RowId, int>(
+      cluster_, rows,
+      {.name = "build-hash(col" + std::to_string(col_a) + ")"},
+      [&](const RowId& r, std::vector<int>*) {
+        idx.Insert(a_->Get(r, col_a), r);
+      });
+  catalog->PutHash(col_a, std::move(idx));
+  return result.stats.Total();
+}
+
+VDuration IndexBuilder::BuildBTree(int col_a, IndexCatalog* catalog) {
+  BTreeIndex idx;
+  std::vector<RowId> rows(a_->num_rows());
+  for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
+  auto result = RunMapOnly<RowId, int>(
+      cluster_, rows,
+      {.name = "build-btree(col" + std::to_string(col_a) + ")"},
+      [&](const RowId& r, std::vector<int>*) {
+        double v = a_->GetNumeric(r, col_a);
+        if (std::isnan(v)) return;
+        idx.Insert(v, r);
+      });
+  // NaN rows are tracked as missing (outside the measured insert loop they
+  // are cheap to collect).
+  for (RowId r = 0; r < a_->num_rows(); ++r) {
+    if (std::isnan(a_->GetNumeric(r, col_a))) idx.AddMissing(r);
+  }
+  catalog->PutBTree(col_a, std::move(idx));
+  return result.stats.Total();
+}
+
+VDuration IndexBuilder::BuildOrdering(int col_a, Tokenization tok,
+                                      IndexCatalog* catalog) {
+  VDuration spent = VDuration::Zero();
+  std::vector<RowId> rows(a_->num_rows());
+  for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
+
+  // MR job 1: token frequency counting over A.
+  std::unordered_map<std::string, uint64_t> freq;
+  auto job1 = RunMapReduce<RowId, std::string, uint32_t, int>(
+      cluster_, rows,
+      {.name = "token-freq(col" + std::to_string(col_a) + "," +
+               TokenizationName(tok) + ")"},
+      [&](const RowId& r, Emitter<std::string, uint32_t>* em) {
+        if (a_->IsMissing(r, col_a)) return;
+        for (auto& t : ToTokenSet(Tokenize(a_->Get(r, col_a), tok))) {
+          em->Emit(std::move(t), 1);
+        }
+      },
+      [&](const std::string& token, const std::vector<uint32_t>& ones,
+          std::vector<int>*) { freq[token] += ones.size(); });
+  spent += job1.stats.Total();
+
+  // MR job 2: global sort of tokens by frequency. A single reducer performs
+  // the sort; model its cost by actually building the ordering inside.
+  TokenOrdering ordering;
+  std::vector<int> one{0};
+  auto job2 = RunMapOnly<int, int>(
+      cluster_, one,
+      {.name = "token-sort(col" + std::to_string(col_a) + ")",
+       .num_splits = 1},
+      [&](const int&, std::vector<int>*) {
+        ordering = TokenOrdering::FromFrequencies(freq);
+      });
+  spent += job2.stats.Total();
+
+  catalog->PutOrdering(col_a, tok, std::move(ordering));
+  return spent;
+}
+
+VDuration IndexBuilder::BuildTokenBundle(int col_a, Tokenization tok,
+                                         IndexCatalog* catalog) {
+  VDuration spent = VDuration::Zero();
+  // Jobs 1-2 (ordering) may have been prebuilt during masking.
+  if (catalog->ordering(col_a, tok) == nullptr) {
+    spent += BuildOrdering(col_a, tok, catalog);
+  }
+  TokenIndexBundle bundle;
+  bundle.ordering = *catalog->ordering(col_a, tok);
+
+  // MR job 3: tokenize/reorder every A-row; build the inverted index (full
+  // reordered token list with positions) and the length index.
+  std::vector<RowId> rows(a_->num_rows());
+  for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
+  auto job3 = RunMapOnly<RowId, int>(
+      cluster_, rows,
+      {.name = "build-inverted(col" + std::to_string(col_a) + "," +
+               TokenizationName(tok) + ")"},
+      [&](const RowId& r, std::vector<int>*) {
+        if (a_->IsMissing(r, col_a)) {
+          bundle.inverted.AddMissing(r);
+          bundle.lengths.Add(0, r);
+          return;
+        }
+        auto tokens = ToTokenSet(Tokenize(a_->Get(r, col_a), tok));
+        bundle.ordering.Sort(&tokens);
+        bundle.lengths.Add(static_cast<uint32_t>(tokens.size()), r);
+        if (tokens.empty()) {
+          bundle.inverted.AddMissing(r);
+        } else {
+          bundle.inverted.AddPrefix(r, tokens,
+                                    static_cast<uint32_t>(tokens.size()));
+        }
+      });
+  spent += job3.stats.Total();
+  catalog->PutTokens(col_a, tok, std::move(bundle));
+  return spent;
+}
+
+}  // namespace falcon

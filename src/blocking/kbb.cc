@@ -1,0 +1,77 @@
+#include "blocking/kbb.h"
+
+#include "common/strings.h"
+#include "mapreduce/job.h"
+#include "text/tokenize.h"
+
+namespace falcon {
+namespace {
+
+struct TaggedRow {
+  bool from_a;
+  RowId row;
+};
+
+KbbResult RunKeyed(const Table& a, const Table& b, Cluster* cluster,
+                   const char* name,
+                   const std::function<std::string(const Table&, RowId,
+                                                   bool)>& key_of) {
+  std::vector<TaggedRow> input;
+  input.reserve(a.num_rows() + b.num_rows());
+  for (RowId r = 0; r < a.num_rows(); ++r) input.push_back({true, r});
+  for (RowId r = 0; r < b.num_rows(); ++r) input.push_back({false, r});
+
+  KbbResult result;
+  auto job = RunMapReduce<TaggedRow, std::string, int64_t, CandidatePair>(
+      cluster, input, {.name = name},
+      [&](const TaggedRow& rec, Emitter<std::string, int64_t>* em) {
+        std::string key =
+            key_of(rec.from_a ? a : b, rec.row, rec.from_a);
+        if (key.empty()) return;  // missing key: tuple joins no block
+        // Tag the table in the sign bit.
+        int64_t v = rec.from_a ? static_cast<int64_t>(rec.row)
+                               : -static_cast<int64_t>(rec.row) - 1;
+        em->Emit(std::move(key), v);
+      },
+      [&](const std::string&, const std::vector<int64_t>& vals,
+          std::vector<CandidatePair>* out) {
+        std::vector<RowId> as;
+        std::vector<RowId> bs;
+        for (int64_t v : vals) {
+          if (v >= 0) {
+            as.push_back(static_cast<RowId>(v));
+          } else {
+            bs.push_back(static_cast<RowId>(-v - 1));
+          }
+        }
+        for (RowId ar : as) {
+          for (RowId br : bs) out->emplace_back(ar, br);
+        }
+      });
+  result.pairs = std::move(job.output);
+  result.time = job.stats.Total();
+  return result;
+}
+
+}  // namespace
+
+KbbResult KeyBasedBlocking(const Table& a, const Table& b, size_t col_a,
+                           size_t col_b, Cluster* cluster) {
+  return RunKeyed(a, b, cluster, "kbb-exact",
+                  [col_a, col_b](const Table& t, RowId r, bool from_a) {
+                    size_t col = from_a ? col_a : col_b;
+                    return ToLower(Trim(t.Get(r, col)));
+                  });
+}
+
+KbbResult FirstTokenBlocking(const Table& a, const Table& b, size_t col_a,
+                             size_t col_b, Cluster* cluster) {
+  return RunKeyed(a, b, cluster, "kbb-first-token",
+                  [col_a, col_b](const Table& t, RowId r, bool from_a) {
+                    size_t col = from_a ? col_a : col_b;
+                    auto tokens = WordTokens(t.Get(r, col));
+                    return tokens.empty() ? std::string() : tokens[0];
+                  });
+}
+
+}  // namespace falcon

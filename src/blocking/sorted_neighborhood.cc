@@ -1,0 +1,65 @@
+#include "blocking/sorted_neighborhood.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "mapreduce/job.h"
+
+namespace falcon {
+
+SnbResult SortedNeighborhoodBlocking(const Table& a, const Table& b,
+                                     size_t col_a, size_t col_b,
+                                     size_t window_size, Cluster* cluster) {
+  struct TaggedRow {
+    bool from_a;
+    RowId row;
+  };
+  std::vector<TaggedRow> input;
+  input.reserve(a.num_rows() + b.num_rows());
+  for (RowId r = 0; r < a.num_rows(); ++r) input.push_back({true, r});
+  for (RowId r = 0; r < b.num_rows(); ++r) input.push_back({false, r});
+
+  SnbResult result;
+  window_size = std::max<size_t>(window_size, 2);
+  auto job = RunMapReduce<TaggedRow, int, std::pair<std::string, int64_t>,
+                          CandidatePair>(
+      cluster, input, {.name = "sorted-neighborhood", .num_reducers = 1},
+      [&](const TaggedRow& rec, Emitter<int, std::pair<std::string, int64_t>>*
+                                    em) {
+        const Table& t = rec.from_a ? a : b;
+        size_t col = rec.from_a ? col_a : col_b;
+        std::string key = ToLower(Trim(t.Get(rec.row, col)));
+        int64_t tagged = rec.from_a ? static_cast<int64_t>(rec.row)
+                                    : -static_cast<int64_t>(rec.row) - 1;
+        em->Emit(0, {std::move(key), tagged});
+      },
+      [&](const int&, const std::vector<std::pair<std::string, int64_t>>&
+                          vals,
+          std::vector<CandidatePair>* out) {
+        std::vector<std::pair<std::string, int64_t>> sorted = vals;
+        std::sort(sorted.begin(), sorted.end());
+        // Slide the window; emit every cross-table pair inside it exactly
+        // once (pairing each element with its predecessors in the window).
+        for (size_t i = 0; i < sorted.size(); ++i) {
+          size_t lo = i >= window_size - 1 ? i - (window_size - 1) : 0;
+          for (size_t j = lo; j < i; ++j) {
+            int64_t x = sorted[j].second;
+            int64_t y = sorted[i].second;
+            if ((x >= 0) == (y >= 0)) continue;  // same table
+            int64_t av = x >= 0 ? x : y;
+            int64_t bv = x >= 0 ? y : x;
+            out->emplace_back(static_cast<RowId>(av),
+                              static_cast<RowId>(-bv - 1));
+          }
+        }
+      });
+  // Deduplicate (windows can revisit a pair only if keys tie; cheap guard).
+  std::sort(job.output.begin(), job.output.end());
+  job.output.erase(std::unique(job.output.begin(), job.output.end()),
+                   job.output.end());
+  result.pairs = std::move(job.output);
+  result.time = job.stats.Total();
+  return result;
+}
+
+}  // namespace falcon

@@ -1,0 +1,36 @@
+// Sorted-neighborhood blocking (SNB) baseline.
+//
+// The paper cites parallel sorted-neighborhood blocking [28] as a
+// complementary method "potentially used in future versions of Falcon".
+// This baseline sorts both tables' tuples by a sorting key and considers
+// only pairs within a sliding window of the merged order. Like KBB it is
+// fast, and like KBB it silently loses matches whose keys sort far apart
+// (typos in the key prefix are fatal); the sec32 bench quantifies that
+// against rule-based blocking.
+#ifndef FALCON_BLOCKING_SORTED_NEIGHBORHOOD_H_
+#define FALCON_BLOCKING_SORTED_NEIGHBORHOOD_H_
+
+#include "blocking/apply.h"
+#include "mapreduce/cluster.h"
+#include "table/table.h"
+
+namespace falcon {
+
+struct SnbResult {
+  std::vector<CandidatePair> pairs;
+  VDuration time;
+};
+
+/// Sorts the union of A and B rows by the lowercased value of the key
+/// attribute and emits every (a, b) pair co-occurring within a window of
+/// `window_size` consecutive tuples. Missing keys sort first (they still
+/// meet only their window's neighbors). Executed as one MapReduce job whose
+/// single reducer performs the global sort-merge (as in the original
+/// sorted-neighborhood method).
+SnbResult SortedNeighborhoodBlocking(const Table& a, const Table& b,
+                                     size_t col_a, size_t col_b,
+                                     size_t window_size, Cluster* cluster);
+
+}  // namespace falcon
+
+#endif  // FALCON_BLOCKING_SORTED_NEIGHBORHOOD_H_

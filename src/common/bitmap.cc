@@ -1,0 +1,46 @@
+#include "common/bitmap.h"
+
+#include <bit>
+#include <cassert>
+
+namespace falcon {
+
+size_t Bitmap::Count() const {
+  size_t c = 0;
+  for (uint64_t w : words_) c += static_cast<size_t>(std::popcount(w));
+  return c;
+}
+
+void Bitmap::OrWith(const Bitmap& other) {
+  assert(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+}
+
+void Bitmap::AndWith(const Bitmap& other) {
+  assert(nbits_ == other.nbits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+}
+
+size_t Bitmap::OrCount(const Bitmap& other) const {
+  assert(nbits_ == other.nbits_);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(std::popcount(words_[i] | other.words_[i]));
+  }
+  return c;
+}
+
+size_t Bitmap::AndCount(const Bitmap& other) const {
+  assert(nbits_ == other.nbits_);
+  size_t c = 0;
+  for (size_t i = 0; i < words_.size(); ++i) {
+    c += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+  }
+  return c;
+}
+
+void Bitmap::Reset() {
+  for (auto& w : words_) w = 0;
+}
+
+}  // namespace falcon

@@ -1,0 +1,60 @@
+// Fixed-size bitmaps.
+//
+// Falcon maintains, for every candidate blocking rule R, the coverage
+// cov(R, S) over the learning sample S as a bitmap of |S| bits (Section 6 of
+// the paper); sequence coverages are computed by OR-ing rule bitmaps.
+#ifndef FALCON_COMMON_BITMAP_H_
+#define FALCON_COMMON_BITMAP_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace falcon {
+
+/// A fixed-size bitmap with word-parallel bulk operations.
+class Bitmap {
+ public:
+  Bitmap() = default;
+  /// Creates a bitmap of `nbits` bits, all clear.
+  explicit Bitmap(size_t nbits)
+      : nbits_(nbits), words_((nbits + 63) / 64, 0) {}
+
+  size_t size() const { return nbits_; }
+
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & uint64_t{1};
+  }
+
+  /// Number of set bits.
+  size_t Count() const;
+
+  /// this |= other. Precondition: equal sizes.
+  void OrWith(const Bitmap& other);
+  /// this &= other. Precondition: equal sizes.
+  void AndWith(const Bitmap& other);
+  /// Count of set bits in (this | other) without materializing it.
+  size_t OrCount(const Bitmap& other) const;
+  /// Count of set bits in (this & other) without materializing it.
+  size_t AndCount(const Bitmap& other) const;
+
+  /// Sets all bits to zero.
+  void Reset();
+
+  bool operator==(const Bitmap& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const { return words_.capacity() * sizeof(uint64_t); }
+
+ private:
+  size_t nbits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_BITMAP_H_

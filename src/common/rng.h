@@ -1,0 +1,72 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in Falcon (sampling, forest training, the crowd
+// simulator, workload generators) draws from an explicitly seeded Rng so that
+// experiments are reproducible: the paper's "three runs per data set" map to
+// three seeds.
+#ifndef FALCON_COMMON_RNG_H_
+#define FALCON_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace falcon {
+
+/// A small, fast, deterministic PRNG (xoshiro256** seeded via SplitMix64).
+///
+/// Not cryptographically secure; intended for simulation reproducibility.
+class Rng {
+ public:
+  /// Seeds the generator. Equal seeds yield equal streams on all platforms.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) { Seed(seed); }
+
+  /// Re-seeds the generator.
+  void Seed(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t Next64();
+
+  /// Uniform integer in [0, bound). Precondition: bound > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform integer in [lo, hi] inclusive. Precondition: lo <= hi.
+  int64_t NextInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Normally distributed value (Box-Muller).
+  double NextGaussian(double mean = 0.0, double stddev = 1.0);
+
+  /// Returns true with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    if (v->empty()) return;
+    for (size_t i = v->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(NextBelow(i + 1));
+      std::swap((*v)[i], (*v)[j]);
+    }
+  }
+
+  /// Samples k distinct indices from [0, n) without replacement.
+  /// If k >= n, returns all n indices in random order.
+  std::vector<size_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  /// Derives an independent child generator (for parallel components that
+  /// must not share a stream).
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_RNG_H_

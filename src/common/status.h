@@ -1,0 +1,142 @@
+// Status/Result error model for the Falcon library.
+//
+// Public Falcon APIs do not throw exceptions; fallible operations return
+// Status (no payload) or Result<T> (payload or error), following the
+// Arrow/RocksDB idiom.
+#ifndef FALCON_COMMON_STATUS_H_
+#define FALCON_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace falcon {
+
+/// Machine-readable category of a Status.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfMemory,      ///< a simulated memory budget was exceeded
+  kBudgetExhausted,  ///< the crowdsourcing budget ledger ran dry
+  kCancelled,        ///< a job was killed (e.g. speculative execution)
+  kIoError,
+  kInternal,
+};
+
+/// Returns a short human-readable name for a StatusCode ("OK", "NotFound"...).
+const char* StatusCodeName(StatusCode code);
+
+/// Outcome of a fallible operation with no payload.
+///
+/// A Status is cheap to copy in the OK case (empty message string) and
+/// carries a code plus a context message otherwise.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string msg)
+      : code_(code), msg_(std::move(msg)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status BudgetExhausted(std::string msg) {
+    return Status(StatusCode::kBudgetExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && msg_ == other.msg_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string msg_;
+};
+
+/// Outcome of a fallible operation that yields a T on success.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: `return some_t;`.
+  Result(T value) : v_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit from error status: `return Status::NotFound(...)`.
+  Result(Status status) : v_(std::move(status)) {  // NOLINT(runtime/explicit)
+    assert(!std::get<Status>(v_).ok() && "Result built from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(v_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(v_);
+  }
+
+  /// Precondition: ok().
+  T& value() & {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(v_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(v_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> v_;
+};
+
+/// Propagates a non-OK Status out of the enclosing function.
+#define FALCON_RETURN_NOT_OK(expr)            \
+  do {                                        \
+    ::falcon::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                \
+  } while (0)
+
+/// Assigns the value of a Result expression to `lhs`, propagating errors.
+#define FALCON_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto FALCON_CONCAT_(_res, __LINE__) = (expr);    \
+  if (!FALCON_CONCAT_(_res, __LINE__).ok())        \
+    return FALCON_CONCAT_(_res, __LINE__).status(); \
+  lhs = std::move(FALCON_CONCAT_(_res, __LINE__)).value()
+
+#define FALCON_CONCAT_IMPL_(a, b) a##b
+#define FALCON_CONCAT_(a, b) FALCON_CONCAT_IMPL_(a, b)
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_STATUS_H_

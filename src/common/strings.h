@@ -1,0 +1,32 @@
+// Small string utilities shared across modules.
+#ifndef FALCON_COMMON_STRINGS_H_
+#define FALCON_COMMON_STRINGS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace falcon {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// ASCII-lowercases a copy of `s`.
+std::string ToLower(std::string_view s);
+
+/// Strips leading/trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// True if `s` parses fully as a finite double.
+bool ParseDouble(std::string_view s, double* out);
+
+/// Formats a double with `digits` decimal places.
+std::string FormatDouble(double v, int digits);
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_STRINGS_H_

@@ -1,0 +1,45 @@
+#include "common/vtime.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace falcon {
+
+std::string VDuration::ToString() const {
+  double s = seconds;
+  char buf[96];
+  if (s < 0) {
+    VDuration pos(-s);
+    return "-" + pos.ToString();
+  }
+  if (s < 1.0) {
+    std::snprintf(buf, sizeof(buf), "%.0fms", s * 1000.0);
+    return buf;
+  }
+  int64_t total = static_cast<int64_t>(std::llround(s));
+  int64_t h = total / 3600;
+  int64_t m = (total % 3600) / 60;
+  int64_t sec = total % 60;
+  if (h > 0) {
+    if (sec > 0) {
+      std::snprintf(buf, sizeof(buf), "%lldh %lldm %llds",
+                    static_cast<long long>(h), static_cast<long long>(m),
+                    static_cast<long long>(sec));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%lldh %lldm",
+                    static_cast<long long>(h), static_cast<long long>(m));
+    }
+  } else if (m > 0) {
+    if (sec > 0) {
+      std::snprintf(buf, sizeof(buf), "%lldm %llds",
+                    static_cast<long long>(m), static_cast<long long>(sec));
+    } else {
+      std::snprintf(buf, sizeof(buf), "%lldm", static_cast<long long>(m));
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llds", static_cast<long long>(sec));
+  }
+  return buf;
+}
+
+}  // namespace falcon

@@ -1,0 +1,77 @@
+// Virtual time.
+//
+// Falcon's headline optimization is "using crowd time to mask machine time"
+// (Section 10.2 of the paper): machine work is scheduled on an otherwise idle
+// cluster while the crowd is labeling. Reproducing the paper's time accounting
+// (crowd time, machine time, total time, unmasked machine time) requires a
+// timeline that both crowd latency and simulated-cluster job durations are
+// charged against. VDuration/VTime are the units of that timeline.
+#ifndef FALCON_COMMON_VTIME_H_
+#define FALCON_COMMON_VTIME_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+
+namespace falcon {
+
+/// A span of virtual time, in seconds. Plain double wrapped for clarity.
+struct VDuration {
+  double seconds = 0.0;
+
+  constexpr VDuration() = default;
+  constexpr explicit VDuration(double s) : seconds(s) {}
+
+  static constexpr VDuration Zero() { return VDuration(0.0); }
+  static constexpr VDuration Seconds(double s) { return VDuration(s); }
+  static constexpr VDuration Minutes(double m) { return VDuration(m * 60.0); }
+  static constexpr VDuration Hours(double h) { return VDuration(h * 3600.0); }
+
+  VDuration& operator+=(VDuration d) {
+    seconds += d.seconds;
+    return *this;
+  }
+  VDuration& operator-=(VDuration d) {
+    seconds -= d.seconds;
+    return *this;
+  }
+  friend VDuration operator+(VDuration a, VDuration b) {
+    return VDuration(a.seconds + b.seconds);
+  }
+  friend VDuration operator-(VDuration a, VDuration b) {
+    return VDuration(a.seconds - b.seconds);
+  }
+  friend VDuration operator*(VDuration a, double k) {
+    return VDuration(a.seconds * k);
+  }
+  friend VDuration operator*(double k, VDuration a) { return a * k; }
+  friend bool operator<(VDuration a, VDuration b) {
+    return a.seconds < b.seconds;
+  }
+  friend bool operator>(VDuration a, VDuration b) {
+    return a.seconds > b.seconds;
+  }
+  friend bool operator<=(VDuration a, VDuration b) {
+    return a.seconds <= b.seconds;
+  }
+  friend bool operator>=(VDuration a, VDuration b) {
+    return a.seconds >= b.seconds;
+  }
+  friend bool operator==(VDuration a, VDuration b) {
+    return a.seconds == b.seconds;
+  }
+
+  /// Formats as "1h 4m 1s" / "5m 7s" / "130ms", mirroring the paper's tables.
+  std::string ToString() const;
+};
+
+inline VDuration Max(VDuration a, VDuration b) {
+  return a.seconds >= b.seconds ? a : b;
+}
+inline VDuration Min(VDuration a, VDuration b) {
+  return a.seconds <= b.seconds ? a : b;
+}
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_VTIME_H_

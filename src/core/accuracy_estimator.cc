@@ -1,0 +1,115 @@
+#include "core/accuracy_estimator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/eval_rules.h"  // ZValue
+
+namespace falcon {
+namespace {
+
+/// Normal margin for a proportion p over n of N (finite-population
+/// corrected).
+double Margin(double z, double p, size_t n, size_t population) {
+  if (n == 0) return 1.0;
+  double fpc = population <= 1
+                   ? 0.0
+                   : static_cast<double>(population - n) /
+                         static_cast<double>(population - 1);
+  fpc = std::max(fpc, 0.0);
+  return z * std::sqrt(p * (1.0 - p) / static_cast<double>(n) * fpc);
+}
+
+}  // namespace
+
+Result<AccuracyEstimate> EstimateAccuracy(
+    const std::vector<CandidatePair>& candidates,
+    const std::vector<char>& predictions, CrowdPlatform* crowd,
+    const AccuracyEstimatorOptions& options, Rng* rng) {
+  if (candidates.size() != predictions.size()) {
+    return Status::InvalidArgument(
+        "estimate_accuracy: candidates/predictions size mismatch");
+  }
+  std::vector<uint32_t> pos;
+  std::vector<uint32_t> neg;
+  for (uint32_t i = 0; i < predictions.size(); ++i) {
+    (predictions[i] ? pos : neg).push_back(i);
+  }
+  if (pos.empty()) {
+    return Status::InvalidArgument(
+        "estimate_accuracy: matcher predicted no matches");
+  }
+
+  AccuracyEstimate est;
+  const double z = ZValue(options.delta);
+
+  auto label_stratum = [&](std::vector<uint32_t>& stratum, size_t want,
+                           size_t* labeled, size_t* true_matches) -> Status {
+    rng->Shuffle(&stratum);
+    size_t take = std::min(want, stratum.size());
+    std::vector<PairQuestion> qs;
+    qs.reserve(take);
+    for (size_t i = 0; i < take; ++i) qs.push_back(candidates[stratum[i]]);
+    if (qs.empty()) {
+      *labeled = 0;
+      *true_matches = 0;
+      return Status::OK();
+    }
+    FALCON_ASSIGN_OR_RETURN(LabelResult lr,
+                            crowd->LabelPairs(qs, VoteScheme::kMajority3));
+    est.questions += lr.num_questions;
+    est.cost += lr.cost;
+    est.crowd_time += lr.latency;
+    *labeled = take;
+    *true_matches = 0;
+    for (bool l : lr.labels) *true_matches += l ? 1 : 0;
+    return Status::OK();
+  };
+
+  size_t pos_true = 0;
+  size_t neg_true = 0;
+  FALCON_RETURN_NOT_OK(label_stratum(pos, options.sample_per_stratum,
+                                     &est.labeled_positives, &pos_true));
+  FALCON_RETURN_NOT_OK(label_stratum(neg, options.sample_per_stratum,
+                                     &est.labeled_negatives, &neg_true));
+
+  // Precision: fraction of predicted matches that are true.
+  est.positive_rate = est.labeled_positives == 0
+                          ? 0.0
+                          : static_cast<double>(pos_true) /
+                                static_cast<double>(est.labeled_positives);
+  est.precision = est.positive_rate;
+  est.precision_margin =
+      Margin(z, est.positive_rate, est.labeled_positives, pos.size());
+
+  // Recall over the candidate set: TP / (TP + FN), with TP and FN scaled
+  // from the per-stratum rates to the stratum sizes.
+  est.false_negative_rate =
+      est.labeled_negatives == 0
+          ? 0.0
+          : static_cast<double>(neg_true) /
+                static_cast<double>(est.labeled_negatives);
+  double tp = est.positive_rate * static_cast<double>(pos.size());
+  double fn = est.false_negative_rate * static_cast<double>(neg.size());
+  est.recall = (tp + fn) <= 0.0 ? 0.0 : tp / (tp + fn);
+
+  // Conservative recall margin: propagate both stratum margins through the
+  // ratio at its extremes.
+  double fn_margin =
+      Margin(z, est.false_negative_rate, est.labeled_negatives, neg.size());
+  double tp_lo =
+      std::max(0.0, (est.positive_rate - est.precision_margin)) * pos.size();
+  double tp_hi =
+      std::min(1.0, (est.positive_rate + est.precision_margin)) * pos.size();
+  double fn_lo = std::max(0.0, est.false_negative_rate - fn_margin) *
+                 static_cast<double>(neg.size());
+  double fn_hi = std::min(1.0, est.false_negative_rate + fn_margin) *
+                 static_cast<double>(neg.size());
+  double r_lo = (tp_lo + fn_hi) <= 0.0 ? 0.0 : tp_lo / (tp_lo + fn_hi);
+  double r_hi = (tp_hi + fn_lo) <= 0.0 ? 0.0 : tp_hi / (tp_hi + fn_lo);
+  est.recall_margin = std::max(est.recall - r_lo, r_hi - est.recall);
+
+  return est;
+}
+
+}  // namespace falcon

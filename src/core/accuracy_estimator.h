@@ -1,0 +1,58 @@
+// Operator estimate_accuracy (the Accuracy Estimator module of Corleone;
+// listed by the Falcon paper as the next operator to add to its plans).
+//
+// Hands-off EM has no ground truth, so the matcher's precision and recall
+// are themselves estimated with the crowd: a stratified sample is drawn
+// from the matcher's predicted positives and predicted negatives, the crowd
+// labels it, and precision/recall estimates with confidence margins follow
+// from the per-stratum error rates (finite-population-corrected normal
+// margins, as in eval_rules).
+#ifndef FALCON_CORE_ACCURACY_ESTIMATOR_H_
+#define FALCON_CORE_ACCURACY_ESTIMATOR_H_
+
+#include <vector>
+
+#include "blocking/apply.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "crowd/crowd.h"
+
+namespace falcon {
+
+struct AccuracyEstimatorOptions {
+  /// Pairs labeled from each stratum (predicted-match / predicted-non-match).
+  size_t sample_per_stratum = 100;
+  /// Confidence level for the margins.
+  double delta = 0.95;
+};
+
+struct AccuracyEstimate {
+  /// Point estimates.
+  double precision = 0.0;
+  double recall = 0.0;
+  /// Half-widths of the (approximate) confidence intervals.
+  double precision_margin = 0.0;
+  double recall_margin = 0.0;
+  /// Stratum diagnostics.
+  size_t labeled_positives = 0;  ///< labels drawn from predicted matches
+  size_t labeled_negatives = 0;  ///< labels drawn from predicted non-matches
+  double positive_rate = 0.0;    ///< fraction of predicted matches correct
+  double false_negative_rate = 0.0;
+
+  size_t questions = 0;
+  double cost = 0.0;
+  VDuration crowd_time;
+};
+
+/// Estimates the accuracy of `predictions` (parallel to `candidates`,
+/// 1 = predicted match) with crowd labels. Recall is measured against the
+/// matches present in `candidates` — i.e. post-blocking recall; multiply by
+/// blocking recall for end-to-end recall.
+Result<AccuracyEstimate> EstimateAccuracy(
+    const std::vector<CandidatePair>& candidates,
+    const std::vector<char>& predictions, CrowdPlatform* crowd,
+    const AccuracyEstimatorOptions& options, Rng* rng);
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_ACCURACY_ESTIMATOR_H_

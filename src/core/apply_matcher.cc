@@ -1,0 +1,23 @@
+#include "core/apply_matcher.h"
+
+#include "mapreduce/job.h"
+
+namespace falcon {
+
+ApplyMatcherResult ApplyMatcher(const RandomForest& matcher,
+                                const std::vector<FeatureVec>& fvs,
+                                Cluster* cluster) {
+  ApplyMatcherResult result;
+  result.predictions.resize(fvs.size(), 0);
+  std::vector<size_t> idx(fvs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto job = RunMapOnly<size_t, int>(
+      cluster, idx, {.name = "apply_matcher"},
+      [&](const size_t& i, std::vector<int>*) {
+        result.predictions[i] = matcher.Predict(fvs[i]) ? 1 : 0;
+      });
+  result.time = job.stats.Total();
+  return result;
+}
+
+}  // namespace falcon

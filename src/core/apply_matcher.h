@@ -1,0 +1,25 @@
+// Operator apply_matcher (Section 9): applies a trained matcher to every
+// candidate feature vector with a map-only job.
+#ifndef FALCON_CORE_APPLY_MATCHER_H_
+#define FALCON_CORE_APPLY_MATCHER_H_
+
+#include <vector>
+
+#include "learn/random_forest.h"
+#include "mapreduce/cluster.h"
+
+namespace falcon {
+
+struct ApplyMatcherResult {
+  /// Parallel to the input vectors; 1 = predicted match.
+  std::vector<char> predictions;
+  VDuration time;
+};
+
+ApplyMatcherResult ApplyMatcher(const RandomForest& matcher,
+                                const std::vector<FeatureVec>& fvs,
+                                Cluster* cluster);
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_APPLY_MATCHER_H_

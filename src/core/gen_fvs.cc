@@ -1,0 +1,27 @@
+#include "core/gen_fvs.h"
+
+#include "mapreduce/job.h"
+
+namespace falcon {
+
+GenFvsResult GenFvs(const Table& a, const Table& b,
+                    const std::vector<PairQuestion>& pairs,
+                    const FeatureSet& fs, const std::vector<int>& feature_ids,
+                    Cluster* cluster, const char* job_name) {
+  GenFvsResult result;
+  result.fvs.resize(pairs.size());
+  // Input items are indices so output order matches input order even though
+  // map tasks run per split.
+  std::vector<size_t> idx(pairs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto job = RunMapOnly<size_t, int>(
+      cluster, idx, {.name = job_name},
+      [&](const size_t& i, std::vector<int>*) {
+        result.fvs[i] = fs.ComputeVector(feature_ids, a, pairs[i].first, b,
+                                         pairs[i].second);
+      });
+  result.time = job.stats.Total();
+  return result;
+}
+
+}  // namespace falcon

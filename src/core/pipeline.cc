@@ -1,0 +1,568 @@
+#include "core/pipeline.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "blocking/index_builder.h"
+#include "core/al_matcher.h"
+#include "core/apply_matcher.h"
+#include "core/eval_rules.h"
+#include "core/gen_fvs.h"
+#include "core/get_rules.h"
+#include "core/sample_pairs.h"
+#include "core/select_opt_seq.h"
+#include "mapreduce/job.h"
+
+namespace falcon {
+namespace {
+
+/// Crowd-time bank for masking: crowd latency deposits credit; masked
+/// machine work withdraws it and returns only the unmasked remainder.
+class MaskBank {
+ public:
+  explicit MaskBank(bool enabled) : enabled_(enabled) {}
+
+  void Deposit(VDuration d) { credit_ += d; }
+
+  /// Charges a maskable task of duration `d`; returns its unmasked part.
+  VDuration Run(VDuration d) {
+    if (!enabled_) return d;
+    VDuration used = Min(d, credit_);
+    credit_ -= used;
+    return d - used;
+  }
+
+  VDuration credit() const { return credit_; }
+
+ private:
+  bool enabled_;
+  VDuration credit_;
+};
+
+struct FilterOut {
+  std::vector<CandidatePair> pairs;
+  VDuration time;
+};
+
+/// Map-only job applying a rule sequence to an explicit pair list (the
+/// "apply remaining rules to the smallest output" step of Algorithm 2).
+FilterOut FilterPairs(const std::vector<CandidatePair>& pairs,
+                      const RuleSequence& seq, const FeatureSet& fs,
+                      const Table& a, const Table& b, Cluster* cluster,
+                      const char* name) {
+  FilterOut out;
+  if (seq.rules.empty()) {
+    out.pairs = pairs;
+    return out;
+  }
+  RuleApplier applier(seq, &fs, &a, &b);
+  auto job = RunMapOnly<CandidatePair, CandidatePair>(
+      cluster, pairs, {.name = name},
+      [&](const CandidatePair& p, std::vector<CandidatePair>* o) {
+        if (applier.Keep(p.first, p.second)) o->push_back(p);
+      });
+  out.pairs = std::move(job.output);
+  out.time = job.stats.Total();
+  return out;
+}
+
+/// Tries `preferred` first, then every other operator in the Section 10.1
+/// preference order; returns the first success.
+Result<ApplyResult> ApplyWithFallback(const Table& a, const Table& b,
+                                      const RuleSequence& seq,
+                                      const FeatureSet& fs,
+                                      const IndexCatalog& catalog,
+                                      Cluster* cluster, ApplyMethod preferred,
+                                      const ApplyOptions& opts,
+                                      ApplyMethod* used) {
+  std::vector<ApplyMethod> order = {
+      preferred,                  ApplyMethod::kApplyAll,
+      ApplyMethod::kApplyGreedy,  ApplyMethod::kApplyConjunct,
+      ApplyMethod::kApplyPredicate, ApplyMethod::kMapSide,
+      ApplyMethod::kReduceSplit};
+  Status last = Status::Internal("no apply method attempted");
+  for (size_t i = 0; i < order.size(); ++i) {
+    if (i > 0 && order[i] == preferred) continue;
+    auto res =
+        ApplyBlockingRules(a, b, seq, fs, catalog, cluster, order[i], opts);
+    if (res.ok()) {
+      *used = order[i];
+      return res;
+    }
+    last = res.status();
+  }
+  return last;
+}
+
+}  // namespace
+
+FalconPipeline::FalconPipeline(const Table* a, const Table* b,
+                               CrowdPlatform* crowd, Cluster* cluster,
+                               FalconConfig config)
+    : a_(a), b_(b), crowd_(crowd), cluster_(cluster),
+      config_(std::move(config)) {
+  features_ = FeatureSet::Generate(*a_, *b_);
+  features_ready_ = true;
+}
+
+bool FalconPipeline::NeedsBlocking() const {
+  // Estimated bytes of A x B encoded as feature vectors (Section 10.1).
+  double est = static_cast<double>(a_->num_rows()) *
+               static_cast<double>(b_->num_rows()) *
+               static_cast<double>(features_.all_ids().size()) *
+               sizeof(double);
+  return est > static_cast<double>(config_.matcher_only_max_bytes);
+}
+
+Result<MatchResult> FalconPipeline::Run() {
+  if (a_->num_rows() == 0 || b_->num_rows() == 0) {
+    return Status::InvalidArgument("empty input table");
+  }
+  if (features_.size() == 0) {
+    return Status::InvalidArgument(
+        "no features generated: schemas share no compatible attributes");
+  }
+  return NeedsBlocking() ? RunBlockingPlan() : RunMatcherOnlyPlan();
+}
+
+Result<MatchResult> FalconPipeline::RunBlockingPlan() {
+  MatchResult out;
+  RunMetrics& m = out.metrics;
+  m.used_blocking = true;
+  MaskBank bank(config_.enable_masking);
+  Rng rng(config_.seed);
+  IndexCatalog catalog;
+  IndexBuilder builder(a_, cluster_);
+
+  auto add_machine = [&](const std::string& name, VDuration raw,
+                         VDuration unmasked) {
+    m.machine_time += raw;
+    m.machine_unmasked += unmasked;
+    m.operators.push_back({name, raw, unmasked, false});
+  };
+
+  // --- (1) sample_pairs -----------------------------------------------------
+  FALCON_ASSIGN_OR_RETURN(
+      SampleResult sample,
+      SamplePairs(*a_, *b_, config_.sample_size, config_.sample_y, cluster_,
+                  &rng, config_.sample_strategy));
+  add_machine("sample_pairs", sample.time, sample.time);
+
+  // --- (2) gen_fvs over S (blocking features) -------------------------------
+  GenFvsResult sfvs = GenFvs(*a_, *b_, sample.pairs, features_,
+                             features_.blocking_ids(), cluster_,
+                             "gen_fvs(S)");
+  add_machine("gen_fvs", sfvs.time, sfvs.time);
+
+  // --- (3) al_matcher: learn blocker model M --------------------------------
+  AlMatcherOptions al_opts;
+  al_opts.max_iterations = config_.al_max_iterations;
+  al_opts.pairs_per_iteration = config_.pairs_per_iteration;
+  al_opts.convergence_patience = config_.al_convergence_patience;
+  al_opts.convergence_threshold = config_.al_convergence_threshold;
+  al_opts.forest = config_.forest;
+  al_opts.mask_pair_selection = false;  // S is small; not worth it (Sec 10.2)
+  FALCON_ASSIGN_OR_RETURN(
+      AlMatcherResult blocker,
+      AlMatcher(sfvs.fvs, sample.pairs, crowd_, al_opts, cluster_, &rng));
+  m.crowd_time += blocker.crowd_time;
+  m.questions += blocker.questions;
+  m.cost += blocker.cost;
+  bank.Deposit(blocker.crowd_time);
+  {
+    VDuration mach = blocker.selection_time + blocker.training_time;
+    VDuration unmask = blocker.selection_unmasked + blocker.training_time;
+    m.machine_time += mach;
+    m.machine_unmasked += unmask;
+    m.operators.push_back(
+        {"al_matcher(blocker)", blocker.crowd_time + mach, unmask, true});
+  }
+
+  // O1a: while the blocker crowdsources, build rule-independent indexes.
+  if (config_.enable_masking && config_.mask_index_building) {
+    VDuration dur = builder.Ensure(IndexBuilder::GenericNeeds(features_),
+                                   &catalog);
+    VDuration unmasked = bank.Run(dur);
+    add_machine("index_build(generic,masked)", dur, unmasked);
+  }
+
+  // --- (4) get_blocking_rules ------------------------------------------------
+  // Rule predicates index into the blocking feature vector; map positions to
+  // global ids.
+  GetRulesOptions gr_opts;
+  gr_opts.max_rules = config_.max_rules_to_eval;
+  gr_opts.min_coverage_fraction = config_.min_rule_coverage_fraction;
+  RuleCandidates candidates = GetBlockingRules(
+      blocker.matcher, features_.blocking_ids(), features_, sfvs.fvs,
+      blocker.labeled_indices, blocker.labels, gr_opts, cluster_);
+  m.num_candidate_rules = candidates.rules.size();
+  add_machine("get_block_rules", candidates.time, candidates.time);
+  if (candidates.rules.empty()) {
+    return Status::Internal(
+        "blocker learned no usable blocking rules; consider the matcher-only "
+        "plan (tables may be too clean or the sample too small)");
+  }
+
+  // --- (5) eval_rules ----------------------------------------------------------
+  EvalRulesOptions ev_opts;
+  ev_opts.max_iterations_per_rule = config_.eval_max_iterations_per_rule;
+  ev_opts.pairs_per_iteration = config_.eval_pairs_per_iteration;
+  ev_opts.precision_min = config_.eval_precision_min;
+  ev_opts.epsilon_max = config_.eval_epsilon_max;
+  ev_opts.delta = config_.eval_delta;
+  FALCON_ASSIGN_OR_RETURN(
+      EvalRulesResult evaluated,
+      EvalRules(candidates.rules, candidates.coverage, sample.pairs, crowd_,
+                ev_opts, &rng));
+  m.crowd_time += evaluated.crowd_time;
+  m.questions += evaluated.questions;
+  m.cost += evaluated.cost;
+  m.num_retained_rules = evaluated.retained.size();
+  bank.Deposit(evaluated.crowd_time);
+  m.operators.push_back(
+      {"eval_rules", evaluated.crowd_time, VDuration::Zero(), true});
+  if (evaluated.retained.empty()) {
+    return Status::Internal(
+        "eval_rules retained no blocking rule with sufficient precision");
+  }
+
+  // O1b: while eval_rules crowdsources, build the indexes of ALL candidate
+  // rules (some may go unused — that is the nature of masking).
+  if (config_.enable_masking && config_.mask_index_building) {
+    std::vector<IndexNeed> all_needs;
+    for (const auto& r : candidates.rules) {
+      auto needs = IndexBuilder::NeedsOfRule(r, features_);
+      all_needs.insert(all_needs.end(), needs.begin(), needs.end());
+    }
+    VDuration dur = builder.Ensure(all_needs, &catalog);
+    VDuration unmasked = bank.Run(dur);
+    add_machine("index_build(rules,masked)", dur, unmasked);
+  }
+
+  // O2a: speculatively execute candidate rules inside the remaining mask
+  // window, most promising first (the eval_rules crowdsourcing order).
+  struct SpecJob {
+    std::string key;
+    ApplyResult result;
+    bool completed = false;
+    VDuration remaining;  ///< > 0 only for the in-flight job at the barrier
+  };
+  std::vector<SpecJob> spec;
+  if (config_.enable_masking && config_.mask_speculative_execution) {
+    for (const auto& rule : candidates.rules) {
+      if (bank.credit().seconds <= 0.0) break;  // job would never start
+      RuleSequence single;
+      single.rules.push_back(rule);
+      single.selectivity = rule.selectivity;
+      // Indexes for this rule (already present if O1 ran; otherwise their
+      // build is part of the speculative work).
+      VDuration idx_dur =
+          builder.Ensure(IndexBuilder::NeedsOfRule(rule, features_),
+                         &catalog);
+      if (idx_dur.seconds > 0.0) {
+        VDuration unmasked = bank.Run(idx_dur);
+        add_machine("index_build(spec)", idx_dur, unmasked);
+        if (bank.credit().seconds <= 0.0 && unmasked.seconds > 0.0) break;
+      }
+      ApplyMethod method =
+          SelectApplyMethod(*a_, *b_, single, features_, catalog, *cluster_);
+      ApplyMethod used = method;
+      auto res = ApplyWithFallback(*a_, *b_, single, features_, catalog,
+                                   cluster_, method, config_.apply, &used);
+      if (!res.ok()) break;  // e.g. nothing filterable; stop speculating
+      SpecJob job;
+      job.key = CanonicalKey(rule);
+      job.result = std::move(res).value();
+      m.machine_time += job.result.time;
+      VDuration leftover = bank.Run(job.result.time);
+      job.completed = leftover.seconds <= 0.0;
+      job.remaining = leftover;
+      if (job.completed) ++m.speculated_rules;
+      bool in_flight = !job.completed;
+      spec.push_back(std::move(job));
+      if (in_flight) break;  // the window closed mid-job
+    }
+  }
+
+  // --- (6) select_opt_seq ---------------------------------------------------------
+  SelectSeqOptions ss_opts;
+  ss_opts.alpha = config_.score_alpha;
+  ss_opts.beta = config_.score_beta;
+  ss_opts.gamma = config_.score_gamma;
+  ss_opts.max_rules_exhaustive = config_.max_rules_exhaustive;
+  FALCON_ASSIGN_OR_RETURN(
+      SelectSeqResult selected,
+      SelectOptSeq(evaluated.retained, evaluated.retained_coverage,
+                   sample.pairs.size(), ss_opts));
+  out.sequence = selected.sequence;
+  add_machine("sel_opt_seq", selected.time, selected.time);
+
+  // --- (7) apply_blocking_rules with Algorithm 2 reuse -----------------------------
+  // Any index the selected sequence still needs is built now, unmasked.
+  {
+    CnfRule q = ToCnf(SimplifySequence(selected.sequence));
+    VDuration dur =
+        builder.Ensure(IndexBuilder::NeedsOfCnf(q, features_), &catalog);
+    if (dur.seconds > 0.0) add_machine("index_build(unmasked)", dur, dur);
+  }
+  ApplyMethod preferred = SelectApplyMethod(*a_, *b_, selected.sequence,
+                                            features_, catalog, *cluster_);
+  std::unordered_map<std::string, size_t> spec_by_key;
+  for (size_t i = 0; i < spec.size(); ++i) spec_by_key[spec[i].key] = i;
+
+  // Completed speculative outputs whose rule is in the selected sequence.
+  const SpecJob* best_completed = nullptr;
+  for (const auto& rule : selected.sequence.rules) {
+    auto it = spec_by_key.find(CanonicalKey(rule));
+    if (it == spec_by_key.end()) continue;
+    const SpecJob& job = spec[it->second];
+    if (!job.completed) continue;
+    if (best_completed == nullptr ||
+        job.result.pairs.size() < best_completed->result.pairs.size()) {
+      best_completed = &job;
+    }
+  }
+  const SpecJob* in_flight =
+      !spec.empty() && !spec.back().completed ? &spec.back() : nullptr;
+  bool in_flight_selected = false;
+  if (in_flight != nullptr) {
+    for (const auto& rule : selected.sequence.rules) {
+      if (CanonicalKey(rule) == in_flight->key) in_flight_selected = true;
+    }
+  }
+
+  VDuration apply_raw;       // total machine time of this step
+  VDuration apply_unmasked;  // critical-path contribution
+  if (best_completed != nullptr) {
+    // Algorithm 2, lines 8-11: reuse the smallest completed output.
+    FilterOut filtered =
+        FilterPairs(best_completed->result.pairs, selected.sequence,
+                    features_, *a_, *b_, cluster_, "apply-remaining-rules");
+    out.candidates = std::move(filtered.pairs);
+    apply_raw = filtered.time;
+    apply_unmasked = filtered.time;
+    m.spec_rule_reused = true;
+    m.apply_method = preferred;
+  } else if (in_flight != nullptr && in_flight_selected) {
+    // Algorithm 2, lines 12-27: steer the in-flight job.
+    const JobStats& stats = in_flight->result.main_job;
+    VDuration offset = in_flight->result.time - in_flight->remaining;
+    JobStats::Phase phase = stats.PhaseAt(offset);
+    bool greedy_ok =
+        preferred == ApplyMethod::kApplyGreedy &&
+        CanonicalKey(selected.sequence.rules.front()) == in_flight->key;
+    if (phase == JobStats::Phase::kReduce) {
+      // Output produced so far (X) gets the remaining rules via a map-only
+      // job; the rest (Y) is filtered inside the still-running reducers.
+      double f = stats.ReduceFractionAt(offset);
+      size_t cut = static_cast<size_t>(
+          f * static_cast<double>(in_flight->result.pairs.size()));
+      std::vector<CandidatePair> x(in_flight->result.pairs.begin(),
+                                   in_flight->result.pairs.begin() + cut);
+      std::vector<CandidatePair> y_src(
+          in_flight->result.pairs.begin() + cut,
+          in_flight->result.pairs.end());
+      FilterOut zx = FilterPairs(x, selected.sequence, features_, *a_, *b_,
+                                 cluster_, "apply-remaining-to-X");
+      FilterOut zy = FilterPairs(y_src, selected.sequence, features_, *a_,
+                                 *b_, cluster_, "reducer-applies-seq");
+      out.candidates = std::move(zy.pairs);
+      out.candidates.insert(out.candidates.end(), zx.pairs.begin(),
+                            zx.pairs.end());
+      apply_raw = in_flight->remaining + zx.time + zy.time;
+      apply_unmasked = Max(in_flight->remaining, zy.time) + zx.time;
+      m.spec_rule_reused = true;
+      m.apply_method = preferred;
+    } else if (greedy_ok) {
+      // Map phase + apply_greedy: let the job finish; its reducers evaluate
+      // the full sequence.
+      FilterOut filtered =
+          FilterPairs(in_flight->result.pairs, selected.sequence, features_,
+                      *a_, *b_, cluster_, "greedy-reducers-apply-seq");
+      out.candidates = std::move(filtered.pairs);
+      apply_raw = in_flight->remaining + filtered.time;
+      apply_unmasked = Max(in_flight->remaining, filtered.time);
+      m.spec_rule_reused = true;
+      m.apply_method = ApplyMethod::kApplyGreedy;
+    } else {
+      // Kill the job; start fresh.
+      ApplyMethod used = preferred;
+      FALCON_ASSIGN_OR_RETURN(
+          ApplyResult applied,
+          ApplyWithFallback(*a_, *b_, selected.sequence, features_, catalog,
+                            cluster_, preferred, config_.apply, &used));
+      out.candidates = std::move(applied.pairs);
+      apply_raw = applied.time;
+      apply_unmasked = applied.time;
+      m.apply_method = used;
+    }
+  } else {
+    ApplyMethod used = preferred;
+    FALCON_ASSIGN_OR_RETURN(
+        ApplyResult applied,
+        ApplyWithFallback(*a_, *b_, selected.sequence, features_, catalog,
+                          cluster_, preferred, config_.apply, &used));
+    out.candidates = std::move(applied.pairs);
+    apply_raw = applied.time;
+    apply_unmasked = applied.time;
+    m.apply_method = used;
+  }
+  add_machine("apply_block_rules", apply_raw, apply_unmasked);
+  // Canonical order: which Algorithm-2 reuse path ran depends on measured
+  // wall time, but the candidate SET is path-independent; sorting makes the
+  // rest of the pipeline (and the final matches) seed-deterministic.
+  std::sort(out.candidates.begin(), out.candidates.end());
+  m.candidate_size = out.candidates.size();
+  if (out.candidates.empty()) {
+    return Status::Internal("blocking dropped every pair (rules too strict)");
+  }
+
+  // --- (8) gen_fvs over C (all features) ------------------------------------------
+  GenFvsResult cfvs = GenFvs(*a_, *b_, out.candidates, features_,
+                             features_.all_ids(), cluster_, "gen_fvs(C)");
+  add_machine("gen_fvs(C)", cfvs.time, cfvs.time);
+
+  // --- (9) al_matcher: learn matcher N over C' -------------------------------------
+  AlMatcherOptions match_opts = al_opts;
+  match_opts.mask_pair_selection =
+      config_.enable_masking && config_.mask_pair_selection &&
+      cfvs.fvs.size() >= config_.pair_selection_mask_threshold;
+  FALCON_ASSIGN_OR_RETURN(
+      AlMatcherResult matcher,
+      AlMatcher(cfvs.fvs, out.candidates, crowd_, match_opts, cluster_,
+                &rng));
+  m.crowd_time += matcher.crowd_time;
+  m.questions += matcher.questions;
+  m.cost += matcher.cost;
+  bank.Deposit(matcher.crowd_time);
+  {
+    VDuration mach = matcher.selection_time + matcher.training_time;
+    VDuration unmask = matcher.selection_unmasked + matcher.training_time;
+    m.machine_time += mach;
+    m.machine_unmasked += unmask;
+    m.operators.push_back(
+        {"al_matcher(matcher)", matcher.crowd_time + mach, unmask, true});
+  }
+
+  // --- (10) apply_matcher (speculated during the matcher's crowd windows) ----------
+  ApplyMatcherResult predictions =
+      ApplyMatcher(matcher.matcher, cfvs.fvs, cluster_);
+  {
+    VDuration unmasked = predictions.time;
+    if (config_.enable_masking && config_.mask_speculative_execution &&
+        matcher.converged) {
+      // The model stopped changing, so the speculative run with the
+      // best-so-far matcher is the final run; its time hides in the last
+      // crowd windows.
+      unmasked = bank.Run(predictions.time);
+      m.spec_matcher_reused = unmasked.seconds <= 0.0;
+    }
+    add_machine("apply_matcher", predictions.time, unmasked);
+  }
+  for (size_t i = 0; i < out.candidates.size(); ++i) {
+    if (predictions.predictions[i]) out.matches.push_back(out.candidates[i]);
+  }
+
+  // --- (11, optional) estimate_accuracy --------------------------------------------
+  if (config_.estimate_accuracy) {
+    FALCON_ASSIGN_OR_RETURN(
+        m.accuracy,
+        EstimateAccuracy(out.candidates, predictions.predictions, crowd_,
+                         config_.accuracy, &rng));
+    m.has_accuracy_estimate = true;
+    m.crowd_time += m.accuracy.crowd_time;
+    m.questions += m.accuracy.questions;
+    m.cost += m.accuracy.cost;
+    m.operators.push_back({"estimate_accuracy", m.accuracy.crowd_time,
+                           VDuration::Zero(), true});
+  }
+
+  m.total_time = m.crowd_time + m.machine_unmasked;
+  return out;
+}
+
+Result<MatchResult> FalconPipeline::RunMatcherOnlyPlan() {
+  MatchResult out;
+  RunMetrics& m = out.metrics;
+  m.used_blocking = false;
+  MaskBank bank(config_.enable_masking);
+  Rng rng(config_.seed);
+
+  auto add_machine = [&](const std::string& name, VDuration raw,
+                         VDuration unmasked) {
+    m.machine_time += raw;
+    m.machine_unmasked += unmasked;
+    m.operators.push_back({name, raw, unmasked, false});
+  };
+
+  // C = A x B (guarded by NeedsBlocking()'s memory estimate).
+  out.candidates.reserve(a_->num_rows() * b_->num_rows());
+  for (RowId ar = 0; ar < a_->num_rows(); ++ar) {
+    for (RowId br = 0; br < b_->num_rows(); ++br) {
+      out.candidates.emplace_back(ar, br);
+    }
+  }
+  m.candidate_size = out.candidates.size();
+
+  GenFvsResult cfvs = GenFvs(*a_, *b_, out.candidates, features_,
+                             features_.all_ids(), cluster_, "gen_fvs(C)");
+  add_machine("gen_fvs(C)", cfvs.time, cfvs.time);
+
+  AlMatcherOptions al_opts;
+  al_opts.max_iterations = config_.al_max_iterations;
+  al_opts.pairs_per_iteration = config_.pairs_per_iteration;
+  al_opts.convergence_patience = config_.al_convergence_patience;
+  al_opts.convergence_threshold = config_.al_convergence_threshold;
+  al_opts.forest = config_.forest;
+  al_opts.mask_pair_selection =
+      config_.enable_masking && config_.mask_pair_selection &&
+      cfvs.fvs.size() >= config_.pair_selection_mask_threshold;
+  FALCON_ASSIGN_OR_RETURN(
+      AlMatcherResult matcher,
+      AlMatcher(cfvs.fvs, out.candidates, crowd_, al_opts, cluster_, &rng));
+  m.crowd_time += matcher.crowd_time;
+  m.questions += matcher.questions;
+  m.cost += matcher.cost;
+  bank.Deposit(matcher.crowd_time);
+  {
+    VDuration mach = matcher.selection_time + matcher.training_time;
+    VDuration unmask = matcher.selection_unmasked + matcher.training_time;
+    m.machine_time += mach;
+    m.machine_unmasked += unmask;
+    m.operators.push_back(
+        {"al_matcher(matcher)", matcher.crowd_time + mach, unmask, true});
+  }
+
+  ApplyMatcherResult predictions =
+      ApplyMatcher(matcher.matcher, cfvs.fvs, cluster_);
+  {
+    VDuration unmasked = predictions.time;
+    if (config_.enable_masking && config_.mask_speculative_execution &&
+        matcher.converged) {
+      unmasked = bank.Run(predictions.time);
+      m.spec_matcher_reused = unmasked.seconds <= 0.0;
+    }
+    add_machine("apply_matcher", predictions.time, unmasked);
+  }
+  for (size_t i = 0; i < out.candidates.size(); ++i) {
+    if (predictions.predictions[i]) out.matches.push_back(out.candidates[i]);
+  }
+
+  if (config_.estimate_accuracy) {
+    FALCON_ASSIGN_OR_RETURN(
+        m.accuracy,
+        EstimateAccuracy(out.candidates, predictions.predictions, crowd_,
+                         config_.accuracy, &rng));
+    m.has_accuracy_estimate = true;
+    m.crowd_time += m.accuracy.crowd_time;
+    m.questions += m.accuracy.questions;
+    m.cost += m.accuracy.cost;
+    m.operators.push_back({"estimate_accuracy", m.accuracy.crowd_time,
+                           VDuration::Zero(), true});
+  }
+
+  m.total_time = m.crowd_time + m.machine_unmasked;
+  return out;
+}
+
+}  // namespace falcon

@@ -1,0 +1,111 @@
+// Plan generation, execution, and optimization (Section 10 of the paper).
+//
+// FalconPipeline turns an (A, B) matching task into one of the two plan
+// templates of Figure 3 — Blocker+Matcher when the estimated feature-vector
+// encoding of A x B exceeds memory, Matcher-only otherwise — and executes it
+// with the three crowd-time-masking optimizations of Section 10.2:
+//   O1  build indexes (generic, then per-candidate-rule) while al_matcher
+//       and eval_rules crowdsource;
+//   O2  speculatively execute the candidate blocking rules during
+//       eval_rules, then reuse their outputs per Algorithm 2; speculatively
+//       run apply_matcher during the matcher's active learning;
+//   O3  mask al_matcher's pair-selection scans behind crowd labeling.
+//
+// Time accounting distinguishes crowd time t_c, total machine time t_m, and
+// unmasked machine time t_u; the run's total time is t_c + t_u (Section 3.4).
+#ifndef FALCON_CORE_PIPELINE_H_
+#define FALCON_CORE_PIPELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "blocking/apply.h"
+#include "core/config.h"
+#include "crowd/crowd.h"
+#include "mapreduce/cluster.h"
+#include "rules/feature.h"
+#include "rules/rule.h"
+
+namespace falcon {
+
+/// One row of the Table-4-style per-operator breakdown.
+struct OperatorTiming {
+  std::string name;
+  /// Full duration of the operator's work (crowd latency for crowd
+  /// operators; virtual machine time for machine operators).
+  VDuration raw;
+  /// Contribution to the run's critical path beyond crowd time (0 for fully
+  /// masked machine work and for crowd operators).
+  VDuration unmasked;
+  bool is_crowd = false;
+};
+
+struct RunMetrics {
+  size_t questions = 0;
+  double cost = 0.0;
+  VDuration crowd_time;         ///< t_c
+  VDuration machine_time;       ///< t_m: every machine second, masked or not
+  VDuration machine_unmasked;   ///< t_u
+  VDuration total_time;         ///< t_c + t_u
+  size_t candidate_size = 0;    ///< |C| surviving blocking
+  bool used_blocking = false;
+  ApplyMethod apply_method = ApplyMethod::kApplyAll;
+  std::vector<OperatorTiming> operators;
+
+  // Optimization diagnostics.
+  int speculated_rules = 0;       ///< rules fully executed inside the mask
+  bool spec_rule_reused = false;  ///< Algorithm 2 reused a speculated output
+  bool spec_matcher_reused = false;
+  size_t num_candidate_rules = 0;
+  size_t num_retained_rules = 0;
+
+  /// Crowd-estimated accuracy (filled when config.estimate_accuracy is on;
+  /// in a real deployment there is no ground truth, so this estimate is
+  /// what the user sees).
+  bool has_accuracy_estimate = false;
+  AccuracyEstimate accuracy;
+};
+
+struct MatchResult {
+  /// Final predicted matches.
+  std::vector<CandidatePair> matches;
+  /// Pairs that survived blocking (equals all pairs for the matcher-only
+  /// plan).
+  std::vector<CandidatePair> candidates;
+  /// The executed blocking-rule sequence (empty for matcher-only).
+  RuleSequence sequence;
+  RunMetrics metrics;
+};
+
+/// End-to-end hands-off crowdsourced EM.
+class FalconPipeline {
+ public:
+  /// `a`, `b`, `crowd`, and `cluster` must outlive the pipeline.
+  FalconPipeline(const Table* a, const Table* b, CrowdPlatform* crowd,
+                 Cluster* cluster, FalconConfig config);
+
+  /// Generates and executes the plan.
+  Result<MatchResult> Run();
+
+  /// The auto-generated feature set (valid after Run()).
+  const FeatureSet& features() const { return features_; }
+
+  /// True if the Blocker+Matcher template (Figure 3.a) was/would be chosen.
+  bool NeedsBlocking() const;
+
+ private:
+  Result<MatchResult> RunBlockingPlan();
+  Result<MatchResult> RunMatcherOnlyPlan();
+
+  const Table* a_;
+  const Table* b_;
+  CrowdPlatform* crowd_;
+  Cluster* cluster_;
+  FalconConfig config_;
+  FeatureSet features_;
+  bool features_ready_ = false;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_PIPELINE_H_

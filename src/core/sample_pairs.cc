@@ -1,0 +1,146 @@
+#include "core/sample_pairs.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "mapreduce/job.h"
+#include "table/profile.h"
+#include "text/tokenize.h"
+
+namespace falcon {
+
+namespace {
+
+/// The naive baseline of Section 5: uniform pairs, deduplicated.
+Result<SampleResult> SampleUniform(const Table& a, const Table& b, size_t n,
+                                   Cluster* cluster, Rng* rng) {
+  SampleResult result;
+  std::vector<size_t> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = i;
+  std::unordered_map<uint64_t, char> seen;
+  Rng job_rng = rng->Fork();
+  auto job = RunMapOnly<size_t, PairQuestion>(
+      cluster, idx, {.name = "sample-uniform"},
+      [&](const size_t&, std::vector<PairQuestion>* out) {
+        for (int attempt = 0; attempt < 20; ++attempt) {
+          RowId ar = static_cast<RowId>(job_rng.NextBelow(a.num_rows()));
+          RowId br = static_cast<RowId>(job_rng.NextBelow(b.num_rows()));
+          uint64_t key = (static_cast<uint64_t>(ar) << 32) | br;
+          if (seen.emplace(key, 1).second) {
+            out->emplace_back(ar, br);
+            return;
+          }
+        }
+      });
+  result.pairs = std::move(job.output);
+  result.time = job.stats.Total();
+  return result;
+}
+
+}  // namespace
+
+Result<SampleResult> SamplePairs(const Table& a, const Table& b, size_t n,
+                                 int y, Cluster* cluster, Rng* rng,
+                                 SampleStrategy strategy) {
+  if (a.num_rows() == 0 || b.num_rows() == 0) {
+    return Status::InvalidArgument("sample_pairs: empty input table");
+  }
+  if (strategy == SampleStrategy::kUniformRandom) {
+    return SampleUniform(a, b, n, cluster, rng);
+  }
+  if (y < 2) return Status::InvalidArgument("sample_pairs: y must be >= 2");
+  SampleResult result;
+
+  // Identify string attributes of A (the "documents" of Section 5).
+  auto profiles = ProfileTable(a);
+  std::vector<size_t> string_cols;
+  for (size_t c = 0; c < profiles.size(); ++c) {
+    if (profiles[c].characteristic != AttrCharacteristic::kNumeric) {
+      string_cols.push_back(c);
+    }
+  }
+  if (string_cols.empty()) {
+    // Degenerate schema: fall back to random pairing only.
+    string_cols.push_back(0);
+  }
+
+  // MR job 1: inverted index over the word tokens of A's string attributes.
+  std::unordered_map<std::string, std::vector<RowId>> index;
+  std::vector<RowId> a_rows(a.num_rows());
+  for (RowId r = 0; r < a.num_rows(); ++r) a_rows[r] = r;
+  auto job1 = RunMapOnly<RowId, int>(
+      cluster, a_rows, {.name = "sample-index(A)"},
+      [&](const RowId& r, std::vector<int>*) {
+        std::vector<std::string> doc;
+        for (size_t c : string_cols) {
+          auto toks = WordTokens(a.Get(r, c));
+          doc.insert(doc.end(), toks.begin(), toks.end());
+        }
+        for (const auto& t : ToTokenSet(std::move(doc))) {
+          index[t].push_back(r);
+        }
+      });
+  result.time += job1.stats.Total();
+
+  // MR job 2: pair n/y random B tuples with y A-tuples each.
+  size_t num_b = std::min<size_t>(
+      b.num_rows(), std::max<size_t>(1, n / static_cast<size_t>(y)));
+  auto b_sample = rng->SampleWithoutReplacement(b.num_rows(), num_b);
+  std::vector<RowId> b_rows(b_sample.begin(), b_sample.end());
+
+  // Very frequent tokens pair everything with everything; skip postings
+  // longer than a cap when scoring shared tokens (standard stop-token rule).
+  const size_t posting_cap = std::max<size_t>(50, a.num_rows() / 20);
+  Rng job_rng = rng->Fork();
+
+  std::unordered_map<RowId, uint32_t> shared;
+  auto job2 = RunMapOnly<RowId, PairQuestion>(
+      cluster, b_rows, {.name = "sample-pairs(B)"},
+      [&](const RowId& br, std::vector<PairQuestion>* out) {
+        shared.clear();
+        std::vector<std::string> doc;
+        for (size_t c : string_cols) {
+          if (c < b.num_cols()) {
+            auto toks = WordTokens(b.Get(br, c));
+            doc.insert(doc.end(), toks.begin(), toks.end());
+          }
+        }
+        for (const auto& t : ToTokenSet(std::move(doc))) {
+          auto it = index.find(t);
+          if (it == index.end() || it->second.size() > posting_cap) continue;
+          for (RowId ar : it->second) ++shared[ar];
+        }
+        // Top y/2 by shared-token count (ties broken by row id for
+        // determinism).
+        std::vector<std::pair<uint32_t, RowId>> scored;
+        scored.reserve(shared.size());
+        for (auto [ar, cnt] : shared) scored.emplace_back(cnt, ar);
+        std::sort(scored.begin(), scored.end(), [](auto& l, auto& r) {
+          if (l.first != r.first) return l.first > r.first;
+          return l.second < r.second;
+        });
+        size_t y1 = std::min<size_t>(static_cast<size_t>(y) / 2,
+                                     scored.size());
+        std::vector<char> taken(a.num_rows(), 0);
+        for (size_t i = 0; i < y1; ++i) {
+          out->emplace_back(scored[i].second, br);
+          taken[scored[i].second] = 1;
+        }
+        // Fill the rest randomly from untaken A rows.
+        size_t want = static_cast<size_t>(y) - y1;
+        size_t guard = 0;
+        while (want > 0 && guard < static_cast<size_t>(y) * 20) {
+          RowId ar = static_cast<RowId>(job_rng.NextBelow(a.num_rows()));
+          ++guard;
+          if (taken[ar]) continue;
+          taken[ar] = 1;
+          out->emplace_back(ar, br);
+          --want;
+        }
+      });
+  result.time += job2.stats.Total();
+  result.pairs = std::move(job2.output);
+  return result;
+}
+
+}  // namespace falcon

@@ -1,0 +1,44 @@
+// Operator sample_pairs (Section 5 of the paper).
+//
+// Draws a sample S of n pairs from A x B without materializing A x B:
+// an inverted index is built over the smaller table A (MR job 1); then n/y
+// random B tuples are each paired with y/2 A-tuples sharing the most tokens
+// and y/2 random A-tuples (MR job 2). The token-biased half seeds S with
+// plausible matches; the random half keeps S representative.
+#ifndef FALCON_CORE_SAMPLE_PAIRS_H_
+#define FALCON_CORE_SAMPLE_PAIRS_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "crowd/crowd.h"
+#include "mapreduce/cluster.h"
+#include "table/table.h"
+
+namespace falcon {
+
+struct SampleResult {
+  std::vector<PairQuestion> pairs;
+  VDuration time;
+};
+
+/// Sampling strategy. The paper's token-biased sampler (Section 5) pairs
+/// each sampled B tuple with y/2 token-sharing A tuples and y/2 random
+/// ones; uniform sampling is the naive baseline it replaces (kept for the
+/// ablation bench — uniform samples contain almost no matches, starving
+/// active learning).
+enum class SampleStrategy {
+  kTokenBiased,
+  kUniformRandom,
+};
+
+/// Samples ~n pairs (a, b). `y` is the per-B-tuple pairing width (ignored
+/// by kUniformRandom).
+Result<SampleResult> SamplePairs(
+    const Table& a, const Table& b, size_t n, int y, Cluster* cluster,
+    Rng* rng, SampleStrategy strategy = SampleStrategy::kTokenBiased);
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_SAMPLE_PAIRS_H_

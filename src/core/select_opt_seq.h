@@ -1,0 +1,57 @@
+// Operator select_opt_seq (Section 6 of the paper).
+//
+// Enumerates subsets of the retained rules; orders each subset with the
+// 4-approximation greedy of Babu et al. (pipelined filters reduce to min-sum
+// set cover, NP-hard); scores every ordered sequence as
+//   score = alpha * prec - beta * sel - gamma * time
+// using bitmap coverages over sample S, the run-time recurrence over
+// sub-sequence selectivities, and the precision lower bound; returns the
+// best sequence.
+#ifndef FALCON_CORE_SELECT_OPT_SEQ_H_
+#define FALCON_CORE_SELECT_OPT_SEQ_H_
+
+#include <vector>
+
+#include "common/bitmap.h"
+#include "common/status.h"
+#include "common/vtime.h"
+#include "rules/rule.h"
+
+namespace falcon {
+
+struct SelectSeqOptions {
+  double alpha = 1.0;
+  double beta = 0.25;
+  /// Applied to estimated sequence time in microseconds per pair.
+  double gamma = 0.01;
+  /// Exhaustive subset cap: only the top `max_rules_exhaustive` rules (by
+  /// rank = [1 - sel] / time) enter enumeration.
+  int max_rules_exhaustive = 12;
+};
+
+struct SelectSeqResult {
+  RuleSequence sequence;  ///< selectivity field filled from S
+  double score = 0.0;
+  double precision_bound = 0.0;
+  double selectivity = 1.0;
+  /// Estimated per-pair run time of the sequence, seconds.
+  double time_per_pair = 0.0;
+  /// Wall-clock the driver spent optimizing (this operator is milliseconds;
+  /// it runs on the driver, not the cluster).
+  VDuration time;
+};
+
+/// Greedy 4-approximation ordering of one rule set (exposed for tests):
+/// returns indices into `rules` in execution order.
+std::vector<size_t> GreedyOrder(const std::vector<Rule>& rules,
+                                const std::vector<Bitmap>& coverage,
+                                size_t sample_size);
+
+Result<SelectSeqResult> SelectOptSeq(const std::vector<Rule>& rules,
+                                     const std::vector<Bitmap>& coverage,
+                                     size_t sample_size,
+                                     const SelectSeqOptions& options);
+
+}  // namespace falcon
+
+#endif  // FALCON_CORE_SELECT_OPT_SEQ_H_

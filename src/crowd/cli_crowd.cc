@@ -1,0 +1,63 @@
+#include "crowd/cli_crowd.h"
+
+#include <chrono>
+#include <istream>
+#include <ostream>
+
+#include "common/strings.h"
+
+namespace falcon {
+
+CliCrowd::CliCrowd(const Table* a, const Table* b, std::istream* in,
+                   std::ostream* out)
+    : a_(a), b_(b), in_(in), out_(out) {}
+
+void CliCrowd::Render(RowId a_row, RowId b_row) {
+  *out_ << "\n--- do these records match? ---\n";
+  const Schema& schema = a_->schema();
+  for (size_t c = 0; c < schema.num_attrs(); ++c) {
+    std::string_view va = a_->Get(a_row, c);
+    // Render B by the same attribute name where it exists.
+    int cb = b_->schema().IndexOf(schema.attr(c).name);
+    std::string_view vb = cb >= 0 ? b_->Get(b_row, cb) : "";
+    *out_ << "  " << schema.attr(c).name << ": [" << va << "]  vs  [" << vb
+          << "]\n";
+  }
+  *out_ << "same? [y/n] " << std::flush;
+}
+
+Result<LabelResult> CliCrowd::LabelPairs(
+    const std::vector<PairQuestion>& pairs, VoteScheme scheme) {
+  (void)scheme;
+  LabelResult result;
+  result.num_questions = pairs.size();
+  result.num_answers = pairs.size();
+  auto t0 = std::chrono::steady_clock::now();
+  for (const auto& [a_row, b_row] : pairs) {
+    for (;;) {
+      Render(a_row, b_row);
+      std::string line;
+      if (!std::getline(*in_, line)) {
+        return Status::IoError("labeling aborted: input stream closed");
+      }
+      std::string answer = ToLower(Trim(line));
+      if (answer == "y" || answer == "yes" || answer == "1") {
+        result.labels.push_back(true);
+        break;
+      }
+      if (answer == "n" || answer == "no" || answer == "0") {
+        result.labels.push_back(false);
+        break;
+      }
+      *out_ << "please answer y or n\n";
+    }
+  }
+  auto t1 = std::chrono::steady_clock::now();
+  result.latency =
+      VDuration::Seconds(std::chrono::duration<double>(t1 - t0).count());
+  result.cost = 0.0;
+  Record(result);
+  return result;
+}
+
+}  // namespace falcon

@@ -1,0 +1,122 @@
+#include "crowd/crowd.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace falcon {
+
+Status BudgetLedger::Charge(double dollars) {
+  if (spent_ + dollars > cap_ + 1e-9) {
+    return Status::BudgetExhausted(
+        "crowd budget cap $" + std::to_string(cap_) + " would be exceeded");
+  }
+  spent_ += dollars;
+  return Status::OK();
+}
+
+double ComputeCostCap(const CostCapParams& p) {
+  return (2.0 * p.n_m * p.v_m + static_cast<double>(p.k) * p.n_e * p.v_e) *
+         p.h * p.q * p.c;
+}
+
+void CrowdPlatform::Record(const LabelResult& r) {
+  total_questions_ += r.num_questions;
+  total_answers_ += r.num_answers;
+  total_cost_ += r.cost;
+  total_crowd_time_ += r.latency;
+}
+
+void CrowdPlatform::ResetAccounting() {
+  total_questions_ = 0;
+  total_answers_ = 0;
+  total_cost_ = 0.0;
+  total_crowd_time_ = VDuration::Zero();
+}
+
+SimulatedCrowd::SimulatedCrowd(SimulatedCrowdConfig config, TruthOracle oracle)
+    : config_(config), oracle_(std::move(oracle)), rng_(config.seed) {
+  ledger_ = BudgetLedger(config.budget_cap);
+}
+
+bool SimulatedCrowd::OneAnswer(bool truth) {
+  return rng_.Bernoulli(config_.error_rate) ? !truth : truth;
+}
+
+Result<LabelResult> SimulatedCrowd::LabelPairs(
+    const std::vector<PairQuestion>& pairs, VoteScheme scheme) {
+  LabelResult result;
+  result.num_questions = pairs.size();
+  result.labels.reserve(pairs.size());
+
+  size_t answers = 0;
+  for (const auto& [a, b] : pairs) {
+    bool truth = oracle_(a, b);
+    int yes = 0;
+    int no = 0;
+    if (scheme == VoteScheme::kMajority3) {
+      for (int i = 0; i < 3; ++i) {
+        (OneAnswer(truth) ? yes : no)++;
+      }
+      answers += 3;
+    } else {
+      // Strong majority: stop as soon as one side holds 4 votes; at most 7.
+      while (yes < 4 && no < 4 && yes + no < 7) {
+        (OneAnswer(truth) ? yes : no)++;
+        ++answers;
+      }
+    }
+    result.labels.push_back(yes > no);
+  }
+  result.num_answers = answers;
+  result.cost = static_cast<double>(answers) * config_.cost_per_answer;
+  FALCON_RETURN_NOT_OK(ledger_.Charge(result.cost));
+
+  // Latency: HITs of `questions_per_hit` posted in parallel; the batch waits
+  // for the slowest HIT. Extra strong-majority answers lengthen a HIT
+  // proportionally (more assignments must come back).
+  if (!pairs.empty()) {
+    size_t num_hits = (pairs.size() + config_.questions_per_hit - 1) /
+                      static_cast<size_t>(config_.questions_per_hit);
+    double answers_per_question =
+        static_cast<double>(answers) / pairs.size();
+    double base_votes = scheme == VoteScheme::kMajority3 ? 3.0 : 3.0;
+    double stretch = std::max(1.0, answers_per_question / base_votes);
+    double slowest = 0.0;
+    for (size_t h = 0; h < num_hits; ++h) {
+      double jitter = std::exp(rng_.NextGaussian(0.0, config_.latency_sigma));
+      slowest = std::max(slowest, jitter);
+    }
+    result.latency = VDuration::Seconds(config_.hit_latency_mean.seconds *
+                                        slowest * stretch);
+  }
+  Record(result);
+  return result;
+}
+
+OracleCrowd::OracleCrowd(OracleCrowdConfig config, TruthOracle oracle)
+    : config_(config), oracle_(std::move(oracle)), rng_(config.seed) {
+  ledger_ = BudgetLedger(std::numeric_limits<double>::infinity());
+}
+
+Result<LabelResult> OracleCrowd::LabelPairs(
+    const std::vector<PairQuestion>& pairs, VoteScheme scheme) {
+  (void)scheme;  // one expert answers once regardless of scheme
+  LabelResult result;
+  result.num_questions = pairs.size();
+  result.num_answers = pairs.size();
+  result.cost = 0.0;
+  result.labels.reserve(pairs.size());
+  for (const auto& [a, b] : pairs) {
+    bool truth = oracle_(a, b);
+    result.labels.push_back(rng_.Bernoulli(config_.error_rate) ? !truth
+                                                               : truth);
+  }
+  // Sequential labeling: the expert works through the batch pair by pair.
+  result.latency = VDuration::Seconds(config_.seconds_per_pair.seconds *
+                                      static_cast<double>(pairs.size()));
+  Record(result);
+  return result;
+}
+
+}  // namespace falcon

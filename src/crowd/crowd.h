@@ -1,0 +1,175 @@
+// Crowdsourcing platforms.
+//
+// Falcon's crowd operators (al_matcher, eval_rules) post batches of tuple
+// pairs as HITs (10 questions per HIT, 2 HITs per iteration, 2 cents per
+// answer in the paper). This module simulates such a platform: workers answer
+// with a configurable error rate (the "random worker model" the paper itself
+// uses for its sensitivity studies, Section 11.4), answers are aggregated by
+// majority voting (3 answers per question) or the strong-majority scheme of
+// eval_rules (up to 7 answers), latency is drawn per HIT, and every answer is
+// charged to a budget ledger.
+//
+// An OracleCrowd models the in-house "crowd of one" of the drug-matching
+// deployment (Section 11.1): zero error, zero cost, sequential labeling.
+#ifndef FALCON_CROWD_CROWD_H_
+#define FALCON_CROWD_CROWD_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vtime.h"
+#include "table/table.h"
+
+namespace falcon {
+
+/// A question to the crowd: does A-row `a` match B-row `b`?
+using PairQuestion = std::pair<RowId, RowId>;
+
+/// Ground-truth oracle provided by the experiment harness. The EM pipeline
+/// itself never sees this function; it only sees crowd answers.
+using TruthOracle = std::function<bool(RowId a, RowId b)>;
+
+/// How per-question worker answers are aggregated.
+enum class VoteScheme {
+  /// 3 answers, majority (al_matcher; v_m = 3 in the cost-cap formula).
+  kMajority3,
+  /// Answers are collected until one side holds 4 votes, up to 7 answers,
+  /// then majority (eval_rules; v_e = 7).
+  kStrongMajority7,
+};
+
+/// Tracks crowdsourcing spend against the C_max cap of Section 3.4.
+class BudgetLedger {
+ public:
+  explicit BudgetLedger(double cap_dollars = 349.60) : cap_(cap_dollars) {}
+
+  /// Charges `dollars`; fails without charging if the cap would be exceeded.
+  Status Charge(double dollars);
+
+  double spent() const { return spent_; }
+  double cap() const { return cap_; }
+  double remaining() const { return cap_ - spent_; }
+
+ private:
+  double cap_;
+  double spent_ = 0.0;
+};
+
+/// Computes the paper's closed-form crowd-cost cap
+///   C_max = (2*n_m*v_m + k*n_e*v_e) * h * q * c
+/// with the defaults of Section 3.4 yielding $349.60.
+struct CostCapParams {
+  int n_m = 29;  ///< max al_matcher iterations beyond the seed iteration
+  int v_m = 3;   ///< answers per question in al_matcher
+  int k = 20;    ///< rules evaluated by eval_rules
+  int n_e = 5;   ///< max iterations per rule in eval_rules
+  int v_e = 7;   ///< max answers per question in eval_rules
+  int h = 2;     ///< HITs per iteration
+  int q = 10;    ///< questions per HIT
+  double c = 0.02;  ///< dollars per answer
+};
+double ComputeCostCap(const CostCapParams& params = {});
+
+/// Result of labeling one batch of pairs.
+struct LabelResult {
+  /// Aggregated label per input pair (true = match).
+  std::vector<bool> labels;
+  size_t num_questions = 0;
+  /// Total worker answers consumed (cost unit).
+  size_t num_answers = 0;
+  double cost = 0.0;
+  /// Virtual wall-clock latency of the batch.
+  VDuration latency;
+};
+
+/// Abstract crowd platform.
+class CrowdPlatform {
+ public:
+  virtual ~CrowdPlatform() = default;
+
+  /// Posts `pairs` to the crowd and returns aggregated labels. Accounting
+  /// (questions, answers, cost, crowd time) accumulates on the platform.
+  virtual Result<LabelResult> LabelPairs(
+      const std::vector<PairQuestion>& pairs, VoteScheme scheme) = 0;
+
+  size_t total_questions() const { return total_questions_; }
+  size_t total_answers() const { return total_answers_; }
+  double total_cost() const { return total_cost_; }
+  VDuration total_crowd_time() const { return total_crowd_time_; }
+  BudgetLedger& ledger() { return ledger_; }
+
+  void ResetAccounting();
+
+ protected:
+  void Record(const LabelResult& r);
+
+  BudgetLedger ledger_;
+  size_t total_questions_ = 0;
+  size_t total_answers_ = 0;
+  double total_cost_ = 0.0;
+  VDuration total_crowd_time_;
+};
+
+/// Configuration of the simulated Mechanical Turk crowd.
+struct SimulatedCrowdConfig {
+  /// Probability that a single worker answer is wrong.
+  double error_rate = 0.05;
+  /// Mean latency for one HIT (all its assignments) to complete. The paper's
+  /// simulated-crowd experiments use 1.5 minutes per 10-question HIT.
+  VDuration hit_latency_mean = VDuration::Minutes(1.5);
+  /// Multiplicative jitter: latency = mean * exp(N(0, sigma^2)), clamped.
+  double latency_sigma = 0.25;
+  int questions_per_hit = 10;
+  double cost_per_answer = 0.02;
+  double budget_cap = 349.60;
+  uint64_t seed = 1;
+};
+
+/// Simulated crowd of random workers over a ground-truth oracle.
+class SimulatedCrowd : public CrowdPlatform {
+ public:
+  SimulatedCrowd(SimulatedCrowdConfig config, TruthOracle oracle);
+
+  Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
+                                 VoteScheme scheme) override;
+
+  const SimulatedCrowdConfig& config() const { return config_; }
+
+ private:
+  bool OneAnswer(bool truth);
+
+  SimulatedCrowdConfig config_;
+  TruthOracle oracle_;
+  Rng rng_;
+};
+
+/// Configuration of an in-house expert "crowd of one".
+struct OracleCrowdConfig {
+  /// Time the expert spends per pair.
+  VDuration seconds_per_pair = VDuration::Seconds(7.0);
+  /// Experts can still err occasionally; default 0.
+  double error_rate = 0.0;
+  uint64_t seed = 1;
+};
+
+/// A single in-house labeler: sequential, free, (near-)perfect.
+class OracleCrowd : public CrowdPlatform {
+ public:
+  OracleCrowd(OracleCrowdConfig config, TruthOracle oracle);
+
+  Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
+                                 VoteScheme scheme) override;
+
+ private:
+  OracleCrowdConfig config_;
+  TruthOracle oracle_;
+  Rng rng_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_CROWD_CROWD_H_

@@ -1,0 +1,43 @@
+// Umbrella header: the public Falcon API.
+//
+//   #include "falcon.h"
+//
+// pulls in everything a typical embedding needs — tables and CSV I/O, crowd
+// platforms, the cluster, the pipeline, quality metrics, and artifact
+// serialization. Individual headers remain includable for finer-grained
+// dependencies (see README.md for the module map).
+#ifndef FALCON_FALCON_H_
+#define FALCON_FALCON_H_
+
+#include "blocking/apply.h"
+#include "blocking/index_builder.h"
+#include "blocking/kbb.h"
+#include "blocking/sorted_neighborhood.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/vtime.h"
+#include "core/accuracy_estimator.h"
+#include "core/al_matcher.h"
+#include "core/apply_matcher.h"
+#include "core/config.h"
+#include "core/eval_rules.h"
+#include "core/gen_fvs.h"
+#include "core/get_rules.h"
+#include "core/pipeline.h"
+#include "core/sample_pairs.h"
+#include "core/select_opt_seq.h"
+#include "crowd/cli_crowd.h"
+#include "crowd/crowd.h"
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+#include "rules/feature.h"
+#include "rules/rule.h"
+#include "rules/serialize.h"
+#include "table/csv.h"
+#include "table/profile.h"
+#include "table/schema.h"
+#include "table/table.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+#endif  // FALCON_FALCON_H_

@@ -1,0 +1,40 @@
+#include "index/hash_index.h"
+
+#include "common/strings.h"
+
+namespace falcon {
+
+const std::vector<RowId> HashIndex::kEmpty;
+
+HashIndex HashIndex::Build(const Table& table, size_t col) {
+  HashIndex idx;
+  for (RowId r = 0; r < table.num_rows(); ++r) {
+    idx.Insert(table.Get(r, col), r);
+  }
+  return idx;
+}
+
+void HashIndex::Insert(std::string_view value, RowId row) {
+  if (value.empty()) {
+    missing_.push_back(row);
+    return;
+  }
+  map_[ToLower(Trim(value))].push_back(row);
+}
+
+const std::vector<RowId>& HashIndex::Probe(std::string_view value) const {
+  auto it = map_.find(ToLower(Trim(value)));
+  return it == map_.end() ? kEmpty : it->second;
+}
+
+size_t HashIndex::MemoryUsage() const {
+  size_t bytes = missing_.capacity() * sizeof(RowId);
+  for (const auto& [key, rows] : map_) {
+    bytes += sizeof(std::string) + rows.capacity() * sizeof(RowId) +
+             sizeof(void*) * 2;
+    if (key.capacity() > sizeof(std::string)) bytes += key.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace falcon

@@ -1,0 +1,50 @@
+// Hash index for the equivalence filter.
+//
+// Built over a (normalized) attribute of table A; probed with a B-tuple's
+// value to find all A-tuples whose value is exactly equal (Section 7.4,
+// filter 1). A-tuples with missing values are tracked separately: a missing
+// value cannot prove a non-match, so such tuples must remain candidates
+// (see blocking/filters.h for the semantics).
+#ifndef FALCON_INDEX_HASH_INDEX_H_
+#define FALCON_INDEX_HASH_INDEX_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+
+namespace falcon {
+
+/// Equality index: normalized value -> row ids.
+class HashIndex {
+ public:
+  /// Builds over column `col` of `table`. Values are normalized by trimming
+  /// and lowercasing (matching ExactMatchSim's semantics).
+  static HashIndex Build(const Table& table, size_t col);
+
+  /// Inserts one (value, row) pair; empty values go to the missing list.
+  void Insert(std::string_view value, RowId row);
+
+  /// Row ids whose value equals `value` (after normalization). Does NOT
+  /// include missing-value rows; callers append missing_rows() as required.
+  const std::vector<RowId>& Probe(std::string_view value) const;
+
+  /// Rows whose indexed value is missing.
+  const std::vector<RowId>& missing_rows() const { return missing_; }
+
+  size_t num_keys() const { return map_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<RowId>> map_;
+  std::vector<RowId> missing_;
+  static const std::vector<RowId> kEmpty;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_INDEX_HASH_INDEX_H_

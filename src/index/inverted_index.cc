@@ -1,0 +1,32 @@
+#include "index/inverted_index.h"
+
+namespace falcon {
+
+const std::vector<Posting> InvertedIndex::kEmpty;
+
+void InvertedIndex::AddPrefix(RowId row,
+                              const std::vector<std::string>& prefix,
+                              uint32_t set_size) {
+  for (uint32_t i = 0; i < prefix.size(); ++i) {
+    postings_[prefix[i]].push_back(Posting{row, i, set_size});
+    ++num_postings_;
+  }
+}
+
+const std::vector<Posting>& InvertedIndex::Probe(
+    const std::string& token) const {
+  auto it = postings_.find(token);
+  return it == postings_.end() ? kEmpty : it->second;
+}
+
+size_t InvertedIndex::MemoryUsage() const {
+  size_t bytes = missing_.capacity() * sizeof(RowId);
+  for (const auto& [token, list] : postings_) {
+    bytes += sizeof(std::string) + list.capacity() * sizeof(Posting) +
+             sizeof(void*) * 2;
+    if (token.capacity() > sizeof(std::string)) bytes += token.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace falcon

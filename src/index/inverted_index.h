@@ -1,0 +1,58 @@
+// Inverted index over prefix tokens, for the prefix and position filters.
+//
+// For every A-tuple, the attribute value is tokenized, the tokens are
+// reordered by the global token ordering (rarest first), and the first
+// `prefix_len` tokens are indexed with their positions (Section 7.5, third
+// MapReduce job). Postings carry (row, position, set size) so that probes can
+// apply the position filter without a second lookup.
+#ifndef FALCON_INDEX_INVERTED_INDEX_H_
+#define FALCON_INDEX_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "table/table.h"
+
+namespace falcon {
+
+/// One posting of the prefix inverted index.
+struct Posting {
+  RowId row;
+  uint32_t position;  ///< 0-based position of the token in the reordered set
+  uint32_t set_size;  ///< total tokens in the row's set
+};
+
+/// Inverted index over the prefix tokens of table A's token sets.
+class InvertedIndex {
+ public:
+  /// Adds the prefix of one row: `prefix` holds the first tokens of the
+  /// globally reordered token set, `set_size` the full set size.
+  void AddPrefix(RowId row, const std::vector<std::string>& prefix,
+                 uint32_t set_size);
+
+  /// Marks `row` as having a missing value for the indexed attribute.
+  void AddMissing(RowId row) { missing_.push_back(row); }
+
+  /// Postings for `token` (empty vector if absent).
+  const std::vector<Posting>& Probe(const std::string& token) const;
+
+  const std::vector<RowId>& missing_rows() const { return missing_; }
+
+  size_t num_tokens() const { return postings_.size(); }
+  size_t num_postings() const { return num_postings_; }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<RowId> missing_;
+  size_t num_postings_ = 0;
+  static const std::vector<Posting> kEmpty;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,38 @@
+#include "index/length_index.h"
+
+#include <algorithm>
+
+namespace falcon {
+
+void LengthIndex::Add(uint32_t len, RowId row) {
+  if (row >= row_len_.size()) row_len_.resize(row + 1, 0);
+  row_len_[row] = len;
+  if (len == 0) {
+    missing_.push_back(row);
+    return;
+  }
+  if (len >= buckets_.size()) buckets_.resize(len + 1);
+  buckets_[len].push_back(row);
+}
+
+void LengthIndex::ProbeRange(int64_t lo, int64_t hi,
+                             std::vector<RowId>* out) const {
+  if (buckets_.empty()) return;
+  lo = std::max<int64_t>(lo, 1);
+  hi = std::min<int64_t>(hi, static_cast<int64_t>(buckets_.size()) - 1);
+  for (int64_t len = lo; len <= hi; ++len) {
+    const auto& rows = buckets_[static_cast<size_t>(len)];
+    out->insert(out->end(), rows.begin(), rows.end());
+  }
+}
+
+size_t LengthIndex::MemoryUsage() const {
+  size_t bytes = row_len_.capacity() * sizeof(uint32_t) +
+                 missing_.capacity() * sizeof(RowId);
+  for (const auto& b : buckets_) {
+    bytes += b.capacity() * sizeof(RowId) + sizeof(b);
+  }
+  return bytes;
+}
+
+}  // namespace falcon

@@ -1,0 +1,48 @@
+// Length index for the length filter.
+//
+// Maps token-set sizes to row ids of table A (Section 7.4, filter 3): for a
+// predicate like jaccard_word(a.title, b.title) >= 0.6 only A-tuples whose
+// title length (in tokens) lies in [0.6*|b.title|, |b.title|/0.6] can pass.
+#ifndef FALCON_INDEX_LENGTH_INDEX_H_
+#define FALCON_INDEX_LENGTH_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "table/table.h"
+
+namespace falcon {
+
+/// Buckets row ids by an integer length (token count).
+class LengthIndex {
+ public:
+  /// Records that `row` has token-set size `len`.
+  void Add(uint32_t len, RowId row);
+
+  /// Appends to *out all rows with length in [lo, hi] (inclusive, clamped).
+  void ProbeRange(int64_t lo, int64_t hi, std::vector<RowId>* out) const;
+
+  /// Token-set size recorded for `row`; 0 if never added.
+  uint32_t LengthOf(RowId row) const {
+    return row < row_len_.size() ? row_len_[row] : 0;
+  }
+
+  /// Rows added with length 0 are tracked as missing-value rows.
+  const std::vector<RowId>& missing_rows() const { return missing_; }
+
+  uint32_t max_length() const {
+    return buckets_.empty() ? 0 : static_cast<uint32_t>(buckets_.size() - 1);
+  }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::vector<std::vector<RowId>> buckets_;  // buckets_[len] -> rows
+  std::vector<uint32_t> row_len_;
+  std::vector<RowId> missing_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_INDEX_LENGTH_INDEX_H_

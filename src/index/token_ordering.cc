@@ -1,0 +1,54 @@
+#include "index/token_ordering.h"
+
+#include <algorithm>
+
+namespace falcon {
+
+TokenOrdering TokenOrdering::FromFrequencies(
+    const std::unordered_map<std::string, uint64_t>& freq) {
+  std::vector<std::pair<const std::string*, uint64_t>> items;
+  items.reserve(freq.size());
+  for (const auto& [token, count] : freq) items.emplace_back(&token, count);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return *a.first < *b.first;
+            });
+  TokenOrdering out;
+  out.rank_.reserve(items.size());
+  for (uint32_t i = 0; i < items.size(); ++i) {
+    out.rank_.emplace(*items[i].first, i);
+  }
+  return out;
+}
+
+bool TokenOrdering::Rank(const std::string& token, uint32_t* rank) const {
+  auto it = rank_.find(token);
+  if (it == rank_.end()) return false;
+  *rank = it->second;
+  return true;
+}
+
+void TokenOrdering::Sort(std::vector<std::string>* tokens) const {
+  std::sort(tokens->begin(), tokens->end(),
+            [this](const std::string& a, const std::string& b) {
+              uint32_t ra;
+              uint32_t rb;
+              bool ka = Rank(a, &ra);
+              bool kb = Rank(b, &rb);
+              if (ka != kb) return !ka;  // unknown (rarest) first
+              if (!ka) return a < b;
+              return ra < rb;
+            });
+}
+
+size_t TokenOrdering::MemoryUsage() const {
+  size_t bytes = rank_.size() * (sizeof(std::string) + sizeof(uint32_t) +
+                                 sizeof(void*) * 2);
+  for (const auto& [token, r] : rank_) {
+    if (token.capacity() > sizeof(std::string)) bytes += token.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace falcon

@@ -1,0 +1,47 @@
+// Global token ordering.
+//
+// Prefix filtering requires every token set to be reordered by a single
+// global token order (Section 7.5 of the paper: the second MapReduce job
+// sorts tokens by increasing frequency). Rare-first ordering makes prefixes
+// maximally selective.
+#ifndef FALCON_INDEX_TOKEN_ORDERING_H_
+#define FALCON_INDEX_TOKEN_ORDERING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace falcon {
+
+/// Maps tokens to ranks; rank 0 is the rarest token.
+class TokenOrdering {
+ public:
+  /// Builds from (token, frequency) counts: ascending frequency, ties broken
+  /// lexicographically for determinism.
+  static TokenOrdering FromFrequencies(
+      const std::unordered_map<std::string, uint64_t>& freq);
+
+  /// Rank of `token`; unseen tokens rank before everything (treated as
+  /// rarest, rank -1 conceptually; returned as 0 with unseen flag folded in
+  /// by sorting unseen tokens lexicographically first).
+  /// Returns true and sets *rank if the token is known.
+  bool Rank(const std::string& token, uint32_t* rank) const;
+
+  size_t size() const { return rank_.size(); }
+
+  /// Sorts `tokens` by this ordering. Unknown tokens (absent from the corpus
+  /// the ordering was built on) sort first — they are rarer than anything
+  /// seen — among themselves lexicographically.
+  void Sort(std::vector<std::string>* tokens) const;
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::unordered_map<std::string, uint32_t> rank_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_INDEX_TOKEN_ORDERING_H_

@@ -1,0 +1,85 @@
+// CART decision trees.
+//
+// Falcon learns random forests whose trees it later *inspects*: every path
+// from a root to a "No" (non-match) leaf becomes a candidate blocking rule
+// (Section 3.2 / get_blocking_rules). Trees therefore expose their full node
+// structure, not just a predict() method.
+//
+// Feature vectors are std::vector<double>; NaN encodes a missing value.
+// At a split, NaN-valued examples follow the branch that received the
+// majority of training examples (recorded per node), a standard surrogate-
+// free missing-value policy.
+#ifndef FALCON_LEARN_DECISION_TREE_H_
+#define FALCON_LEARN_DECISION_TREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace falcon {
+
+/// A feature vector; NaN entries are missing values.
+using FeatureVec = std::vector<double>;
+
+/// One node of a decision tree, stored in a flat pool.
+struct TreeNode {
+  bool is_leaf = true;
+  /// Leaf: predicted label (true = match).
+  bool prediction = false;
+  /// Leaf: fraction of training examples with the predicted label.
+  double purity = 1.0;
+  /// Leaf: number of training examples that reached the leaf.
+  uint32_t support = 0;
+  /// Inner: split feature index; goes left iff feature <= threshold.
+  int feature = -1;
+  double threshold = 0.0;
+  /// Inner: side taken by examples whose split feature is NaN.
+  bool nan_goes_left = true;
+  int left = -1;
+  int right = -1;
+};
+
+struct TreeOptions {
+  int max_depth = 10;
+  uint32_t min_samples_leaf = 2;
+  /// Features considered at each split; 0 = all, otherwise a random subset
+  /// of this size (random forests pass ~sqrt(num_features)).
+  int features_per_split = 0;
+  /// Max candidate thresholds examined per feature (quantile-spaced).
+  int max_thresholds = 32;
+};
+
+/// A trained CART tree (Gini impurity).
+class DecisionTree {
+ public:
+  /// Trains on `examples`/`labels` (parallel vectors). `indices` selects the
+  /// training subset (bootstrap sample); empty = all.
+  static DecisionTree Train(const std::vector<FeatureVec>& examples,
+                            const std::vector<char>& labels,
+                            const std::vector<uint32_t>& indices,
+                            const TreeOptions& options, Rng* rng);
+
+  /// Reconstructs a tree from a node pool (deserialization). The pool must
+  /// be non-empty with node 0 as root and in-bounds child links.
+  static DecisionTree FromNodes(std::vector<TreeNode> nodes);
+
+  /// Predicted label for `fv`.
+  bool Predict(const FeatureVec& fv) const;
+
+  /// Index of the leaf `fv` lands in.
+  int LeafOf(const FeatureVec& fv) const;
+
+  const std::vector<TreeNode>& nodes() const { return nodes_; }
+  int root() const { return nodes_.empty() ? -1 : 0; }
+
+  /// Number of leaves.
+  size_t num_leaves() const;
+
+ private:
+  std::vector<TreeNode> nodes_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_LEARN_DECISION_TREE_H_

@@ -1,0 +1,56 @@
+// Random forests (Breiman 2001), the matcher model of Corleone/Falcon.
+//
+// The forest is both a classifier (apply_matcher) and the source of blocking
+// rules: get_blocking_rules extracts root-to-"No"-leaf paths from its trees.
+// It also drives active learning: the fraction of trees voting "match" gives
+// the committee disagreement used to pick controversial pairs.
+#ifndef FALCON_LEARN_RANDOM_FOREST_H_
+#define FALCON_LEARN_RANDOM_FOREST_H_
+
+#include <vector>
+
+#include "common/rng.h"
+#include "learn/decision_tree.h"
+
+namespace falcon {
+
+struct ForestOptions {
+  int num_trees = 10;
+  TreeOptions tree;
+  /// Bootstrap-sample the training set per tree.
+  bool bootstrap = true;
+  /// If 0, features_per_split defaults to ceil(sqrt(num_features)).
+};
+
+/// A bagged ensemble of CART trees with majority voting.
+class RandomForest {
+ public:
+  RandomForest() = default;
+  /// Reconstructs a forest from trees (deserialization).
+  explicit RandomForest(std::vector<DecisionTree> trees)
+      : trees_(std::move(trees)) {}
+
+  /// Trains on parallel vectors `examples` / `labels` (true = match).
+  static RandomForest Train(const std::vector<FeatureVec>& examples,
+                            const std::vector<char>& labels,
+                            const ForestOptions& options, Rng* rng);
+
+  /// Majority vote over the trees.
+  bool Predict(const FeatureVec& fv) const;
+
+  /// Fraction of trees voting "match" in [0, 1]. 0.5 = maximal disagreement.
+  double PositiveFraction(const FeatureVec& fv) const;
+
+  /// Committee disagreement: entropy of the vote split in [0, 1].
+  double Disagreement(const FeatureVec& fv) const;
+
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_LEARN_RANDOM_FOREST_H_

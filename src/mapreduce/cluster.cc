@@ -1,0 +1,68 @@
+#include "mapreduce/cluster.h"
+
+#include <algorithm>
+#include <queue>
+
+namespace falcon {
+
+JobStats::Phase JobStats::PhaseAt(VDuration t) const {
+  if (t.seconds < 0) return Phase::kNotStarted;
+  VDuration acc = startup;
+  if (t < acc) return Phase::kMap;  // startup counts toward the map phase
+  acc += map_time;
+  if (t < acc) return Phase::kMap;
+  acc += shuffle_time;
+  if (t < acc) return Phase::kShuffle;
+  acc += reduce_time;
+  if (t < acc) return Phase::kReduce;
+  return Phase::kDone;
+}
+
+double JobStats::ReduceFractionAt(VDuration t) const {
+  VDuration reduce_start = startup + map_time + shuffle_time;
+  if (reduce_time.seconds <= 0.0) return t >= reduce_start ? 1.0 : 0.0;
+  double f = (t - reduce_start).seconds / reduce_time.seconds;
+  return std::clamp(f, 0.0, 1.0);
+}
+
+VDuration Cluster::ScheduleMakespan(const std::vector<double>& task_seconds,
+                                    int workers) const {
+  if (task_seconds.empty()) return VDuration::Zero();
+  workers = std::max(workers, 1);
+  std::vector<double> tasks = task_seconds;
+  std::sort(tasks.begin(), tasks.end(), std::greater<double>());
+  // Min-heap of worker loads (greedy LPT).
+  std::priority_queue<double, std::vector<double>, std::greater<double>> loads;
+  for (int i = 0; i < workers; ++i) loads.push(0.0);
+  const double overhead = config_.task_overhead.seconds;
+  for (double t : tasks) {
+    double load = loads.top();
+    loads.pop();
+    loads.push(load + t * config_.core_speed_factor + overhead);
+  }
+  double makespan = 0.0;
+  while (!loads.empty()) {
+    makespan = loads.top();
+    loads.pop();
+  }
+  return VDuration::Seconds(makespan);
+}
+
+VDuration Cluster::ShuffleTime(size_t bytes) const {
+  double bandwidth =
+      config_.shuffle_bandwidth_per_node * std::max(config_.num_nodes, 1);
+  if (bandwidth <= 0.0) return VDuration::Zero();
+  return VDuration::Seconds(static_cast<double>(bytes) / bandwidth);
+}
+
+void Cluster::RecordJob(const JobStats& stats) {
+  total_machine_time_ += stats.Total();
+  job_history_.push_back(stats);
+}
+
+void Cluster::ResetAccounting() {
+  total_machine_time_ = VDuration::Zero();
+  job_history_.clear();
+}
+
+}  // namespace falcon

@@ -1,0 +1,123 @@
+// Simulated Hadoop cluster.
+//
+// The paper runs Falcon on a 10-node Hadoop cluster (8-core Xeon, 8 GB per
+// node). This module reproduces the *contract* of that cluster on a single
+// machine: jobs are expressed as map/reduce functions, inputs are divided
+// into splits, user code is executed for real (so outputs are exact), and
+// job durations are accounted on a virtual clock that models parallel
+// execution across the configured nodes/slots, per-task scheduling overhead,
+// job startup cost, and shuffle bandwidth. Cluster-size scaling experiments
+// (Section 11.4) and the crowd-time masking scheduler (Section 10.2) consume
+// these virtual durations.
+#ifndef FALCON_MAPREDUCE_CLUSTER_H_
+#define FALCON_MAPREDUCE_CLUSTER_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/vtime.h"
+
+namespace falcon {
+
+/// Static description of the simulated cluster.
+struct ClusterConfig {
+  /// Number of worker nodes.
+  int num_nodes = 10;
+  /// Parallel map tasks per node (cores).
+  int map_slots_per_node = 8;
+  /// Parallel reduce tasks per node.
+  int reduce_slots_per_node = 8;
+  /// Memory available to each mapper for in-memory indexes. The paper's
+  /// experiments use 2 GB / 1 GB / 500 MB; benches scale this together with
+  /// the data.
+  size_t mapper_memory_bytes = size_t{2} * 1024 * 1024 * 1024;
+  /// Memory available to each reducer (used by the intermediate-output
+  /// optimization of Section 7.3, which ships B-tuple ids instead of tuples
+  /// when an id->tuple index of B fits in reducer memory).
+  size_t reducer_memory_bytes = size_t{2} * 1024 * 1024 * 1024;
+  /// Fixed virtual cost of launching a job (JVM spin-up, scheduling).
+  VDuration job_startup = VDuration::Seconds(2.0);
+  /// Per-task scheduling overhead.
+  VDuration task_overhead = VDuration::Seconds(0.05);
+  /// Aggregate shuffle bandwidth per node, bytes/second.
+  double shuffle_bandwidth_per_node = 200.0 * 1024 * 1024;
+  /// Virtual speed of one cluster core relative to the local CPU executing
+  /// the user code (>1 means cluster cores are slower).
+  double core_speed_factor = 1.0;
+};
+
+/// Hadoop-style named counters.
+using Counters = std::map<std::string, int64_t>;
+
+/// Virtual-time breakdown of one executed job.
+struct JobStats {
+  std::string name;
+  VDuration startup;
+  VDuration map_time;      ///< virtual makespan of the map phase
+  VDuration shuffle_time;  ///< intermediate data transfer
+  VDuration reduce_time;   ///< virtual makespan of the reduce phase
+  size_t num_map_tasks = 0;
+  size_t num_reduce_tasks = 0;
+  size_t input_records = 0;
+  size_t intermediate_records = 0;
+  size_t intermediate_bytes = 0;
+  size_t output_records = 0;
+  Counters counters;
+
+  VDuration Total() const {
+    return startup + map_time + shuffle_time + reduce_time;
+  }
+
+  /// Phase of the job at virtual offset `t` from job start.
+  enum class Phase { kNotStarted, kMap, kShuffle, kReduce, kDone };
+  Phase PhaseAt(VDuration t) const;
+
+  /// Fraction of the reduce phase complete at offset `t` (0 before the
+  /// reduce phase, 1 after it).
+  double ReduceFractionAt(VDuration t) const;
+};
+
+/// A simulated cluster: configuration plus accumulated accounting.
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig config = {}) : config_(config) {}
+
+  const ClusterConfig& config() const { return config_; }
+
+  int total_map_slots() const {
+    return config_.num_nodes * config_.map_slots_per_node;
+  }
+  int total_reduce_slots() const {
+    return config_.num_nodes * config_.reduce_slots_per_node;
+  }
+
+  /// Computes the virtual makespan of scheduling `task_seconds` (real
+  /// measured seconds of user code per task) onto `workers` parallel slots
+  /// using greedy longest-processing-time assignment, including per-task
+  /// overhead and the core speed factor.
+  VDuration ScheduleMakespan(const std::vector<double>& task_seconds,
+                             int workers) const;
+
+  /// Virtual time to shuffle `bytes` across the cluster.
+  VDuration ShuffleTime(size_t bytes) const;
+
+  /// Records a finished job in the accounting ledger.
+  void RecordJob(const JobStats& stats);
+
+  /// Sum of virtual durations of all executed jobs.
+  VDuration total_machine_time() const { return total_machine_time_; }
+  const std::vector<JobStats>& job_history() const { return job_history_; }
+  void ResetAccounting();
+
+ private:
+  ClusterConfig config_;
+  VDuration total_machine_time_;
+  std::vector<JobStats> job_history_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_MAPREDUCE_CLUSTER_H_

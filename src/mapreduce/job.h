@@ -1,0 +1,232 @@
+// MapReduce job execution.
+//
+// Jobs are expressed with C++ lambdas for map and reduce. User code runs for
+// real (outputs are exact); real per-task CPU time is measured and converted
+// to a virtual makespan by Cluster::ScheduleMakespan, so the same execution
+// yields both correct results and cluster-calibrated virtual durations.
+//
+// Determinism: splits, partitions, and group iteration are derived purely
+// from the input order and key hashes, so repeated runs of the same binary
+// on the same input produce identical outputs and identical record counts.
+#ifndef FALCON_MAPREDUCE_JOB_H_
+#define FALCON_MAPREDUCE_JOB_H_
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "mapreduce/cluster.h"
+
+namespace falcon {
+
+// --- intermediate byte-size estimation --------------------------------------
+
+inline size_t EstimateBytes(const std::string& s) { return s.size() + 16; }
+inline size_t EstimateBytes(uint32_t) { return sizeof(uint32_t); }
+inline size_t EstimateBytes(uint64_t) { return sizeof(uint64_t); }
+inline size_t EstimateBytes(int32_t) { return sizeof(int32_t); }
+inline size_t EstimateBytes(int64_t) { return sizeof(int64_t); }
+inline size_t EstimateBytes(double) { return sizeof(double); }
+template <typename A, typename B>
+size_t EstimateBytes(const std::pair<A, B>& p) {
+  return EstimateBytes(p.first) + EstimateBytes(p.second);
+}
+template <typename T>
+size_t EstimateBytes(const std::vector<T>& v) {
+  size_t bytes = 16;
+  for (const auto& x : v) bytes += EstimateBytes(x);
+  return bytes;
+}
+
+// --- emitter -----------------------------------------------------------------
+
+/// Collects (key, value) pairs emitted by one map task.
+template <typename K, typename V>
+class Emitter {
+ public:
+  void Emit(K key, V value) {
+    bytes_ += EstimateBytes(key) + EstimateBytes(value);
+    pairs_.emplace_back(std::move(key), std::move(value));
+  }
+  /// Hadoop-style counter, aggregated into JobStats::counters.
+  void Increment(const std::string& counter, int64_t by = 1) {
+    counters_[counter] += by;
+  }
+
+  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+  size_t bytes() const { return bytes_; }
+  Counters& counters() { return counters_; }
+
+ private:
+  std::vector<std::pair<K, V>> pairs_;
+  size_t bytes_ = 0;
+  Counters counters_;
+};
+
+/// Options controlling split/partition counts and virtual setup cost.
+struct JobOptions {
+  std::string name = "job";
+  /// Number of input splits; 0 = 2 tasks per map slot.
+  size_t num_splits = 0;
+  /// Number of reduce partitions; 0 = one per reduce slot.
+  size_t num_reducers = 0;
+  /// Virtual seconds charged to every map task before user code, modeling
+  /// e.g. loading filter indexes into mapper memory (map-setup of
+  /// Algorithm 1).
+  double map_setup_seconds = 0.0;
+};
+
+/// Result of a job: exact output plus virtual-time stats.
+template <typename OutT>
+struct JobOutput {
+  std::vector<OutT> output;
+  JobStats stats;
+};
+
+namespace internal {
+
+inline double MeasureSeconds(const std::function<void()>& fn) {
+  auto t0 = std::chrono::steady_clock::now();
+  fn();
+  auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t1 - t0).count();
+}
+
+inline std::vector<std::pair<size_t, size_t>> MakeSplits(size_t n,
+                                                         size_t num_splits) {
+  std::vector<std::pair<size_t, size_t>> splits;
+  if (n == 0) return splits;
+  num_splits = std::max<size_t>(1, std::min(num_splits, n));
+  size_t base = n / num_splits;
+  size_t rem = n % num_splits;
+  size_t begin = 0;
+  for (size_t i = 0; i < num_splits; ++i) {
+    size_t len = base + (i < rem ? 1 : 0);
+    splits.emplace_back(begin, begin + len);
+    begin += len;
+  }
+  return splits;
+}
+
+}  // namespace internal
+
+/// Runs a full map-shuffle-reduce job over `input`.
+///
+/// `map_fn(item, emitter)` is invoked once per input item;
+/// `reduce_fn(key, values, output)` once per distinct key.
+template <typename InT, typename K, typename V, typename OutT>
+JobOutput<OutT> RunMapReduce(
+    Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
+    const std::function<void(const InT&, Emitter<K, V>*)>& map_fn,
+    const std::function<void(const K&, const std::vector<V>&,
+                             std::vector<OutT>*)>& reduce_fn) {
+  JobOutput<OutT> result;
+  JobStats& stats = result.stats;
+  stats.name = opts.name;
+  stats.startup = cluster->config().job_startup;
+  stats.input_records = input.size();
+
+  const size_t num_splits =
+      opts.num_splits > 0
+          ? opts.num_splits
+          : static_cast<size_t>(2 * cluster->total_map_slots());
+  const size_t num_reducers =
+      opts.num_reducers > 0
+          ? opts.num_reducers
+          : static_cast<size_t>(cluster->total_reduce_slots());
+
+  auto splits = internal::MakeSplits(input.size(), num_splits);
+  stats.num_map_tasks = splits.size();
+
+  // --- map phase ---
+  std::vector<double> map_task_seconds;
+  map_task_seconds.reserve(splits.size());
+  std::vector<std::unordered_map<K, std::vector<V>>> partitions(num_reducers);
+  size_t intermediate_records = 0;
+  size_t intermediate_bytes = 0;
+  for (const auto& [begin, end] : splits) {
+    Emitter<K, V> emitter;
+    double secs = internal::MeasureSeconds([&] {
+      for (size_t i = begin; i < end; ++i) map_fn(input[i], &emitter);
+    });
+    map_task_seconds.push_back(secs + opts.map_setup_seconds);
+    intermediate_records += emitter.pairs().size();
+    intermediate_bytes += emitter.bytes();
+    for (auto& [counter, v] : emitter.counters()) stats.counters[counter] += v;
+    // Partition the emitted pairs by key hash (the shuffle).
+    for (auto& [k, v] : emitter.pairs()) {
+      size_t p = std::hash<K>{}(k) % num_reducers;
+      partitions[p][std::move(k)].push_back(std::move(v));
+    }
+  }
+  stats.intermediate_records = intermediate_records;
+  stats.intermediate_bytes = intermediate_bytes;
+  stats.map_time = cluster->ScheduleMakespan(map_task_seconds,
+                                             cluster->total_map_slots());
+  stats.shuffle_time = cluster->ShuffleTime(intermediate_bytes);
+
+  // --- reduce phase ---
+  std::vector<double> reduce_task_seconds;
+  reduce_task_seconds.reserve(num_reducers);
+  size_t active_reducers = 0;
+  for (auto& groups : partitions) {
+    if (groups.empty()) continue;
+    ++active_reducers;
+    double secs = internal::MeasureSeconds([&] {
+      for (auto& [key, values] : groups) {
+        reduce_fn(key, values, &result.output);
+      }
+    });
+    reduce_task_seconds.push_back(secs);
+  }
+  stats.num_reduce_tasks = active_reducers;
+  stats.reduce_time = cluster->ScheduleMakespan(
+      reduce_task_seconds, cluster->total_reduce_slots());
+  stats.output_records = result.output.size();
+
+  cluster->RecordJob(stats);
+  return result;
+}
+
+/// Runs a map-only job: `map_fn(item, output)` appends output records.
+template <typename InT, typename OutT>
+JobOutput<OutT> RunMapOnly(
+    Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
+    const std::function<void(const InT&, std::vector<OutT>*)>& map_fn) {
+  JobOutput<OutT> result;
+  JobStats& stats = result.stats;
+  stats.name = opts.name;
+  stats.startup = cluster->config().job_startup;
+  stats.input_records = input.size();
+
+  const size_t num_splits =
+      opts.num_splits > 0
+          ? opts.num_splits
+          : static_cast<size_t>(2 * cluster->total_map_slots());
+  auto splits = internal::MakeSplits(input.size(), num_splits);
+  stats.num_map_tasks = splits.size();
+
+  std::vector<double> task_seconds;
+  task_seconds.reserve(splits.size());
+  for (const auto& [begin, end] : splits) {
+    double secs = internal::MeasureSeconds([&] {
+      for (size_t i = begin; i < end; ++i) map_fn(input[i], &result.output);
+    });
+    task_seconds.push_back(secs + opts.map_setup_seconds);
+  }
+  stats.map_time =
+      cluster->ScheduleMakespan(task_seconds, cluster->total_map_slots());
+  stats.output_records = result.output.size();
+  cluster->RecordJob(stats);
+  return result;
+}
+
+}  // namespace falcon
+
+#endif  // FALCON_MAPREDUCE_JOB_H_

@@ -1,0 +1,218 @@
+#include "rules/feature.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+#include <limits>
+
+#include "common/strings.h"
+
+namespace falcon {
+namespace {
+
+struct FeatureTemplate {
+  SimFunction fn;
+  Tokenization tok;
+  bool blocking;
+};
+
+// Figure 5 rows. The starred functions are matcher-only.
+std::vector<FeatureTemplate> TemplatesFor(AttrCharacteristic c,
+                                          bool include_matcher_only) {
+  std::vector<FeatureTemplate> out;
+  auto add = [&](SimFunction fn, Tokenization tok, bool blocking) {
+    if (blocking || include_matcher_only) out.push_back({fn, tok, blocking});
+  };
+  switch (c) {
+    case AttrCharacteristic::kSingleWordString:
+      add(SimFunction::kExactMatch, Tokenization::kWord, true);
+      add(SimFunction::kJaccard, Tokenization::kQgram3, true);
+      add(SimFunction::kOverlap, Tokenization::kQgram3, true);
+      add(SimFunction::kDice, Tokenization::kQgram3, true);
+      add(SimFunction::kLevenshtein, Tokenization::kQgram3, true);
+      add(SimFunction::kJaro, Tokenization::kWord, false);
+      add(SimFunction::kJaroWinkler, Tokenization::kWord, false);
+      break;
+    case AttrCharacteristic::kShortString:
+      add(SimFunction::kJaccard, Tokenization::kQgram3, true);
+      add(SimFunction::kOverlap, Tokenization::kQgram3, true);
+      add(SimFunction::kDice, Tokenization::kQgram3, true);
+      add(SimFunction::kJaccard, Tokenization::kWord, true);
+      add(SimFunction::kOverlap, Tokenization::kWord, true);
+      add(SimFunction::kDice, Tokenization::kWord, true);
+      add(SimFunction::kCosine, Tokenization::kWord, true);
+      add(SimFunction::kMongeElkan, Tokenization::kWord, false);
+      add(SimFunction::kNeedlemanWunsch, Tokenization::kWord, false);
+      add(SimFunction::kSmithWaterman, Tokenization::kWord, false);
+      add(SimFunction::kSmithWatermanGotoh, Tokenization::kWord, false);
+      break;
+    case AttrCharacteristic::kMediumString:
+      add(SimFunction::kJaccard, Tokenization::kWord, true);
+      add(SimFunction::kOverlap, Tokenization::kWord, true);
+      add(SimFunction::kDice, Tokenization::kWord, true);
+      add(SimFunction::kCosine, Tokenization::kWord, true);
+      add(SimFunction::kMongeElkan, Tokenization::kWord, false);
+      break;
+    case AttrCharacteristic::kLongString:
+      add(SimFunction::kJaccard, Tokenization::kWord, true);
+      add(SimFunction::kOverlap, Tokenization::kWord, true);
+      add(SimFunction::kDice, Tokenization::kWord, true);
+      add(SimFunction::kCosine, Tokenization::kWord, true);
+      add(SimFunction::kTfIdf, Tokenization::kWord, false);
+      add(SimFunction::kSoftTfIdf, Tokenization::kWord, false);
+      break;
+    case AttrCharacteristic::kNumeric:
+      add(SimFunction::kExactMatch, Tokenization::kWord, true);
+      add(SimFunction::kAbsDiff, Tokenization::kWord, true);
+      add(SimFunction::kRelDiff, Tokenization::kWord, true);
+      add(SimFunction::kLevenshtein, Tokenization::kQgram3, true);
+      break;
+  }
+  return out;
+}
+
+std::string FeatureName(const FeatureTemplate& t, const std::string& attr_a,
+                        const std::string& attr_b) {
+  std::string fn = SimFunctionName(t.fn);
+  if (IsSetBased(t.fn) || t.fn == SimFunction::kLevenshtein) {
+    fn += std::string("_") + TokenizationName(t.tok);
+  }
+  return fn + "(" + attr_a + "," + attr_b + ")";
+}
+
+}  // namespace
+
+FeatureSet FeatureSet::Generate(const Table& a, const Table& b,
+                                const FeatureGenOptions& options) {
+  FeatureSet fs;
+  auto prof_a = ProfileTable(a, options.profile);
+  auto prof_b = ProfileTable(b, options.profile);
+
+  // Attribute correspondences: equal names (case-insensitive) first.
+  std::vector<std::pair<int, int>> pairs;
+  for (size_t ca = 0; ca < prof_a.size(); ++ca) {
+    for (size_t cb = 0; cb < prof_b.size(); ++cb) {
+      if (ToLower(prof_a[ca].name) == ToLower(prof_b[cb].name)) {
+        pairs.emplace_back(static_cast<int>(ca), static_cast<int>(cb));
+        break;
+      }
+    }
+  }
+  if (pairs.empty()) {
+    // Fall back to positional pairing of type-compatible attributes.
+    size_t n = std::min(prof_a.size(), prof_b.size());
+    for (size_t c = 0; c < n; ++c) {
+      bool num_a = prof_a[c].characteristic == AttrCharacteristic::kNumeric;
+      bool num_b = prof_b[c].characteristic == AttrCharacteristic::kNumeric;
+      if (num_a == num_b) {
+        pairs.emplace_back(static_cast<int>(c), static_cast<int>(c));
+      }
+    }
+  }
+
+  for (auto [ca, cb] : pairs) {
+    // When characteristics differ, the lower row of Figure 5 wins.
+    AttrCharacteristic c = std::max(prof_a[ca].characteristic,
+                                    prof_b[cb].characteristic);
+    for (const auto& tmpl : TemplatesFor(c, options.include_matcher_only)) {
+      Feature f;
+      f.id = static_cast<int>(fs.features_.size());
+      f.fn = tmpl.fn;
+      f.col_a = ca;
+      f.col_b = cb;
+      f.tok = tmpl.tok;
+      f.name = FeatureName(tmpl, prof_a[ca].name, prof_b[cb].name);
+      f.usable_for_blocking = tmpl.blocking;
+      if (tmpl.fn == SimFunction::kTfIdf ||
+          tmpl.fn == SimFunction::kSoftTfIdf) {
+        // Build one IDF dictionary per (A attribute, tokenization), over A.
+        auto idf = std::make_unique<IdfDict>();
+        for (RowId r = 0; r < a.num_rows(); ++r) {
+          if (a.IsMissing(r, ca)) continue;
+          idf->AddDocument(ToTokenSet(Tokenize(a.Get(r, ca), tmpl.tok)));
+        }
+        idf->Finalize();
+        f.idf_index = static_cast<int>(fs.idfs_.size());
+        fs.idfs_.push_back(std::move(idf));
+      }
+      fs.all_ids_.push_back(f.id);
+      if (f.usable_for_blocking) fs.blocking_ids_.push_back(f.id);
+      fs.features_.push_back(std::move(f));
+    }
+  }
+  return fs;
+}
+
+double FeatureSet::Compute(int id, const Table& a, RowId a_row,
+                           const Table& b, RowId b_row) const {
+  const Feature& f = features_[id];
+  if (a.IsMissing(a_row, f.col_a) || b.IsMissing(b_row, f.col_b)) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  std::string_view va = a.Get(a_row, f.col_a);
+  std::string_view vb = b.Get(b_row, f.col_b);
+  switch (f.fn) {
+    case SimFunction::kExactMatch:
+      return ExactMatchSim(va, vb);
+    case SimFunction::kLevenshtein:
+      return LevenshteinSim(va, vb);
+    case SimFunction::kJaccard:
+      return JaccardSim(ToTokenSet(Tokenize(va, f.tok)),
+                        ToTokenSet(Tokenize(vb, f.tok)));
+    case SimFunction::kDice:
+      return DiceSim(ToTokenSet(Tokenize(va, f.tok)),
+                     ToTokenSet(Tokenize(vb, f.tok)));
+    case SimFunction::kOverlap:
+      return OverlapSim(ToTokenSet(Tokenize(va, f.tok)),
+                        ToTokenSet(Tokenize(vb, f.tok)));
+    case SimFunction::kCosine:
+      return CosineSim(ToTokenSet(Tokenize(va, f.tok)),
+                       ToTokenSet(Tokenize(vb, f.tok)));
+    case SimFunction::kAbsDiff: {
+      double na = a.GetNumeric(a_row, f.col_a);
+      double nb = b.GetNumeric(b_row, f.col_b);
+      if (std::isnan(na) || std::isnan(nb)) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      return AbsDiff(na, nb);
+    }
+    case SimFunction::kRelDiff: {
+      double na = a.GetNumeric(a_row, f.col_a);
+      double nb = b.GetNumeric(b_row, f.col_b);
+      if (std::isnan(na) || std::isnan(nb)) {
+        return std::numeric_limits<double>::quiet_NaN();
+      }
+      return RelDiff(na, nb);
+    }
+    case SimFunction::kJaro:
+      return JaroSim(va, vb);
+    case SimFunction::kJaroWinkler:
+      return JaroWinklerSim(va, vb);
+    case SimFunction::kMongeElkan:
+      return MongeElkanSim(WordTokens(va), WordTokens(vb));
+    case SimFunction::kNeedlemanWunsch:
+      return NeedlemanWunschSim(va, vb);
+    case SimFunction::kSmithWaterman:
+      return SmithWatermanSim(va, vb);
+    case SimFunction::kSmithWatermanGotoh:
+      return SmithWatermanGotohSim(va, vb);
+    case SimFunction::kTfIdf:
+      return TfIdfSim(Tokenize(va, f.tok), Tokenize(vb, f.tok),
+                      *idfs_[f.idf_index]);
+    case SimFunction::kSoftTfIdf:
+      return SoftTfIdfSim(Tokenize(va, f.tok), Tokenize(vb, f.tok),
+                          *idfs_[f.idf_index]);
+  }
+  return std::numeric_limits<double>::quiet_NaN();
+}
+
+FeatureVec FeatureSet::ComputeVector(const std::vector<int>& ids,
+                                     const Table& a, RowId a_row,
+                                     const Table& b, RowId b_row) const {
+  FeatureVec fv;
+  fv.reserve(ids.size());
+  for (int id : ids) fv.push_back(Compute(id, a, a_row, b, b_row));
+  return fv;
+}
+
+}  // namespace falcon

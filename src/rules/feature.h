@@ -1,0 +1,86 @@
+// Feature generation (Section 8, Figure 5 of the paper).
+//
+// A feature is sim(a.x, b.y): a similarity function applied to an attribute
+// correspondence between tables A and B. Falcon generates features fully
+// automatically from attribute types and characteristics; a subset of
+// "relatively fast" functions is additionally marked usable for blocking.
+//
+// Missing values: if either side of a correspondence is missing, the feature
+// value is NaN. Downstream, decision trees route NaN to the majority branch
+// and blocking-rule predicates evaluate to false on NaN (a missing value can
+// never prove a non-match).
+#ifndef FALCON_RULES_FEATURE_H_
+#define FALCON_RULES_FEATURE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "learn/decision_tree.h"
+#include "table/profile.h"
+#include "table/table.h"
+#include "text/similarity.h"
+#include "text/tokenize.h"
+
+namespace falcon {
+
+/// One generated feature.
+struct Feature {
+  int id = -1;  ///< index within the owning FeatureSet
+  SimFunction fn = SimFunction::kExactMatch;
+  int col_a = -1;  ///< attribute index in table A
+  int col_b = -1;  ///< attribute index in table B
+  /// Tokenization for set-based functions; ignored by character/numeric fns.
+  Tokenization tok = Tokenization::kWord;
+  /// Human-readable name, e.g. "jaccard_word(title,title)".
+  std::string name;
+  bool usable_for_blocking = false;
+  /// Index of the IDF dictionary for TF/IDF features; -1 otherwise.
+  int idf_index = -1;
+};
+
+struct FeatureGenOptions {
+  /// Include the slow starred functions of Figure 5 (matcher-only features).
+  bool include_matcher_only = true;
+  /// Profiling options for characteristic inference.
+  ProfileOptions profile;
+};
+
+/// The automatically generated feature set for one (A, B) task.
+class FeatureSet {
+ public:
+  /// Generates features for matching `a` against `b`. Attribute
+  /// correspondences pair equal (case-insensitive) names with compatible
+  /// types; if the schemas share no names, same-position attributes of
+  /// compatible type are paired instead.
+  static FeatureSet Generate(const Table& a, const Table& b,
+                             const FeatureGenOptions& options = {});
+
+  const std::vector<Feature>& features() const { return features_; }
+  size_t size() const { return features_.size(); }
+  const Feature& feature(int id) const { return features_[id]; }
+
+  /// Ids of features usable for blocking (Figure 5 non-starred rows).
+  const std::vector<int>& blocking_ids() const { return blocking_ids_; }
+  /// Ids of all features (for the matching stage).
+  const std::vector<int>& all_ids() const { return all_ids_; }
+
+  /// Value of feature `id` on the pair (a_row of `a`, b_row of `b`).
+  /// NaN if either attribute value is missing.
+  double Compute(int id, const Table& a, RowId a_row, const Table& b,
+                 RowId b_row) const;
+
+  /// Feature vector over the features in `ids`, in that order.
+  FeatureVec ComputeVector(const std::vector<int>& ids, const Table& a,
+                           RowId a_row, const Table& b, RowId b_row) const;
+
+ private:
+  std::vector<Feature> features_;
+  std::vector<int> blocking_ids_;
+  std::vector<int> all_ids_;
+  std::vector<std::unique_ptr<IdfDict>> idfs_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_RULES_FEATURE_H_

@@ -1,0 +1,129 @@
+// Blocking rules (Sections 3.2, 4.2, 7.3 of the paper).
+//
+// A blocking rule is a conjunction of predicates over features that, when
+// satisfied, DROPS a tuple pair:
+//     p_1(a,b) AND ... AND p_m(a,b)  ->  drop (a,b).
+// A rule sequence applies rules in order until one fires. For distributed
+// execution the sequence is rewritten into a single "positive" rule Q in
+// CNF whose predicates are the complements of the rule predicates; a pair is
+// KEPT iff every clause of Q holds.
+//
+// Missing-value semantics: a predicate evaluates to false when its feature
+// value is NaN, so a drop-rule never fires on missing data (a missing value
+// cannot prove a non-match) and the complementary keep-predicate holds.
+#ifndef FALCON_RULES_RULE_H_
+#define FALCON_RULES_RULE_H_
+
+#include <string>
+#include <vector>
+
+#include "learn/decision_tree.h"
+#include "learn/random_forest.h"
+#include "rules/feature.h"
+
+namespace falcon {
+
+/// Comparison operator of a predicate.
+enum class PredOp { kLe, kGt, kLt, kGe };
+
+const char* PredOpName(PredOp op);
+
+/// Complement operator: (f <= v)' = (f > v), etc.
+PredOp Complement(PredOp op);
+
+/// One predicate: feature `op` value.
+struct Predicate {
+  /// Position of the feature within the feature-vector layout the rule is
+  /// evaluated against (the blocking-feature vector).
+  int feature_pos = -1;
+  /// Global feature id in the FeatureSet (for filter inference and for
+  /// evaluating the predicate directly on tuples).
+  int feature_id = -1;
+  PredOp op = PredOp::kLe;
+  double value = 0.0;
+
+  /// Evaluates against a feature value; false on NaN.
+  bool Eval(double v) const;
+
+  std::string ToString(const FeatureSet& fs) const;
+};
+
+/// A conjunction of predicates -> drop.
+struct Rule {
+  std::vector<Predicate> predicates;
+
+  // Metadata filled in by the pipeline:
+  /// Crowd-estimated precision (eval_rules).
+  double precision = 0.0;
+  /// |cov(R, S)| on the learning sample.
+  size_t coverage = 0;
+  /// sel(R, S) = 1 - coverage/|S|.
+  double selectivity = 1.0;
+  /// Average evaluation time per pair, seconds (measured on S).
+  double time_per_pair = 0.0;
+
+  /// True if every predicate holds (the pair is dropped). NaN-valued
+  /// features make their predicate false, hence the rule does not fire.
+  bool Fires(const FeatureVec& fv) const;
+
+  std::string ToString(const FeatureSet& fs) const;
+};
+
+/// An ordered sequence of rules; drops a pair if any rule fires.
+struct RuleSequence {
+  std::vector<Rule> rules;
+  /// Selectivity of the whole sequence on sample S (fraction kept), filled
+  /// in by select_opt_seq; used by the operator-selection rules of Sec 10.1.
+  double selectivity = 1.0;
+
+  bool Drops(const FeatureVec& fv) const;
+  bool empty() const { return rules.empty(); }
+  std::string ToString(const FeatureSet& fs) const;
+};
+
+/// One CNF clause of the positive rule Q: a disjunction of keep-predicates.
+struct CnfClause {
+  std::vector<Predicate> predicates;
+  /// Selectivity of the originating rule (fraction of S the rule keeps);
+  /// used by apply_greedy to find the most selective conjunct.
+  double selectivity = 1.0;
+
+  /// True if any predicate holds, or if any feature value is NaN (missing
+  /// cannot prove a non-match).
+  bool Holds(const FeatureVec& fv) const;
+};
+
+/// The positive CNF rule Q (Section 7.3 step 1).
+struct CnfRule {
+  std::vector<CnfClause> clauses;
+
+  /// True iff every clause holds: the pair survives blocking.
+  bool Keeps(const FeatureVec& fv) const;
+};
+
+/// Rewrites a rule sequence into the positive CNF rule Q by complementing
+/// every predicate.
+CnfRule ToCnf(const RuleSequence& seq);
+
+/// Predicate-simplification optimization (Section 7.3, optimization 3):
+/// within each rule, predicates on the same feature with <,<=,>,>= are
+/// folded into at most one upper and one lower bound.
+Rule SimplifyRule(const Rule& rule);
+RuleSequence SimplifySequence(const RuleSequence& seq);
+
+/// Canonical identity of a rule (order-independent over its predicates);
+/// used to match rules across pipeline stages (e.g. speculatively executed
+/// candidates against the selected optimal sequence).
+std::string CanonicalKey(const Rule& rule);
+
+/// Extracts candidate blocking rules from a random forest: every path from
+/// a tree root to a leaf predicting "no match" becomes one rule (Figure 2 of
+/// the paper). `feature_ids` maps feature-vector positions (which the forest
+/// was trained on) back to global FeatureSet ids. Rules are simplified and
+/// deduplicated; coverage metadata is NOT yet filled in.
+std::vector<Rule> ExtractBlockingRules(const RandomForest& forest,
+                                       const std::vector<int>& feature_ids);
+
+}  // namespace falcon
+
+#endif  // FALCON_RULES_RULE_H_

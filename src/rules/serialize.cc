@@ -1,0 +1,281 @@
+#include "rules/serialize.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace falcon {
+namespace {
+
+constexpr char kRulesHeader[] = "falcon-rules v1";
+constexpr char kForestHeader[] = "falcon-forest v1";
+
+std::string EncodeDouble(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Feature names are single tokens already (no spaces), but guard anyway.
+Status CheckName(const std::string& name) {
+  if (name.find(' ') != std::string::npos ||
+      name.find('\n') != std::string::npos) {
+    return Status::Internal("feature name contains whitespace: " + name);
+  }
+  return Status::OK();
+}
+
+std::map<std::string, int> NameIndex(const FeatureSet& fs) {
+  std::map<std::string, int> by_name;
+  for (const auto& f : fs.features()) by_name[f.name] = f.id;
+  return by_name;
+}
+
+/// Position of `feature_id` in the blocking-feature layout, or -1.
+int BlockingPos(const FeatureSet& fs, int feature_id) {
+  const auto& ids = fs.blocking_ids();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] == feature_id) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+class LineReader {
+ public:
+  explicit LineReader(const std::string& text) : stream_(text) {}
+
+  /// Next non-empty line, trimmed; false at end.
+  bool Next(std::string* line) {
+    std::string raw;
+    while (std::getline(stream_, raw)) {
+      std::string trimmed(Trim(raw));
+      if (!trimmed.empty()) {
+        *line = std::move(trimmed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+ private:
+  std::istringstream stream_;
+};
+
+}  // namespace
+
+std::string SerializeRuleSequence(const RuleSequence& seq,
+                                  const FeatureSet& fs) {
+  std::string out = kRulesHeader;
+  out += "\nseq selectivity " + EncodeDouble(seq.selectivity) + "\n";
+  for (const auto& r : seq.rules) {
+    out += "rule precision " + EncodeDouble(r.precision) + " coverage " +
+           std::to_string(r.coverage) + " selectivity " +
+           EncodeDouble(r.selectivity) + " time " +
+           EncodeDouble(r.time_per_pair) + "\n";
+    for (const auto& p : r.predicates) {
+      out += "pred " + fs.feature(p.feature_id).name + " " +
+             std::to_string(static_cast<int>(p.op)) + " " +
+             EncodeDouble(p.value) + "\n";
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<RuleSequence> ParseRuleSequence(const std::string& text,
+                                       const FeatureSet& fs) {
+  LineReader reader(text);
+  std::string line;
+  if (!reader.Next(&line) || line != kRulesHeader) {
+    return Status::IoError("bad rule-sequence header");
+  }
+  auto by_name = NameIndex(fs);
+  RuleSequence seq;
+  Rule* current = nullptr;
+  while (reader.Next(&line)) {
+    auto parts = Split(line, ' ');
+    if (parts[0] == "end") return seq;
+    if (parts[0] == "seq") {
+      if (parts.size() != 3 || parts[1] != "selectivity" ||
+          !ParseDouble(parts[2], &seq.selectivity)) {
+        return Status::IoError("bad seq line: " + line);
+      }
+    } else if (parts[0] == "rule") {
+      if (parts.size() != 9) return Status::IoError("bad rule line: " + line);
+      Rule r;
+      double cov;
+      if (!ParseDouble(parts[2], &r.precision) ||
+          !ParseDouble(parts[4], &cov) ||
+          !ParseDouble(parts[6], &r.selectivity) ||
+          !ParseDouble(parts[8], &r.time_per_pair)) {
+        return Status::IoError("bad rule numerics: " + line);
+      }
+      r.coverage = static_cast<size_t>(cov);
+      seq.rules.push_back(std::move(r));
+      current = &seq.rules.back();
+    } else if (parts[0] == "pred") {
+      if (current == nullptr) {
+        return Status::IoError("pred before any rule");
+      }
+      if (parts.size() != 4) return Status::IoError("bad pred line: " + line);
+      auto it = by_name.find(parts[1]);
+      if (it == by_name.end()) {
+        return Status::NotFound("unknown feature: " + parts[1]);
+      }
+      double op_raw;
+      double value;
+      if (!ParseDouble(parts[2], &op_raw) || !ParseDouble(parts[3], &value) ||
+          op_raw < 0 || op_raw > 3) {
+        return Status::IoError("bad pred numerics: " + line);
+      }
+      Predicate p;
+      p.feature_id = it->second;
+      p.feature_pos = BlockingPos(fs, it->second);
+      p.op = static_cast<PredOp>(static_cast<int>(op_raw));
+      p.value = value;
+      current->predicates.push_back(p);
+    } else {
+      return Status::IoError("unknown directive: " + parts[0]);
+    }
+  }
+  return Status::IoError("missing 'end' terminator");
+}
+
+std::string SerializeForest(const RandomForest& forest,
+                            const std::vector<int>& feature_ids,
+                            const FeatureSet& fs) {
+  std::string out = kForestHeader;
+  out += "\nfeatures " + std::to_string(feature_ids.size()) + "\n";
+  for (int id : feature_ids) {
+    (void)CheckName(fs.feature(id).name);
+    out += "f " + fs.feature(id).name + "\n";
+  }
+  out += "trees " + std::to_string(forest.num_trees()) + "\n";
+  for (const auto& tree : forest.trees()) {
+    out += "tree " + std::to_string(tree.nodes().size()) + "\n";
+    for (const auto& n : tree.nodes()) {
+      if (n.is_leaf) {
+        out += "leaf " + std::to_string(n.prediction ? 1 : 0) + " " +
+               EncodeDouble(n.purity) + " " + std::to_string(n.support) +
+               "\n";
+      } else {
+        out += "split " + std::to_string(n.feature) + " " +
+               EncodeDouble(n.threshold) + " " +
+               std::to_string(n.nan_goes_left ? 1 : 0) + " " +
+               std::to_string(n.left) + " " + std::to_string(n.right) + "\n";
+      }
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<RandomForest> ParseForest(const std::string& text,
+                                 const FeatureSet& fs,
+                                 std::vector<int>* out_feature_ids) {
+  LineReader reader(text);
+  std::string line;
+  if (!reader.Next(&line) || line != kForestHeader) {
+    return Status::IoError("bad forest header");
+  }
+  auto by_name = NameIndex(fs);
+
+  auto expect_count = [&](const char* keyword) -> Result<size_t> {
+    std::string l;
+    if (!reader.Next(&l)) return Status::IoError("truncated forest");
+    auto parts = Split(l, ' ');
+    double v;
+    if (parts.size() != 2 || parts[0] != keyword ||
+        !ParseDouble(parts[1], &v) || v < 0) {
+      return Status::IoError(std::string("expected '") + keyword +
+                             " <n>', got: " + l);
+    }
+    return static_cast<size_t>(v);
+  };
+
+  FALCON_ASSIGN_OR_RETURN(size_t num_features, expect_count("features"));
+  out_feature_ids->clear();
+  for (size_t i = 0; i < num_features; ++i) {
+    if (!reader.Next(&line)) return Status::IoError("truncated features");
+    auto parts = Split(line, ' ');
+    if (parts.size() != 2 || parts[0] != "f") {
+      return Status::IoError("bad feature line: " + line);
+    }
+    auto it = by_name.find(parts[1]);
+    if (it == by_name.end()) {
+      return Status::NotFound("unknown feature: " + parts[1]);
+    }
+    out_feature_ids->push_back(it->second);
+  }
+
+  FALCON_ASSIGN_OR_RETURN(size_t num_trees, expect_count("trees"));
+  std::vector<DecisionTree> trees;
+  trees.reserve(num_trees);
+  for (size_t t = 0; t < num_trees; ++t) {
+    FALCON_ASSIGN_OR_RETURN(size_t num_nodes, expect_count("tree"));
+    if (num_nodes == 0) return Status::IoError("empty tree");
+    std::vector<TreeNode> nodes;
+    nodes.reserve(num_nodes);
+    for (size_t n = 0; n < num_nodes; ++n) {
+      if (!reader.Next(&line)) return Status::IoError("truncated tree");
+      auto parts = Split(line, ' ');
+      TreeNode node;
+      if (parts[0] == "leaf" && parts.size() == 4) {
+        double pred;
+        double purity;
+        double support;
+        if (!ParseDouble(parts[1], &pred) ||
+            !ParseDouble(parts[2], &purity) ||
+            !ParseDouble(parts[3], &support)) {
+          return Status::IoError("bad leaf: " + line);
+        }
+        node.is_leaf = true;
+        node.prediction = pred != 0;
+        node.purity = purity;
+        node.support = static_cast<uint32_t>(support);
+      } else if (parts[0] == "split" && parts.size() == 6) {
+        double feature;
+        double nan_left;
+        double left;
+        double right;
+        if (!ParseDouble(parts[1], &feature) ||
+            !ParseDouble(parts[2], &node.threshold) ||
+            !ParseDouble(parts[3], &nan_left) ||
+            !ParseDouble(parts[4], &left) ||
+            !ParseDouble(parts[5], &right)) {
+          return Status::IoError("bad split: " + line);
+        }
+        node.is_leaf = false;
+        node.feature = static_cast<int>(feature);
+        node.nan_goes_left = nan_left != 0;
+        node.left = static_cast<int>(left);
+        node.right = static_cast<int>(right);
+        if (node.feature < 0 ||
+            node.feature >= static_cast<int>(num_features)) {
+          return Status::IoError("split feature out of range: " + line);
+        }
+      } else {
+        return Status::IoError("bad node line: " + line);
+      }
+      nodes.push_back(node);
+    }
+    // Validate child links before accepting the tree.
+    for (const auto& n : nodes) {
+      if (n.is_leaf) continue;
+      if (n.left < 0 || n.right < 0 ||
+          n.left >= static_cast<int>(nodes.size()) ||
+          n.right >= static_cast<int>(nodes.size())) {
+        return Status::IoError("tree child link out of range");
+      }
+    }
+    trees.push_back(DecisionTree::FromNodes(std::move(nodes)));
+  }
+  if (!reader.Next(&line) || line != "end") {
+    return Status::IoError("missing 'end' terminator");
+  }
+  return RandomForest(std::move(trees));
+}
+
+}  // namespace falcon

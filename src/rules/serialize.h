@@ -1,0 +1,45 @@
+// Serialization of learned artifacts.
+//
+// An EM service wants to persist what a run learned — the validated
+// blocking-rule sequence and the trained random-forest matcher — so that a
+// later run over refreshed tables can reuse them without re-crowdsourcing
+// (and so learned rules can be reviewed by humans). The format is a simple
+// line-oriented text format, versioned, with features referenced by their
+// stable auto-generated names (not ids), so artifacts survive feature-set
+// regeneration as long as the schemas still produce the same features.
+#ifndef FALCON_RULES_SERIALIZE_H_
+#define FALCON_RULES_SERIALIZE_H_
+
+#include <string>
+
+#include "learn/random_forest.h"
+#include "rules/feature.h"
+#include "rules/rule.h"
+
+namespace falcon {
+
+/// Serializes a rule sequence; features are written by name.
+std::string SerializeRuleSequence(const RuleSequence& seq,
+                                  const FeatureSet& fs);
+
+/// Parses a serialized rule sequence, resolving feature names against `fs`.
+/// Fails on unknown features, malformed lines, or version mismatch.
+Result<RuleSequence> ParseRuleSequence(const std::string& text,
+                                       const FeatureSet& fs);
+
+/// Serializes a trained random forest (tree structure + leaf stats).
+/// `feature_ids` maps the forest's feature-vector positions to FeatureSet
+/// ids so the model is written against stable feature names.
+std::string SerializeForest(const RandomForest& forest,
+                            const std::vector<int>& feature_ids,
+                            const FeatureSet& fs);
+
+/// Parses a serialized forest. On success also returns the feature-vector
+/// layout (`out_feature_ids`) the forest expects, resolved against `fs`.
+Result<RandomForest> ParseForest(const std::string& text,
+                                 const FeatureSet& fs,
+                                 std::vector<int>* out_feature_ids);
+
+}  // namespace falcon
+
+#endif  // FALCON_RULES_SERIALIZE_H_

@@ -1,0 +1,41 @@
+// CSV import/export for tables.
+//
+// Supports RFC-4180-style quoting (fields containing the delimiter, quotes,
+// or newlines are wrapped in double quotes; embedded quotes are doubled).
+#ifndef FALCON_TABLE_CSV_H_
+#define FALCON_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "table/table.h"
+
+namespace falcon {
+
+struct CsvOptions {
+  char delimiter = ',';
+  /// If true, the first record is a header naming the attributes.
+  bool has_header = true;
+};
+
+/// Parses CSV text into a table. If `schema` is non-null it is used directly;
+/// otherwise attribute names come from the header (or col0..colN) and types
+/// are inferred (a column is numeric if every non-missing value parses as a
+/// double and at least one value is non-missing).
+Result<Table> ReadCsvString(const std::string& text, const CsvOptions& opts,
+                            const Schema* schema = nullptr);
+
+/// Reads a CSV file from disk.
+Result<Table> ReadCsvFile(const std::string& path, const CsvOptions& opts,
+                          const Schema* schema = nullptr);
+
+/// Serializes a table to CSV text (with header).
+std::string WriteCsvString(const Table& table, const CsvOptions& opts = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& opts = {});
+
+}  // namespace falcon
+
+#endif  // FALCON_TABLE_CSV_H_

@@ -1,0 +1,37 @@
+#include "table/schema.h"
+
+namespace falcon {
+
+const char* AttrTypeName(AttrType t) {
+  switch (t) {
+    case AttrType::kString:
+      return "string";
+    case AttrType::kNumeric:
+      return "numeric";
+  }
+  return "unknown";
+}
+
+Schema::Schema(std::vector<AttrDef> attrs) : attrs_(std::move(attrs)) {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    by_name_.emplace(attrs_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::IndexOf(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? -1 : it->second;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (attrs_.size() != other.attrs_.size()) return false;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].name != other.attrs_[i].name ||
+        attrs_[i].type != other.attrs_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace falcon

@@ -1,0 +1,49 @@
+// Relational schema for the input tables A and B.
+#ifndef FALCON_TABLE_SCHEMA_H_
+#define FALCON_TABLE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+
+namespace falcon {
+
+/// Storage type of an attribute.
+enum class AttrType {
+  kString,
+  kNumeric,
+};
+
+const char* AttrTypeName(AttrType t);
+
+/// One attribute of a schema.
+struct AttrDef {
+  std::string name;
+  AttrType type = AttrType::kString;
+};
+
+/// An ordered list of named, typed attributes.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<AttrDef> attrs);
+
+  size_t num_attrs() const { return attrs_.size(); }
+  const AttrDef& attr(size_t i) const { return attrs_[i]; }
+  const std::vector<AttrDef>& attrs() const { return attrs_; }
+
+  /// Index of the attribute named `name`, or -1 if absent.
+  int IndexOf(const std::string& name) const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<AttrDef> attrs_;
+  std::unordered_map<std::string, int> by_name_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_TABLE_SCHEMA_H_

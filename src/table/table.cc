@@ -1,0 +1,58 @@
+#include "table/table.h"
+
+#include <limits>
+
+#include "common/strings.h"
+
+namespace falcon {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  cols_.resize(schema_.num_attrs());
+  num_cols_.resize(schema_.num_attrs());
+}
+
+Status Table::AppendRow(const std::vector<std::string>& values) {
+  if (values.size() != schema_.num_attrs()) {
+    return Status::InvalidArgument(
+        "row width " + std::to_string(values.size()) +
+        " != schema width " + std::to_string(schema_.num_attrs()));
+  }
+  for (size_t c = 0; c < values.size(); ++c) {
+    double num = std::numeric_limits<double>::quiet_NaN();
+    if (!values[c].empty()) {
+      double parsed;
+      if (ParseDouble(values[c], &parsed)) num = parsed;
+    }
+    cols_[c].push_back(values[c]);
+    num_cols_[c].push_back(num);
+  }
+  ++num_rows_;
+  return Status::OK();
+}
+
+size_t Table::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& col : cols_) {
+    bytes += col.capacity() * sizeof(std::string);
+    for (const auto& v : col) {
+      if (v.capacity() > sizeof(std::string)) bytes += v.capacity();
+    }
+  }
+  for (const auto& col : num_cols_) bytes += col.capacity() * sizeof(double);
+  return bytes;
+}
+
+Table Table::Project(const std::vector<RowId>& rows) const {
+  Table out(schema_);
+  std::vector<std::string> row(schema_.num_attrs());
+  for (RowId r : rows) {
+    for (size_t c = 0; c < schema_.num_attrs(); ++c) {
+      row[c] = cols_[c][r];
+    }
+    // AppendRow cannot fail here: widths match by construction.
+    (void)out.AppendRow(row);
+  }
+  return out;
+}
+
+}  // namespace falcon

@@ -1,0 +1,367 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "common/strings.h"
+#include "text/tokenize.h"
+
+namespace falcon {
+
+const char* SimFunctionName(SimFunction f) {
+  switch (f) {
+    case SimFunction::kExactMatch:
+      return "exact_match";
+    case SimFunction::kJaccard:
+      return "jaccard";
+    case SimFunction::kDice:
+      return "dice";
+    case SimFunction::kOverlap:
+      return "overlap";
+    case SimFunction::kCosine:
+      return "cosine";
+    case SimFunction::kLevenshtein:
+      return "levenshtein";
+    case SimFunction::kAbsDiff:
+      return "abs_diff";
+    case SimFunction::kRelDiff:
+      return "rel_diff";
+    case SimFunction::kJaro:
+      return "jaro";
+    case SimFunction::kJaroWinkler:
+      return "jaro_winkler";
+    case SimFunction::kMongeElkan:
+      return "monge_elkan";
+    case SimFunction::kNeedlemanWunsch:
+      return "needleman_wunsch";
+    case SimFunction::kSmithWaterman:
+      return "smith_waterman";
+    case SimFunction::kSmithWatermanGotoh:
+      return "smith_waterman_gotoh";
+    case SimFunction::kTfIdf:
+      return "tfidf";
+    case SimFunction::kSoftTfIdf:
+      return "soft_tfidf";
+  }
+  return "unknown";
+}
+
+bool IsSetBased(SimFunction f) {
+  switch (f) {
+    case SimFunction::kJaccard:
+    case SimFunction::kDice:
+    case SimFunction::kOverlap:
+    case SimFunction::kCosine:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsNumericDistance(SimFunction f) {
+  return f == SimFunction::kAbsDiff || f == SimFunction::kRelDiff;
+}
+
+bool UsableForBlocking(SimFunction f) {
+  switch (f) {
+    case SimFunction::kExactMatch:
+    case SimFunction::kJaccard:
+    case SimFunction::kDice:
+    case SimFunction::kOverlap:
+    case SimFunction::kCosine:
+    case SimFunction::kLevenshtein:
+    case SimFunction::kAbsDiff:
+    case SimFunction::kRelDiff:
+      return true;
+    default:
+      return false;
+  }
+}
+
+double JaccardSim(const std::vector<std::string>& x,
+                  const std::vector<std::string>& y) {
+  if (x.empty() && y.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  size_t uni = x.size() + y.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+double DiceSim(const std::vector<std::string>& x,
+               const std::vector<std::string>& y) {
+  if (x.empty() && y.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  size_t total = x.size() + y.size();
+  return total == 0 ? 0.0 : 2.0 * inter / total;
+}
+
+double OverlapSim(const std::vector<std::string>& x,
+                  const std::vector<std::string>& y) {
+  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  return static_cast<double>(inter) / std::min(x.size(), y.size());
+}
+
+double CosineSim(const std::vector<std::string>& x,
+                 const std::vector<std::string>& y) {
+  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(x.size()) * y.size());
+}
+
+size_t LevenshteinDistance(std::string_view a, std::string_view b) {
+  if (a.size() > b.size()) std::swap(a, b);
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  std::vector<size_t> prev(n + 1);
+  std::vector<size_t> cur(n + 1);
+  for (size_t i = 0; i <= n; ++i) prev[i] = i;
+  for (size_t j = 1; j <= m; ++j) {
+    cur[0] = j;
+    for (size_t i = 1; i <= n; ++i) {
+      size_t sub = prev[i - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[i] = std::min({prev[i] + 1, cur[i - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[n];
+}
+
+double LevenshteinSim(std::string_view a, std::string_view b) {
+  size_t max_len = std::max(a.size(), b.size());
+  if (max_len == 0) return 1.0;
+  return 1.0 - static_cast<double>(LevenshteinDistance(a, b)) / max_len;
+}
+
+double JaroSim(std::string_view a, std::string_view b) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0 && lb == 0) return 1.0;
+  if (la == 0 || lb == 0) return 0.0;
+  const size_t window =
+      std::max<size_t>(1, std::max(la, lb) / 2) - 1;
+  std::vector<char> a_matched(la, 0);
+  std::vector<char> b_matched(lb, 0);
+  size_t matches = 0;
+  for (size_t i = 0; i < la; ++i) {
+    size_t lo = i > window ? i - window : 0;
+    size_t hi = std::min(lb, i + window + 1);
+    for (size_t j = lo; j < hi; ++j) {
+      if (!b_matched[j] && a[i] == b[j]) {
+        a_matched[i] = 1;
+        b_matched[j] = 1;
+        ++matches;
+        break;
+      }
+    }
+  }
+  if (matches == 0) return 0.0;
+  size_t transpositions = 0;
+  size_t j = 0;
+  for (size_t i = 0; i < la; ++i) {
+    if (!a_matched[i]) continue;
+    while (!b_matched[j]) ++j;
+    if (a[i] != b[j]) ++transpositions;
+    ++j;
+  }
+  double m = static_cast<double>(matches);
+  return (m / la + m / lb + (m - transpositions / 2.0) / m) / 3.0;
+}
+
+double JaroWinklerSim(std::string_view a, std::string_view b) {
+  double jaro = JaroSim(a, b);
+  size_t prefix = 0;
+  size_t max_prefix = std::min<size_t>({4, a.size(), b.size()});
+  while (prefix < max_prefix && a[prefix] == b[prefix]) ++prefix;
+  return jaro + prefix * 0.1 * (1.0 - jaro);
+}
+
+double MongeElkanSim(const std::vector<std::string>& x,
+                     const std::vector<std::string>& y) {
+  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
+  double total = 0.0;
+  for (const auto& tx : x) {
+    double best = 0.0;
+    for (const auto& ty : y) {
+      best = std::max(best, JaroWinklerSim(tx, ty));
+    }
+    total += best;
+  }
+  return total / x.size();
+}
+
+double NeedlemanWunschSim(std::string_view a, std::string_view b) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0 && lb == 0) return 1.0;
+  const double kMatch = 1.0;
+  const double kMismatch = -1.0;
+  const double kGap = -1.0;
+  std::vector<double> prev(lb + 1);
+  std::vector<double> cur(lb + 1);
+  for (size_t j = 0; j <= lb; ++j) prev[j] = j * kGap;
+  for (size_t i = 1; i <= la; ++i) {
+    cur[0] = i * kGap;
+    for (size_t j = 1; j <= lb; ++j) {
+      double diag =
+          prev[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+      cur[j] = std::max({diag, prev[j] + kGap, cur[j - 1] + kGap});
+    }
+    std::swap(prev, cur);
+  }
+  double max_len = static_cast<double>(std::max(la, lb));
+  // Raw scores lie in [-max_len, max_len]; normalize to [0, 1].
+  return (prev[lb] / max_len + 1.0) / 2.0;
+}
+
+namespace {
+
+double SmithWatermanCore(std::string_view a, std::string_view b,
+                         double gap_open, double gap_extend, bool affine) {
+  const size_t la = a.size();
+  const size_t lb = b.size();
+  if (la == 0 || lb == 0) return la == 0 && lb == 0 ? 1.0 : 0.0;
+  const double kMatch = 1.0;
+  const double kMismatch = -1.0;
+  const double kNegInf = -1e18;
+  std::vector<double> h_prev(lb + 1, 0.0);
+  std::vector<double> h_cur(lb + 1, 0.0);
+  std::vector<double> e_cur(lb + 1, kNegInf);  // gap in a (horizontal)
+  std::vector<double> f_prev(lb + 1, kNegInf);  // gap in b (vertical)
+  std::vector<double> f_cur(lb + 1, kNegInf);
+  double best = 0.0;
+  for (size_t i = 1; i <= la; ++i) {
+    h_cur[0] = 0.0;
+    double e = kNegInf;
+    for (size_t j = 1; j <= lb; ++j) {
+      if (affine) {
+        e = std::max(h_cur[j - 1] - gap_open, e - gap_extend);
+        f_cur[j] = std::max(h_prev[j] - gap_open, f_prev[j] - gap_extend);
+      } else {
+        e = h_cur[j - 1] - gap_open;
+        f_cur[j] = h_prev[j] - gap_open;
+      }
+      e_cur[j] = e;
+      double diag =
+          h_prev[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+      h_cur[j] = std::max({0.0, diag, e, f_cur[j]});
+      best = std::max(best, h_cur[j]);
+    }
+    std::swap(h_prev, h_cur);
+    std::swap(f_prev, f_cur);
+  }
+  return best / std::min(la, lb);
+}
+
+}  // namespace
+
+double SmithWatermanSim(std::string_view a, std::string_view b) {
+  return SmithWatermanCore(a, b, /*gap_open=*/1.0, /*gap_extend=*/1.0,
+                           /*affine=*/false);
+}
+
+double SmithWatermanGotohSim(std::string_view a, std::string_view b) {
+  return SmithWatermanCore(a, b, /*gap_open=*/1.0, /*gap_extend=*/0.5,
+                           /*affine=*/true);
+}
+
+double ExactMatchSim(std::string_view a, std::string_view b) {
+  a = Trim(a);
+  b = Trim(b);
+  if (a.size() != b.size()) return 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::tolower(static_cast<unsigned char>(a[i])) !=
+        std::tolower(static_cast<unsigned char>(b[i]))) {
+      return 0.0;
+    }
+  }
+  return 1.0;
+}
+
+double AbsDiff(double a, double b) { return std::fabs(a - b); }
+
+double RelDiff(double a, double b) {
+  double denom = std::max(std::fabs(a), std::fabs(b));
+  if (denom == 0.0) return 0.0;
+  return std::fabs(a - b) / denom;
+}
+
+void IdfDict::AddDocument(const std::vector<std::string>& token_set) {
+  ++num_docs_;
+  for (const auto& t : token_set) df_[t] += 1.0;
+}
+
+void IdfDict::Finalize() {
+  for (auto& [token, df] : df_) {
+    df = std::log(1.0 + static_cast<double>(num_docs_) / (1.0 + df));
+  }
+  finalized_ = true;
+}
+
+double IdfDict::Idf(const std::string& token) const {
+  auto it = df_.find(token);
+  if (it != df_.end()) return it->second;
+  // Unseen token: max-rarity weight.
+  return std::log(1.0 + static_cast<double>(num_docs_));
+}
+
+namespace {
+
+std::unordered_map<std::string, double> TfIdfVector(
+    const std::vector<std::string>& tokens, const IdfDict& idf) {
+  std::unordered_map<std::string, double> tf;
+  for (const auto& t : tokens) tf[t] += 1.0;
+  for (auto& [token, w] : tf) w *= idf.Idf(token);
+  return tf;
+}
+
+double Norm(const std::unordered_map<std::string, double>& v) {
+  double s = 0.0;
+  for (const auto& [t, w] : v) s += w * w;
+  return std::sqrt(s);
+}
+
+}  // namespace
+
+double TfIdfSim(const std::vector<std::string>& x,
+                const std::vector<std::string>& y, const IdfDict& idf) {
+  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
+  auto vx = TfIdfVector(x, idf);
+  auto vy = TfIdfVector(y, idf);
+  double dot = 0.0;
+  for (const auto& [t, w] : vx) {
+    auto it = vy.find(t);
+    if (it != vy.end()) dot += w * it->second;
+  }
+  double denom = Norm(vx) * Norm(vy);
+  return denom == 0.0 ? 0.0 : dot / denom;
+}
+
+double SoftTfIdfSim(const std::vector<std::string>& x,
+                    const std::vector<std::string>& y, const IdfDict& idf,
+                    double theta) {
+  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
+  auto vx = TfIdfVector(x, idf);
+  auto vy = TfIdfVector(y, idf);
+  double nx = Norm(vx);
+  double ny = Norm(vy);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  double score = 0.0;
+  for (const auto& [tx, wx] : vx) {
+    double best_sim = 0.0;
+    double best_wy = 0.0;
+    for (const auto& [ty, wy] : vy) {
+      double s = JaroWinklerSim(tx, ty);
+      if (s > best_sim) {
+        best_sim = s;
+        best_wy = wy;
+      }
+    }
+    if (best_sim >= theta) score += best_sim * wx * best_wy;
+  }
+  return std::min(1.0, score / (nx * ny));
+}
+
+}  // namespace falcon

@@ -1,0 +1,137 @@
+// Similarity functions.
+//
+// Falcon uses the similarity functions of Figure 5 to generate features, and
+// a subset of them ("relatively fast" ones) for blocking rules: exact match,
+// Jaccard, Dice, overlap, cosine, Levenshtein, absolute/relative difference.
+// The remaining functions (Jaro, Jaro-Winkler, Monge-Elkan, Needleman-Wunsch,
+// Smith-Waterman, Smith-Waterman-Gotoh, TF/IDF, Soft TF/IDF) are used only
+// for matcher features.
+//
+// All set-based functions take *sorted unique* token vectors (ToTokenSet).
+// All functions return a score in a fixed range except AbsDiff/RelDiff,
+// which return a non-negative distance.
+#ifndef FALCON_TEXT_SIMILARITY_H_
+#define FALCON_TEXT_SIMILARITY_H_
+
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace falcon {
+
+/// All similarity functions known to Falcon.
+enum class SimFunction {
+  kExactMatch,
+  kJaccard,
+  kDice,
+  kOverlap,  ///< overlap coefficient: |x ∩ y| / min(|x|, |y|)
+  kCosine,
+  kLevenshtein,  ///< normalized similarity: 1 - dist/max(len)
+  kAbsDiff,      ///< |a - b| (numeric distance)
+  kRelDiff,      ///< |a - b| / max(|a|, |b|) (numeric distance)
+  kJaro,
+  kJaroWinkler,
+  kMongeElkan,
+  kNeedlemanWunsch,
+  kSmithWaterman,
+  kSmithWatermanGotoh,
+  kTfIdf,
+  kSoftTfIdf,
+};
+
+const char* SimFunctionName(SimFunction f);
+
+/// True for set-based functions that admit index filters (length / prefix /
+/// position) in blocking: Jaccard, Dice, overlap, cosine. Levenshtein also
+/// admits q-gram-based filters (treated as set-based over 3-grams).
+bool IsSetBased(SimFunction f);
+
+/// True for the numeric distance functions AbsDiff/RelDiff.
+bool IsNumericDistance(SimFunction f);
+
+/// True if the function may be used in blocking rules (the non-starred rows
+/// of Figure 5).
+bool UsableForBlocking(SimFunction f);
+
+// --- set-based similarities over sorted unique token vectors --------------
+
+double JaccardSim(const std::vector<std::string>& x,
+                  const std::vector<std::string>& y);
+double DiceSim(const std::vector<std::string>& x,
+               const std::vector<std::string>& y);
+double OverlapSim(const std::vector<std::string>& x,
+                  const std::vector<std::string>& y);
+double CosineSim(const std::vector<std::string>& x,
+                 const std::vector<std::string>& y);
+
+// --- string similarities ---------------------------------------------------
+
+/// Levenshtein edit distance (unit costs).
+size_t LevenshteinDistance(std::string_view a, std::string_view b);
+/// 1 - dist / max(len); 1.0 for two empty strings.
+double LevenshteinSim(std::string_view a, std::string_view b);
+
+double JaroSim(std::string_view a, std::string_view b);
+/// Jaro-Winkler with prefix scale 0.1, max prefix 4.
+double JaroWinklerSim(std::string_view a, std::string_view b);
+
+/// Monge-Elkan: mean over tokens of x of the max Jaro-Winkler against
+/// tokens of y (token vectors need not be sorted/unique).
+double MongeElkanSim(const std::vector<std::string>& x,
+                     const std::vector<std::string>& y);
+
+/// Needleman-Wunsch global alignment score, normalized to [0, 1]
+/// (match +1, mismatch -1, gap -1; normalized by max length).
+double NeedlemanWunschSim(std::string_view a, std::string_view b);
+
+/// Smith-Waterman local alignment score, normalized by min length.
+double SmithWatermanSim(std::string_view a, std::string_view b);
+
+/// Smith-Waterman with affine gaps (Gotoh; open 1.0, extend 0.5),
+/// normalized by min length.
+double SmithWatermanGotohSim(std::string_view a, std::string_view b);
+
+// --- numeric ---------------------------------------------------------------
+
+/// 1.0 if both strings are byte-equal after trimming (case-insensitive),
+/// else 0.0.
+double ExactMatchSim(std::string_view a, std::string_view b);
+
+double AbsDiff(double a, double b);
+double RelDiff(double a, double b);
+
+// --- corpus-weighted -------------------------------------------------------
+
+/// Inverse-document-frequency statistics over a token corpus. Built once per
+/// (attribute, tokenization) from table A's values; consulted by TF/IDF and
+/// Soft TF/IDF features.
+class IdfDict {
+ public:
+  /// Adds one document's token *set*.
+  void AddDocument(const std::vector<std::string>& token_set);
+  /// Finalizes IDF weights; must be called before Idf().
+  void Finalize();
+  /// Smoothed IDF: log(1 + N / (1 + df)).
+  double Idf(const std::string& token) const;
+  size_t num_documents() const { return num_docs_; }
+
+ private:
+  std::unordered_map<std::string, double> df_;
+  size_t num_docs_ = 0;
+  bool finalized_ = false;
+};
+
+/// TF/IDF cosine over raw token vectors (term frequencies within each value).
+double TfIdfSim(const std::vector<std::string>& x,
+                const std::vector<std::string>& y, const IdfDict& idf);
+
+/// Soft TF/IDF (Cohen et al.): like TF/IDF but tokens pair up when their
+/// Jaro-Winkler similarity exceeds `theta` (default 0.9).
+double SoftTfIdfSim(const std::vector<std::string>& x,
+                    const std::vector<std::string>& y, const IdfDict& idf,
+                    double theta = 0.9);
+
+}  // namespace falcon
+
+#endif  // FALCON_TEXT_SIMILARITY_H_

@@ -1,0 +1,87 @@
+#include "text/tokenize.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace falcon {
+
+const char* TokenizationName(Tokenization t) {
+  switch (t) {
+    case Tokenization::kWord:
+      return "word";
+    case Tokenization::kQgram3:
+      return "3gram";
+  }
+  return "unknown";
+}
+
+std::vector<std::string> WordTokens(std::string_view s) {
+  std::vector<std::string> out;
+  std::string cur;
+  for (char raw : s) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (std::isalnum(c)) {
+      cur.push_back(static_cast<char>(std::tolower(c)));
+    } else if (!cur.empty()) {
+      out.push_back(std::move(cur));
+      cur.clear();
+    }
+  }
+  if (!cur.empty()) out.push_back(std::move(cur));
+  return out;
+}
+
+std::vector<std::string> QGramTokens(std::string_view s, int q) {
+  std::vector<std::string> out;
+  if (q <= 0 || s.empty()) return out;
+  std::string padded(static_cast<size_t>(q - 1), '#');
+  for (char raw : s) {
+    padded.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(raw))));
+  }
+  padded.append(static_cast<size_t>(q - 1), '#');
+  if (padded.size() < static_cast<size_t>(q)) return out;
+  out.reserve(padded.size() - q + 1);
+  for (size_t i = 0; i + q <= padded.size(); ++i) {
+    out.push_back(padded.substr(i, q));
+  }
+  return out;
+}
+
+std::vector<std::string> Tokenize(std::string_view s, Tokenization t) {
+  switch (t) {
+    case Tokenization::kWord:
+      return WordTokens(s);
+    case Tokenization::kQgram3:
+      return QGramTokens(s, 3);
+  }
+  return {};
+}
+
+std::vector<std::string> ToTokenSet(std::vector<std::string> tokens) {
+  std::sort(tokens.begin(), tokens.end());
+  tokens.erase(std::unique(tokens.begin(), tokens.end()), tokens.end());
+  return tokens;
+}
+
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace falcon

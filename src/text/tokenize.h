@@ -1,0 +1,45 @@
+// Tokenizers.
+//
+// Blocking-rule predicates and features reference an attribute together with
+// a tokenization (e.g. Jaccard_word vs Jaccard_3gram, Section 7.5 of the
+// paper speaks of "attribute-tokenization pairs"). Two tokenizations are
+// supported: whitespace/punctuation-delimited lowercase words, and character
+// q-grams of the lowercased string.
+#ifndef FALCON_TEXT_TOKENIZE_H_
+#define FALCON_TEXT_TOKENIZE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace falcon {
+
+/// The tokenization applied to an attribute value.
+enum class Tokenization {
+  kWord,   ///< lowercase alphanumeric words
+  kQgram3, ///< lowercase character 3-grams (with boundary padding '#')
+};
+
+const char* TokenizationName(Tokenization t);
+
+/// Splits `s` into lowercase words. Alphanumeric runs are words; everything
+/// else separates. "iPhone-6S 16GB" -> {"iphone", "6s", "16gb"}.
+std::vector<std::string> WordTokens(std::string_view s);
+
+/// Character q-grams of the lowercased string with q-1 characters of '#'
+/// padding on both ends. QGramTokens("ab", 3) -> {"##a","#ab","ab#","b##"}.
+std::vector<std::string> QGramTokens(std::string_view s, int q = 3);
+
+/// Dispatches on `t`.
+std::vector<std::string> Tokenize(std::string_view s, Tokenization t);
+
+/// Sorted unique copy of `tokens` (set semantics for set-based similarity).
+std::vector<std::string> ToTokenSet(std::vector<std::string> tokens);
+
+/// Size of the intersection of two *sorted unique* token vectors.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+}  // namespace falcon
+
+#endif  // FALCON_TEXT_TOKENIZE_H_

@@ -1,0 +1,488 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+#include "common/strings.h"
+
+namespace falcon {
+
+// --- perturbation library -----------------------------------------------------
+
+std::string ApplyTypo(const std::string& s, Rng* rng) {
+  if (s.empty()) return s;
+  std::string out = s;
+  size_t pos = static_cast<size_t>(rng->NextBelow(out.size()));
+  switch (rng->NextBelow(4)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng->NextBelow(26));
+      break;
+    case 1:  // delete
+      out.erase(pos, 1);
+      break;
+    case 2:  // transpose
+      if (pos + 1 < out.size()) std::swap(out[pos], out[pos + 1]);
+      break;
+    case 3:  // insert
+      out.insert(out.begin() + pos,
+                 static_cast<char>('a' + rng->NextBelow(26)));
+      break;
+  }
+  return out;
+}
+
+std::string PerturbText(const std::string& s, double strength, Rng* rng) {
+  auto tokens = Split(s, ' ');
+  // Drop empty fragments from double spaces.
+  tokens.erase(std::remove_if(tokens.begin(), tokens.end(),
+                              [](const std::string& t) { return t.empty(); }),
+               tokens.end());
+  if (tokens.empty()) return s;
+
+  // Token drop (never below one token).
+  if (tokens.size() > 1 && rng->Bernoulli(strength * 0.4)) {
+    tokens.erase(tokens.begin() + rng->NextBelow(tokens.size()));
+  }
+  // Adjacent token swap.
+  if (tokens.size() > 1 && rng->Bernoulli(strength * 0.3)) {
+    size_t i = static_cast<size_t>(rng->NextBelow(tokens.size() - 1));
+    std::swap(tokens[i], tokens[i + 1]);
+  }
+  // Abbreviation: truncate one token to its first letter + '.'.
+  if (rng->Bernoulli(strength * 0.25)) {
+    size_t i = static_cast<size_t>(rng->NextBelow(tokens.size()));
+    if (tokens[i].size() > 2) tokens[i] = tokens[i].substr(0, 1) + ".";
+  }
+  // Typos on a few tokens.
+  for (auto& t : tokens) {
+    if (rng->Bernoulli(strength * 0.25)) t = ApplyTypo(t, rng);
+  }
+  return Join(tokens, " ");
+}
+
+Vocabulary::Vocabulary(size_t size, uint64_t seed) {
+  Rng rng(seed);
+  static const char* kOnsets[] = {"b",  "c",  "d",  "f",  "g",  "k",  "l",
+                                  "m",  "n",  "p",  "r",  "s",  "t",  "v",
+                                  "br", "ch", "cl", "dr", "gr", "pl", "st",
+                                  "th", "tr"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ea", "io"};
+  static const char* kCodas[] = {"",  "",  "n", "r", "s",  "t",
+                                 "l", "m", "x", "d", "ck", "ng"};
+  std::unordered_set<std::string> seen;
+  words_.reserve(size);
+  while (words_.size() < size) {
+    std::string w;
+    size_t syllables = 1 + rng.NextBelow(3);
+    for (size_t i = 0; i < syllables; ++i) {
+      w += kOnsets[rng.NextBelow(std::size(kOnsets))];
+      w += kVowels[rng.NextBelow(std::size(kVowels))];
+      w += kCodas[rng.NextBelow(std::size(kCodas))];
+    }
+    if (seen.insert(w).second) words_.push_back(std::move(w));
+  }
+}
+
+const std::string& Vocabulary::SampleZipf(Rng* rng) const {
+  // Rank ~ floor(V * u^3): rank 0 (most frequent) drawn most often.
+  double u = rng->NextDouble();
+  size_t rank = static_cast<size_t>(u * u * u * words_.size());
+  if (rank >= words_.size()) rank = words_.size() - 1;
+  return words_[rank];
+}
+
+// --- shared entity machinery -----------------------------------------------------
+
+namespace {
+
+/// Maybe blank out a value (missing data).
+std::string MaybeMissing(std::string v, double missing_rate, Rng* rng) {
+  return rng->Bernoulli(missing_rate) ? std::string() : v;
+}
+
+std::string MakePhrase(const Vocabulary& vocab, size_t min_words,
+                       size_t max_words, Rng* rng) {
+  size_t n = min_words + rng->NextBelow(max_words - min_words + 1);
+  std::vector<std::string> words;
+  words.reserve(n);
+  for (size_t i = 0; i < n; ++i) words.push_back(vocab.SampleZipf(rng));
+  return Join(words, " ");
+}
+
+std::string FormatPrice(double v) { return FormatDouble(v, 2); }
+
+/// Entities are generated once; table rows are perturbed renditions.
+/// The builder pairs each table with ground truth.
+class DatasetBuilder {
+ public:
+  DatasetBuilder(std::string name, Schema schema,
+                 const WorkloadOptions& options)
+      : options_(options), rng_(options.seed) {
+    out_.name = std::move(name);
+    out_.a = Table(schema);
+    out_.b = Table(schema);
+  }
+
+  Rng* rng() { return &rng_; }
+
+  /// `render(variant_rng, dirty)` returns one rendition of the current
+  /// entity; dirty renditions apply perturbations. `in_b_count` of 0 means
+  /// the entity is A-only (no match).
+  void AddEntity(
+      const std::function<std::vector<std::string>(Rng*, bool)>& render,
+      bool in_a, size_t in_b_count) {
+    std::vector<RowId> a_rows;
+    std::vector<RowId> b_rows;
+    if (in_a) {
+      a_rows.push_back(static_cast<RowId>(out_.a.num_rows()));
+      // A-side rendition is the "clean-ish" master record.
+      (void)out_.a.AppendRow(render(&rng_, false));
+    }
+    for (size_t i = 0; i < in_b_count; ++i) {
+      b_rows.push_back(static_cast<RowId>(out_.b.num_rows()));
+      (void)out_.b.AppendRow(render(&rng_, true));
+    }
+    for (RowId ar : a_rows) {
+      for (RowId br : b_rows) out_.truth.Add(ar, br);
+    }
+  }
+
+  /// Adds a B-only distractor row.
+  void AddDistractor(
+      const std::function<std::vector<std::string>(Rng*, bool)>& render) {
+    (void)out_.b.AppendRow(render(&rng_, false));
+  }
+
+  GeneratedDataset Take() { return std::move(out_); }
+
+ private:
+  WorkloadOptions options_;
+  Rng rng_;
+  GeneratedDataset out_;
+};
+
+}  // namespace
+
+// --- Products -------------------------------------------------------------------
+
+GeneratedDataset GenerateProducts(const WorkloadOptions& opt) {
+  Schema schema({{"brand", AttrType::kString},
+                 {"modelno", AttrType::kString},
+                 {"title", AttrType::kString},
+                 {"price", AttrType::kNumeric},
+                 {"descr", AttrType::kString}});
+  DatasetBuilder builder("products", schema, opt);
+  Rng* rng = builder.rng();
+  Vocabulary brands(60, opt.seed ^ 0xB1);
+  Vocabulary words(4000, opt.seed ^ 0xA0);
+
+  size_t num_match_entities =
+      static_cast<size_t>(opt.size_a * opt.match_fraction);
+  size_t a_remaining = opt.size_a;
+  size_t b_budget = opt.size_b;
+
+  auto make_entity = [&](bool matched) {
+    std::string brand = brands.word(rng->NextBelow(brands.size()));
+    std::string model;
+    for (int i = 0; i < 2; ++i) model += static_cast<char>('a' + rng->NextBelow(26));
+    model += std::to_string(100 + rng->NextBelow(9900));
+    std::string title = brand + " " + MakePhrase(words, 3, 7, rng) + " " + model;
+    double price = 10.0 + rng->NextDouble() * 990.0;
+    std::string descr = MakePhrase(words, 12, 30, rng);
+    auto render = [=, &opt](Rng* r, bool dirty) -> std::vector<std::string> {
+      double strength = dirty ? opt.dirtiness : opt.dirtiness * 0.2;
+      double price_out = price;
+      if (dirty && r->Bernoulli(0.3)) {
+        price_out = price * (1.0 + r->NextGaussian(0.0, 0.01));
+      }
+      return {
+          MaybeMissing(dirty ? PerturbText(brand, strength * 0.5, r) : brand,
+                       opt.missing_rate, r),
+          MaybeMissing(dirty && r->Bernoulli(strength * 0.5)
+                           ? ApplyTypo(model, r)
+                           : model,
+                       opt.missing_rate * 2, r),
+          PerturbText(title, strength, r),
+          MaybeMissing(FormatPrice(price_out), opt.missing_rate, r),
+          MaybeMissing(PerturbText(descr, strength, r), opt.missing_rate * 3,
+                       r)};
+    };
+    size_t b_count = 0;
+    if (matched && b_budget > 0) {
+      b_count = 1 + (rng->Bernoulli(opt.duplicate_rate) ? 1 : 0);
+      b_count = std::min(b_count, b_budget);
+      b_budget -= b_count;
+    }
+    builder.AddEntity(render, a_remaining > 0, b_count);
+    if (a_remaining > 0) --a_remaining;
+  };
+
+  for (size_t i = 0; i < num_match_entities; ++i) make_entity(true);
+  while (a_remaining > 0) make_entity(false);
+  // Fill B with distractors.
+  while (b_budget > 0) {
+    std::string brand = brands.word(rng->NextBelow(brands.size()));
+    std::string model;
+    for (int i = 0; i < 2; ++i) model += static_cast<char>('a' + rng->NextBelow(26));
+    model += std::to_string(100 + rng->NextBelow(9900));
+    std::string title = brand + " " + MakePhrase(words, 3, 7, rng) + " " + model;
+    double price = 10.0 + rng->NextDouble() * 990.0;
+    std::string descr = MakePhrase(words, 12, 30, rng);
+    builder.AddDistractor([=, &opt](Rng* r, bool) -> std::vector<std::string> {
+      return {MaybeMissing(brand, opt.missing_rate, r),
+              MaybeMissing(model, opt.missing_rate * 2, r), title,
+              MaybeMissing(FormatPrice(price), opt.missing_rate, r),
+              MaybeMissing(descr, opt.missing_rate * 3, r)};
+    });
+    --b_budget;
+  }
+  return builder.Take();
+}
+
+// --- Songs ----------------------------------------------------------------------
+
+GeneratedDataset GenerateSongs(const WorkloadOptions& opt) {
+  Schema schema({{"title", AttrType::kString},
+                 {"release", AttrType::kString},
+                 {"artist_name", AttrType::kString},
+                 {"duration", AttrType::kNumeric},
+                 {"year", AttrType::kNumeric}});
+  DatasetBuilder builder("songs", schema, opt);
+  Rng* rng = builder.rng();
+  // A large vocabulary keeps unrelated titles textually distinct, so that
+  // high-precision blocking rules exist (as they do on the real MSD data).
+  Vocabulary words(12000, opt.seed ^ 0x50);
+  Vocabulary artists(900, opt.seed ^ 0x51);
+
+  size_t num_match_entities =
+      static_cast<size_t>(opt.size_a * opt.match_fraction);
+  size_t a_remaining = opt.size_a;
+  size_t b_budget = opt.size_b;
+
+  auto make_entity = [&](bool matched) {
+    std::string title = MakePhrase(words, 3, 7, rng);
+    std::string release = MakePhrase(words, 1, 4, rng);
+    std::string artist = "the " + artists.word(rng->NextBelow(artists.size())) +
+                         " " + artists.word(rng->NextBelow(artists.size()));
+    double duration = 120.0 + rng->NextDouble() * 240.0;
+    int year = 1960 + static_cast<int>(rng->NextBelow(55));
+    auto render = [=, &opt](Rng* r, bool dirty) -> std::vector<std::string> {
+      double strength = dirty ? opt.dirtiness : opt.dirtiness * 0.15;
+      // Different album release of the same song is still a match.
+      std::string rel = release;
+      if (dirty && r->Bernoulli(0.25)) {
+        rel = MakePhrase(words, 1, 4, r);
+      }
+      double dur = duration;
+      if (dirty && r->Bernoulli(0.4)) dur += r->NextGaussian(0.0, 2.0);
+      return {PerturbText(title, strength, r),
+              MaybeMissing(PerturbText(rel, strength, r), opt.missing_rate * 2,
+                           r),
+              MaybeMissing(PerturbText(artist, strength * 0.7, r),
+                           opt.missing_rate, r),
+              MaybeMissing(FormatDouble(dur, 1), opt.missing_rate, r),
+              MaybeMissing(std::to_string(year), opt.missing_rate * 4, r)};
+    };
+    size_t b_count = 0;
+    if (matched && b_budget > 0) {
+      b_count = 1 + (rng->Bernoulli(opt.duplicate_rate) ? 1 : 0);
+      b_count = std::min(b_count, b_budget);
+      b_budget -= b_count;
+    }
+    builder.AddEntity(render, a_remaining > 0, b_count);
+    if (a_remaining > 0) --a_remaining;
+  };
+
+  for (size_t i = 0; i < num_match_entities; ++i) make_entity(true);
+  while (a_remaining > 0) make_entity(false);
+  while (b_budget > 0) {
+    std::string title = MakePhrase(words, 3, 7, rng);
+    std::string release = MakePhrase(words, 1, 4, rng);
+    std::string artist = "the " + artists.word(rng->NextBelow(artists.size())) +
+                         " " + artists.word(rng->NextBelow(artists.size()));
+    double duration = 120.0 + rng->NextDouble() * 240.0;
+    int year = 1960 + static_cast<int>(rng->NextBelow(55));
+    builder.AddDistractor([=, &opt](Rng* r, bool) -> std::vector<std::string> {
+      return {title, MaybeMissing(release, opt.missing_rate * 2, r),
+              MaybeMissing(artist, opt.missing_rate, r),
+              MaybeMissing(FormatDouble(duration, 1), opt.missing_rate, r),
+              MaybeMissing(std::to_string(year), opt.missing_rate * 4, r)};
+    });
+    --b_budget;
+  }
+  return builder.Take();
+}
+
+// --- Citations -------------------------------------------------------------------
+
+GeneratedDataset GenerateCitations(const WorkloadOptions& opt) {
+  Schema schema({{"title", AttrType::kString},
+                 {"authors", AttrType::kString},
+                 {"journal", AttrType::kString},
+                 {"month", AttrType::kString},
+                 {"year", AttrType::kNumeric},
+                 {"pub_type", AttrType::kString}});
+  DatasetBuilder builder("citations", schema, opt);
+  Rng* rng = builder.rng();
+  Vocabulary words(5000, opt.seed ^ 0xC0);
+  Vocabulary names(800, opt.seed ^ 0xC1);
+  Vocabulary venues(120, opt.seed ^ 0xC2);
+  static const char* kMonths[] = {"jan", "feb", "mar", "apr", "may", "jun",
+                                  "jul", "aug", "sep", "oct", "nov", "dec"};
+  static const char* kTypes[] = {"article", "inproceedings", "techreport"};
+
+  size_t num_match_entities =
+      static_cast<size_t>(opt.size_a * opt.match_fraction);
+  size_t a_remaining = opt.size_a;
+  size_t b_budget = opt.size_b;
+
+  auto make_author_list = [&](Rng* r) {
+    size_t n = 1 + r->NextBelow(4);
+    std::vector<std::string> authors;
+    for (size_t i = 0; i < n; ++i) {
+      authors.push_back(names.word(r->NextBelow(names.size())) + " " +
+                        names.word(r->NextBelow(names.size())));
+    }
+    return Join(authors, " and ");
+  };
+
+  auto make_entity = [&](bool matched) {
+    std::string title = MakePhrase(words, 5, 12, rng);
+    std::string authors = make_author_list(rng);
+    std::string journal = "journal of " +
+                          venues.word(rng->NextBelow(venues.size())) + " " +
+                          venues.word(rng->NextBelow(venues.size()));
+    std::string month = kMonths[rng->NextBelow(12)];
+    int year = 1980 + static_cast<int>(rng->NextBelow(36));
+    std::string type = kTypes[rng->NextBelow(3)];
+    auto render = [=, &opt](Rng* r, bool dirty) -> std::vector<std::string> {
+      double strength = dirty ? opt.dirtiness : opt.dirtiness * 0.15;
+      std::string auth = authors;
+      if (dirty && r->Bernoulli(0.5)) {
+        // Citeseer-vs-DBLP style: initials instead of first names.
+        auth = PerturbText(authors, strength, r);
+      }
+      return {PerturbText(title, strength, r),
+              MaybeMissing(auth, opt.missing_rate, r),
+              MaybeMissing(PerturbText(journal, strength, r),
+                           opt.missing_rate * 5, r),
+              MaybeMissing(month, opt.missing_rate * 8, r),
+              MaybeMissing(std::to_string(year), opt.missing_rate * 3, r),
+              MaybeMissing(type, opt.missing_rate * 6, r)};
+    };
+    size_t b_count = 0;
+    if (matched && b_budget > 0) {
+      b_count = 1 + (rng->Bernoulli(opt.duplicate_rate) ? 1 : 0);
+      b_count = std::min(b_count, b_budget);
+      b_budget -= b_count;
+    }
+    builder.AddEntity(render, a_remaining > 0, b_count);
+    if (a_remaining > 0) --a_remaining;
+  };
+
+  for (size_t i = 0; i < num_match_entities; ++i) make_entity(true);
+  while (a_remaining > 0) make_entity(false);
+  while (b_budget > 0) {
+    std::string title = MakePhrase(words, 5, 12, rng);
+    std::string authors = make_author_list(rng);
+    std::string journal = "journal of " +
+                          venues.word(rng->NextBelow(venues.size())) + " " +
+                          venues.word(rng->NextBelow(venues.size()));
+    std::string month = kMonths[rng->NextBelow(12)];
+    int year = 1980 + static_cast<int>(rng->NextBelow(36));
+    std::string type = kTypes[rng->NextBelow(3)];
+    builder.AddDistractor([=, &opt](Rng* r, bool) -> std::vector<std::string> {
+      return {title, MaybeMissing(authors, opt.missing_rate, r),
+              MaybeMissing(journal, opt.missing_rate * 5, r),
+              MaybeMissing(month, opt.missing_rate * 8, r),
+              MaybeMissing(std::to_string(year), opt.missing_rate * 3, r),
+              MaybeMissing(type, opt.missing_rate * 6, r)};
+    });
+    --b_budget;
+  }
+  return builder.Take();
+}
+
+// --- Drugs -----------------------------------------------------------------------
+
+GeneratedDataset GenerateDrugs(const WorkloadOptions& opt) {
+  Schema schema({{"name", AttrType::kString},
+                 {"generic_name", AttrType::kString},
+                 {"dosage_mg", AttrType::kNumeric},
+                 {"form", AttrType::kString},
+                 {"manufacturer", AttrType::kString}});
+  DatasetBuilder builder("drugs", schema, opt);
+  Rng* rng = builder.rng();
+  Vocabulary stems(900, opt.seed ^ 0xD0);
+  Vocabulary makers(80, opt.seed ^ 0xD1);
+  static const char* kForms[] = {"tablet", "capsule", "syrup", "injection",
+                                 "cream"};
+  static const char* kSuffixes[] = {"ol", "ine", "ate", "ium", "in", "mab"};
+
+  size_t num_match_entities =
+      static_cast<size_t>(opt.size_a * opt.match_fraction);
+  size_t a_remaining = opt.size_a;
+  size_t b_budget = opt.size_b;
+
+  auto make_entity = [&](bool matched) {
+    std::string generic = stems.word(rng->NextBelow(stems.size())) +
+                          kSuffixes[rng->NextBelow(std::size(kSuffixes))];
+    std::string brand = stems.word(rng->NextBelow(stems.size())) + "ex";
+    double dosage = static_cast<double>(5 * (1 + rng->NextBelow(100)));
+    std::string form = kForms[rng->NextBelow(std::size(kForms))];
+    std::string maker = makers.word(rng->NextBelow(makers.size())) + " pharma";
+    auto render = [=, &opt](Rng* r, bool dirty) -> std::vector<std::string> {
+      double strength = dirty ? opt.dirtiness : opt.dirtiness * 0.2;
+      std::string name = brand + " " + FormatDouble(dosage, 0) + "mg " + form;
+      return {PerturbText(name, strength, r),
+              MaybeMissing(dirty && r->Bernoulli(strength * 0.4)
+                               ? ApplyTypo(generic, r)
+                               : generic,
+                           opt.missing_rate * 2, r),
+              MaybeMissing(FormatDouble(dosage, 0), opt.missing_rate, r),
+              MaybeMissing(form, opt.missing_rate * 2, r),
+              MaybeMissing(maker, opt.missing_rate * 4, r)};
+    };
+    size_t b_count = 0;
+    if (matched && b_budget > 0) {
+      b_count = 1 + (rng->Bernoulli(opt.duplicate_rate) ? 1 : 0);
+      b_count = std::min(b_count, b_budget);
+      b_budget -= b_count;
+    }
+    builder.AddEntity(render, a_remaining > 0, b_count);
+    if (a_remaining > 0) --a_remaining;
+  };
+
+  for (size_t i = 0; i < num_match_entities; ++i) make_entity(true);
+  while (a_remaining > 0) make_entity(false);
+  while (b_budget > 0) {
+    std::string generic = stems.word(rng->NextBelow(stems.size())) +
+                          kSuffixes[rng->NextBelow(std::size(kSuffixes))];
+    std::string brand = stems.word(rng->NextBelow(stems.size())) + "ex";
+    double dosage = static_cast<double>(5 * (1 + rng->NextBelow(100)));
+    std::string form = kForms[rng->NextBelow(std::size(kForms))];
+    std::string maker = makers.word(rng->NextBelow(makers.size())) + " pharma";
+    builder.AddDistractor([=, &opt](Rng* r, bool) -> std::vector<std::string> {
+      std::string name = brand + " " + FormatDouble(dosage, 0) + "mg " + form;
+      return {name, MaybeMissing(generic, opt.missing_rate * 2, r),
+              MaybeMissing(FormatDouble(dosage, 0), opt.missing_rate, r),
+              MaybeMissing(form, opt.missing_rate * 2, r),
+              MaybeMissing(maker, opt.missing_rate * 4, r)};
+    });
+    --b_budget;
+  }
+  return builder.Take();
+}
+
+Result<GeneratedDataset> GenerateByName(const std::string& name,
+                                        const WorkloadOptions& options) {
+  std::string n = ToLower(name);
+  if (n == "products") return GenerateProducts(options);
+  if (n == "songs") return GenerateSongs(options);
+  if (n == "citations") return GenerateCitations(options);
+  if (n == "drugs") return GenerateDrugs(options);
+  return Status::InvalidArgument("unknown workload: " + name);
+}
+
+}  // namespace falcon

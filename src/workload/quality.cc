@@ -1,0 +1,35 @@
+#include "workload/quality.h"
+
+namespace falcon {
+
+QualityMetrics EvaluateMatches(const std::vector<CandidatePair>& matches,
+                               const GroundTruth& truth) {
+  QualityMetrics m;
+  m.predicted = matches.size();
+  m.actual = truth.size();
+  for (const auto& [a, b] : matches) {
+    if (truth.IsMatch(a, b)) ++m.true_positives;
+  }
+  m.precision = m.predicted == 0
+                    ? 0.0
+                    : static_cast<double>(m.true_positives) / m.predicted;
+  m.recall = m.actual == 0
+                 ? 0.0
+                 : static_cast<double>(m.true_positives) / m.actual;
+  m.f1 = (m.precision + m.recall) == 0.0
+             ? 0.0
+             : 2.0 * m.precision * m.recall / (m.precision + m.recall);
+  return m;
+}
+
+double BlockingRecall(const std::vector<CandidatePair>& candidates,
+                      const GroundTruth& truth) {
+  if (truth.size() == 0) return 1.0;
+  size_t survived = 0;
+  for (const auto& [a, b] : candidates) {
+    if (truth.IsMatch(a, b)) ++survived;
+  }
+  return static_cast<double>(survived) / truth.size();
+}
+
+}  // namespace falcon

@@ -1,0 +1,32 @@
+// Quality metrics against generated ground truth.
+#ifndef FALCON_WORKLOAD_QUALITY_H_
+#define FALCON_WORKLOAD_QUALITY_H_
+
+#include <vector>
+
+#include "blocking/apply.h"
+#include "workload/generator.h"
+
+namespace falcon {
+
+struct QualityMetrics {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+  size_t true_positives = 0;
+  size_t predicted = 0;
+  size_t actual = 0;
+};
+
+/// Precision/recall/F1 of predicted matches against the ground truth.
+QualityMetrics EvaluateMatches(const std::vector<CandidatePair>& matches,
+                               const GroundTruth& truth);
+
+/// Fraction of true matches that survive blocking (the paper's blocking
+/// "recall", Sections 3.2 and 11.2).
+double BlockingRecall(const std::vector<CandidatePair>& candidates,
+                      const GroundTruth& truth);
+
+}  // namespace falcon
+
+#endif  // FALCON_WORKLOAD_QUALITY_H_

@@ -1,0 +1,156 @@
+#include <gtest/gtest.h>
+
+#include "core/accuracy_estimator.h"
+#include "core/pipeline.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+namespace falcon {
+namespace {
+
+// Synthetic candidate set with known composition:
+//   predicted positives: 400 pairs, 90% truly matching
+//   predicted negatives: 1600 pairs, 5% truly matching (false negatives)
+struct EstimatorFixture {
+  std::vector<CandidatePair> candidates;
+  std::vector<char> predictions;
+  GroundTruth truth;
+
+  EstimatorFixture() {
+    uint32_t id = 0;
+    for (int i = 0; i < 400; ++i, ++id) {
+      candidates.emplace_back(id, id);
+      predictions.push_back(1);
+      if (i % 10 != 0) truth.Add(id, id);  // 90% precise
+    }
+    for (int i = 0; i < 1600; ++i, ++id) {
+      candidates.emplace_back(id, id);
+      predictions.push_back(0);
+      if (i % 20 == 0) truth.Add(id, id);  // 5% false negatives
+    }
+  }
+
+  double TruePrecision() const { return 0.9; }
+  double TrueRecall() const {
+    double tp = 360.0;
+    double fn = 80.0;
+    return tp / (tp + fn);
+  }
+};
+
+TEST(AccuracyEstimatorTest, EstimatesMatchKnownComposition) {
+  EstimatorFixture fx;
+  SimulatedCrowdConfig ccfg;
+  ccfg.error_rate = 0.0;
+  SimulatedCrowd crowd(ccfg, fx.truth.MakeOracle());
+  AccuracyEstimatorOptions opts;
+  opts.sample_per_stratum = 250;
+  Rng rng(3);
+  auto est = EstimateAccuracy(fx.candidates, fx.predictions, &crowd, opts,
+                              &rng);
+  ASSERT_TRUE(est.ok()) << est.status().ToString();
+  EXPECT_NEAR(est->precision, fx.TruePrecision(), est->precision_margin)
+      << "margin " << est->precision_margin;
+  EXPECT_NEAR(est->recall, fx.TrueRecall(), est->recall_margin + 0.05);
+  EXPECT_GT(est->precision_margin, 0.0);
+  EXPECT_LT(est->precision_margin, 0.1);
+  EXPECT_EQ(est->labeled_positives, 250u);
+  EXPECT_EQ(est->labeled_negatives, 250u);
+  EXPECT_GT(est->cost, 0.0);
+  EXPECT_GT(est->crowd_time.seconds, 0.0);
+}
+
+TEST(AccuracyEstimatorTest, SmallStrataWidenMargins) {
+  EstimatorFixture fx;
+  SimulatedCrowdConfig ccfg;
+  ccfg.error_rate = 0.0;
+  auto run = [&](size_t n) {
+    SimulatedCrowd crowd(ccfg, fx.truth.MakeOracle());
+    AccuracyEstimatorOptions opts;
+    opts.sample_per_stratum = n;
+    Rng rng(3);
+    auto est = EstimateAccuracy(fx.candidates, fx.predictions, &crowd, opts,
+                                &rng);
+    EXPECT_TRUE(est.ok());
+    return est->precision_margin;
+  };
+  EXPECT_GT(run(30), run(300));
+}
+
+TEST(AccuracyEstimatorTest, NoPredictedMatchesIsError) {
+  std::vector<CandidatePair> cands = {{1, 1}, {2, 2}};
+  std::vector<char> preds = {0, 0};
+  SimulatedCrowd crowd(SimulatedCrowdConfig{},
+                       [](RowId, RowId) { return false; });
+  Rng rng(1);
+  auto est = EstimateAccuracy(cands, preds, &crowd,
+                              AccuracyEstimatorOptions{}, &rng);
+  ASSERT_FALSE(est.ok());
+  EXPECT_EQ(est.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(AccuracyEstimatorTest, SizeMismatchRejected) {
+  std::vector<CandidatePair> cands = {{1, 1}};
+  std::vector<char> preds = {1, 0};
+  SimulatedCrowd crowd(SimulatedCrowdConfig{},
+                       [](RowId, RowId) { return false; });
+  Rng rng(1);
+  auto est = EstimateAccuracy(cands, preds, &crowd,
+                              AccuracyEstimatorOptions{}, &rng);
+  ASSERT_FALSE(est.ok());
+}
+
+TEST(AccuracyEstimatorTest, PipelineIntegration) {
+  WorkloadOptions opt;
+  opt.size_a = 250;
+  opt.size_b = 700;
+  opt.seed = 13;
+  auto data = GenerateProducts(opt);
+  Cluster cluster{ClusterConfig{}};
+  SimulatedCrowdConfig ccfg;
+  ccfg.error_rate = 0.0;
+  SimulatedCrowd crowd(ccfg, data.truth.MakeOracle());
+  FalconConfig cfg;
+  cfg.sample_size = 5000;
+  cfg.matcher_only_max_bytes = 1 << 20;
+  cfg.estimate_accuracy = true;
+  cfg.accuracy.sample_per_stratum = 60;
+  FalconPipeline pipeline(&data.a, &data.b, &crowd, &cluster, cfg);
+  auto r = pipeline.Run();
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->metrics.has_accuracy_estimate);
+  // With a perfect crowd, the hands-off estimate should bracket the true
+  // precision (computed from generator ground truth).
+  auto q = EvaluateMatches(r->matches, data.truth);
+  EXPECT_NEAR(r->metrics.accuracy.precision, q.precision,
+              r->metrics.accuracy.precision_margin + 0.05);
+  // The estimator's crowd work is accounted in the run metrics.
+  bool found_op = false;
+  for (const auto& op : r->metrics.operators) {
+    if (op.name == "estimate_accuracy") found_op = true;
+  }
+  EXPECT_TRUE(found_op);
+}
+
+TEST(SamplerAblationTest, UniformSamplingFindsFarFewerPositives) {
+  WorkloadOptions opt;
+  opt.size_a = 300;
+  opt.size_b = 900;
+  opt.seed = 3;
+  auto data = GenerateProducts(opt);
+  Cluster cluster{ClusterConfig{}};
+  auto count_matches = [&](SampleStrategy s) {
+    Rng rng(1);
+    auto r = SamplePairs(data.a, data.b, 6000, 50, &cluster, &rng, s);
+    EXPECT_TRUE(r.ok());
+    size_t m = 0;
+    for (auto [a, b] : r->pairs) m += data.truth.IsMatch(a, b) ? 1 : 0;
+    return m;
+  };
+  size_t biased = count_matches(SampleStrategy::kTokenBiased);
+  size_t uniform = count_matches(SampleStrategy::kUniformRandom);
+  EXPECT_GT(biased, 3 * (uniform + 1));
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,300 @@
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/bitmap.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+#include "common/vtime.h"
+
+namespace falcon {
+namespace {
+
+// --- Status / Result -------------------------------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad n");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad n");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad n");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (auto code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kOutOfMemory, StatusCode::kBudgetExhausted,
+        StatusCode::kCancelled, StatusCode::kIoError, StatusCode::kInternal}) {
+    EXPECT_STRNE(StatusCodeName(code), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  FALCON_ASSIGN_OR_RETURN(int parsed, ParsePositive(v));
+  *out = parsed * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnPropagates) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  Status s = UseAssignOrReturn(-1, &out);
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+}
+
+// --- Rng --------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next64(), b.Next64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next64() == b.Next64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(r.NextBelow(13), 13u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllValues) {
+  Rng r(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(r.NextBelow(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NextIntInclusiveBounds) {
+  Rng r(99);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    int64_t v = r.NextInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng r(5);
+  double sum = 0.0;
+  for (int i = 0; i < 10000; ++i) {
+    double v = r.NextDouble();
+    ASSERT_GE(v, 0.0);
+    ASSERT_LT(v, 1.0);
+    sum += v;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng r(11);
+  double sum = 0.0;
+  double sq = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double v = r.NextGaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RngTest, BernoulliEdges) {
+  Rng r(3);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_FALSE(r.Bernoulli(0.0));
+    EXPECT_TRUE(r.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementDistinct) {
+  Rng r(17);
+  auto sample = r.SampleWithoutReplacement(100, 30);
+  EXPECT_EQ(sample.size(), 30u);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 30u);
+  for (size_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementWholePopulation) {
+  Rng r(17);
+  auto sample = r.SampleWithoutReplacement(10, 50);
+  EXPECT_EQ(sample.size(), 10u);
+  std::set<size_t> uniq(sample.begin(), sample.end());
+  EXPECT_EQ(uniq.size(), 10u);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng a(42);
+  Rng child = a.Fork();
+  // Child stream differs from parent's continued stream.
+  EXPECT_NE(a.Next64(), child.Next64());
+}
+
+// --- Bitmap -----------------------------------------------------------------
+
+TEST(BitmapTest, SetGetClear) {
+  Bitmap b(130);
+  EXPECT_EQ(b.size(), 130u);
+  EXPECT_FALSE(b.Get(0));
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Get(0));
+  EXPECT_TRUE(b.Get(64));
+  EXPECT_TRUE(b.Get(129));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Clear(64);
+  EXPECT_FALSE(b.Get(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitmapTest, OrAndSemantics) {
+  Bitmap a(100);
+  Bitmap b(100);
+  a.Set(1);
+  a.Set(50);
+  b.Set(50);
+  b.Set(99);
+  EXPECT_EQ(a.OrCount(b), 3u);
+  EXPECT_EQ(a.AndCount(b), 1u);
+  Bitmap c = a;
+  c.OrWith(b);
+  EXPECT_EQ(c.Count(), 3u);
+  EXPECT_TRUE(c.Get(1));
+  EXPECT_TRUE(c.Get(99));
+  Bitmap d = a;
+  d.AndWith(b);
+  EXPECT_EQ(d.Count(), 1u);
+  EXPECT_TRUE(d.Get(50));
+}
+
+TEST(BitmapTest, ResetClearsAll) {
+  Bitmap b(77);
+  for (size_t i = 0; i < 77; i += 3) b.Set(i);
+  b.Reset();
+  EXPECT_EQ(b.Count(), 0u);
+}
+
+TEST(BitmapTest, OrCountMatchesMaterializedOr) {
+  Rng r(5);
+  Bitmap a(1000);
+  Bitmap b(1000);
+  for (int i = 0; i < 300; ++i) {
+    a.Set(r.NextBelow(1000));
+    b.Set(r.NextBelow(1000));
+  }
+  Bitmap c = a;
+  c.OrWith(b);
+  EXPECT_EQ(a.OrCount(b), c.Count());
+}
+
+// --- Strings ----------------------------------------------------------------
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  auto parts = Split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(StringsTest, JoinRoundTrip) {
+  std::vector<std::string> parts = {"x", "y", "z"};
+  EXPECT_EQ(Join(parts, ", "), "x, y, z");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringsTest, TrimAndLower) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(ToLower("AbC-09"), "abc-09");
+}
+
+TEST(StringsTest, ParseDouble) {
+  double v = 0;
+  EXPECT_TRUE(ParseDouble("3.25", &v));
+  EXPECT_DOUBLE_EQ(v, 3.25);
+  EXPECT_TRUE(ParseDouble(" -42 ", &v));
+  EXPECT_DOUBLE_EQ(v, -42.0);
+  EXPECT_FALSE(ParseDouble("", &v));
+  EXPECT_FALSE(ParseDouble("12abc", &v));
+  EXPECT_FALSE(ParseDouble("abc", &v));
+  EXPECT_FALSE(ParseDouble("inf", &v));
+}
+
+// --- VDuration ---------------------------------------------------------------
+
+TEST(VTimeTest, Arithmetic) {
+  VDuration d = VDuration::Minutes(2) + VDuration::Seconds(30);
+  EXPECT_DOUBLE_EQ(d.seconds, 150.0);
+  d -= VDuration::Seconds(30);
+  EXPECT_DOUBLE_EQ(d.seconds, 120.0);
+  EXPECT_TRUE(VDuration::Hours(1) > VDuration::Minutes(59));
+  EXPECT_DOUBLE_EQ((VDuration::Seconds(10) * 3.0).seconds, 30.0);
+}
+
+TEST(VTimeTest, FormattingMatchesPaperStyle) {
+  EXPECT_EQ(VDuration::Seconds(0.13).ToString(), "130ms");
+  EXPECT_EQ(VDuration::Seconds(52 * 60).ToString(), "52m");
+  EXPECT_EQ(VDuration::Seconds(5 * 60 + 7).ToString(), "5m 7s");
+  EXPECT_EQ(VDuration(3600 + 4 * 60 + 1).ToString(), "1h 4m 1s");
+  EXPECT_EQ(VDuration::Hours(2).ToString(), "2h 0m");
+  EXPECT_EQ(VDuration::Seconds(42).ToString(), "42s");
+}
+
+TEST(VTimeTest, MinMax) {
+  EXPECT_DOUBLE_EQ(Max(VDuration(1), VDuration(2)).seconds, 2.0);
+  EXPECT_DOUBLE_EQ(Min(VDuration(1), VDuration(2)).seconds, 1.0);
+}
+
+}  // namespace
+}  // namespace falcon

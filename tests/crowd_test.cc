@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "crowd/crowd.h"
+
+namespace falcon {
+namespace {
+
+TruthOracle AllMatch() {
+  return [](RowId, RowId) { return true; };
+}
+
+TruthOracle ParityOracle() {
+  return [](RowId a, RowId b) { return (a + b) % 2 == 0; };
+}
+
+std::vector<PairQuestion> MakePairs(size_t n) {
+  std::vector<PairQuestion> pairs;
+  for (size_t i = 0; i < n; ++i) {
+    pairs.emplace_back(static_cast<RowId>(i), static_cast<RowId>(i + 1));
+  }
+  return pairs;
+}
+
+TEST(CostCapTest, PaperFormulaGives349_60) {
+  EXPECT_NEAR(ComputeCostCap(), 349.60, 1e-9);
+}
+
+TEST(BudgetLedgerTest, ChargesAndCaps) {
+  BudgetLedger ledger(10.0);
+  EXPECT_TRUE(ledger.Charge(6.0).ok());
+  EXPECT_DOUBLE_EQ(ledger.spent(), 6.0);
+  EXPECT_DOUBLE_EQ(ledger.remaining(), 4.0);
+  Status s = ledger.Charge(5.0);
+  EXPECT_EQ(s.code(), StatusCode::kBudgetExhausted);
+  EXPECT_DOUBLE_EQ(ledger.spent(), 6.0);  // failed charge does not apply
+  EXPECT_TRUE(ledger.Charge(4.0).ok());
+}
+
+TEST(SimulatedCrowdTest, PerfectCrowdIsAlwaysRight) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.0;
+  SimulatedCrowd crowd(cfg, ParityOracle());
+  auto pairs = MakePairs(50);
+  auto r = crowd.LabelPairs(pairs, VoteScheme::kMajority3);
+  ASSERT_TRUE(r.ok());
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    EXPECT_EQ(r->labels[i], (pairs[i].first + pairs[i].second) % 2 == 0);
+  }
+  EXPECT_EQ(r->num_answers, 150u);  // 3 per question
+  EXPECT_NEAR(r->cost, 150 * 0.02, 1e-9);
+}
+
+TEST(SimulatedCrowdTest, MajorityVoteSuppressesModerateError) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.15;
+  cfg.seed = 5;
+  SimulatedCrowd crowd(cfg, AllMatch());
+  auto pairs = MakePairs(2000);
+  auto r = crowd.LabelPairs(pairs, VoteScheme::kMajority3);
+  ASSERT_TRUE(r.ok());
+  size_t correct = 0;
+  for (bool l : r->labels) correct += l ? 1 : 0;
+  // P(majority wrong) = 3e^2(1-e) + e^3 ~= 0.061 at e=0.15.
+  double accuracy = static_cast<double>(correct) / pairs.size();
+  EXPECT_GT(accuracy, 0.91);
+  EXPECT_LT(accuracy, 0.97);
+}
+
+TEST(SimulatedCrowdTest, StrongMajorityUsesThreeToSevenAnswers) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.3;  // force disagreement often
+  cfg.seed = 9;
+  SimulatedCrowd crowd(cfg, AllMatch());
+  auto pairs = MakePairs(500);
+  auto r = crowd.LabelPairs(pairs, VoteScheme::kStrongMajority7);
+  ASSERT_TRUE(r.ok());
+  double per_question =
+      static_cast<double>(r->num_answers) / r->num_questions;
+  EXPECT_GE(per_question, 4.0);  // minimum is 4 (4-0 sweep)
+  EXPECT_LE(per_question, 7.0);
+  // Strong majority beats plain majority at this error rate.
+  size_t correct = 0;
+  for (bool l : r->labels) correct += l ? 1 : 0;
+  EXPECT_GT(static_cast<double>(correct) / pairs.size(), 0.75);
+}
+
+TEST(SimulatedCrowdTest, ZeroErrorStrongMajorityUsesFourAnswers) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.0;
+  SimulatedCrowd crowd(cfg, AllMatch());
+  auto r = crowd.LabelPairs(MakePairs(10), VoteScheme::kStrongMajority7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_answers, 40u);  // 4 unanimous answers decide
+}
+
+TEST(SimulatedCrowdTest, LatencyScalesWithHits) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.0;
+  cfg.latency_sigma = 0.0;  // deterministic latency
+  SimulatedCrowd crowd(cfg, AllMatch());
+  auto r1 = crowd.LabelPairs(MakePairs(10), VoteScheme::kMajority3);
+  ASSERT_TRUE(r1.ok());
+  // One HIT, no jitter: exactly the mean.
+  EXPECT_NEAR(r1->latency.seconds, 90.0, 1e-6);
+  // HITs post in parallel: more questions, same latency (no jitter).
+  auto r2 = crowd.LabelPairs(MakePairs(40), VoteScheme::kMajority3);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_NEAR(r2->latency.seconds, 90.0, 1e-6);
+}
+
+TEST(SimulatedCrowdTest, AccountingAccumulates) {
+  SimulatedCrowdConfig cfg;
+  SimulatedCrowd crowd(cfg, AllMatch());
+  ASSERT_TRUE(crowd.LabelPairs(MakePairs(20), VoteScheme::kMajority3).ok());
+  ASSERT_TRUE(crowd.LabelPairs(MakePairs(20), VoteScheme::kMajority3).ok());
+  EXPECT_EQ(crowd.total_questions(), 40u);
+  EXPECT_EQ(crowd.total_answers(), 120u);
+  EXPECT_NEAR(crowd.total_cost(), 120 * 0.02, 1e-9);
+  EXPECT_GT(crowd.total_crowd_time().seconds, 0.0);
+  crowd.ResetAccounting();
+  EXPECT_EQ(crowd.total_questions(), 0u);
+}
+
+TEST(SimulatedCrowdTest, BudgetCapEnforced) {
+  SimulatedCrowdConfig cfg;
+  cfg.budget_cap = 1.0;  // 50 answers
+  SimulatedCrowd crowd(cfg, AllMatch());
+  // 20 questions x 3 answers = $1.20 > cap.
+  auto r = crowd.LabelPairs(MakePairs(20), VoteScheme::kMajority3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kBudgetExhausted);
+}
+
+TEST(SimulatedCrowdTest, DeterministicForSeed) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.2;
+  cfg.seed = 77;
+  SimulatedCrowd c1(cfg, ParityOracle());
+  SimulatedCrowd c2(cfg, ParityOracle());
+  auto r1 = c1.LabelPairs(MakePairs(100), VoteScheme::kMajority3);
+  auto r2 = c2.LabelPairs(MakePairs(100), VoteScheme::kMajority3);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->labels, r2->labels);
+  EXPECT_EQ(r1->latency.seconds, r2->latency.seconds);
+}
+
+TEST(OracleCrowdTest, SequentialLatencyAndZeroCost) {
+  OracleCrowdConfig cfg;
+  cfg.seconds_per_pair = VDuration::Seconds(7.0);
+  OracleCrowd crowd(cfg, ParityOracle());
+  auto r = crowd.LabelPairs(MakePairs(30), VoteScheme::kMajority3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_NEAR(r->latency.seconds, 210.0, 1e-9);
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+  EXPECT_EQ(r->num_answers, 30u);  // one expert, one answer each
+  for (size_t i = 0; i < 30; ++i) {
+    EXPECT_EQ(r->labels[i], (i + (i + 1)) % 2 == 0);
+  }
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,205 @@
+#include <numeric>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/cluster.h"
+#include "mapreduce/job.h"
+
+namespace falcon {
+namespace {
+
+ClusterConfig FastConfig() {
+  ClusterConfig c;
+  c.job_startup = VDuration::Seconds(2.0);
+  c.task_overhead = VDuration::Seconds(0.05);
+  return c;
+}
+
+TEST(ClusterTest, SlotCounts) {
+  Cluster cluster(FastConfig());
+  EXPECT_EQ(cluster.total_map_slots(), 80);
+  EXPECT_EQ(cluster.total_reduce_slots(), 80);
+}
+
+TEST(ClusterTest, MakespanSingleWorkerIsSum) {
+  Cluster cluster(FastConfig());
+  std::vector<double> tasks = {1.0, 2.0, 3.0};
+  VDuration m = cluster.ScheduleMakespan(tasks, 1);
+  EXPECT_NEAR(m.seconds, 6.0 + 3 * 0.05, 1e-9);
+}
+
+TEST(ClusterTest, MakespanManyWorkersIsMax) {
+  Cluster cluster(FastConfig());
+  std::vector<double> tasks = {1.0, 2.0, 3.0};
+  VDuration m = cluster.ScheduleMakespan(tasks, 10);
+  EXPECT_NEAR(m.seconds, 3.0 + 0.05, 1e-9);
+}
+
+TEST(ClusterTest, MakespanScalesDownWithWorkers) {
+  Cluster cluster(FastConfig());
+  std::vector<double> tasks(100, 1.0);
+  double m5 = cluster.ScheduleMakespan(tasks, 5).seconds;
+  double m10 = cluster.ScheduleMakespan(tasks, 10).seconds;
+  double m20 = cluster.ScheduleMakespan(tasks, 20).seconds;
+  EXPECT_GT(m5, m10);
+  EXPECT_GT(m10, m20);
+  // Near-perfect scaling for uniform tasks.
+  EXPECT_NEAR(m5 / m10, 2.0, 0.1);
+}
+
+TEST(ClusterTest, CoreSpeedFactorStretchesTasks) {
+  ClusterConfig cfg = FastConfig();
+  cfg.core_speed_factor = 2.0;
+  Cluster cluster(cfg);
+  VDuration m = cluster.ScheduleMakespan({1.0}, 1);
+  EXPECT_NEAR(m.seconds, 2.0 + 0.05, 1e-9);
+}
+
+TEST(ClusterTest, ShuffleTimeProportional) {
+  Cluster cluster(FastConfig());
+  double t1 = cluster.ShuffleTime(1000000).seconds;
+  double t2 = cluster.ShuffleTime(2000000).seconds;
+  EXPECT_NEAR(t2, 2 * t1, 1e-12);
+}
+
+TEST(JobStatsTest, PhaseTimeline) {
+  JobStats s;
+  s.startup = VDuration::Seconds(2);
+  s.map_time = VDuration::Seconds(10);
+  s.shuffle_time = VDuration::Seconds(3);
+  s.reduce_time = VDuration::Seconds(5);
+  EXPECT_EQ(s.PhaseAt(VDuration::Seconds(-1)), JobStats::Phase::kNotStarted);
+  EXPECT_EQ(s.PhaseAt(VDuration::Seconds(1)), JobStats::Phase::kMap);
+  EXPECT_EQ(s.PhaseAt(VDuration::Seconds(11)), JobStats::Phase::kMap);
+  EXPECT_EQ(s.PhaseAt(VDuration::Seconds(13)), JobStats::Phase::kShuffle);
+  EXPECT_EQ(s.PhaseAt(VDuration::Seconds(16)), JobStats::Phase::kReduce);
+  EXPECT_EQ(s.PhaseAt(VDuration::Seconds(25)), JobStats::Phase::kDone);
+  EXPECT_DOUBLE_EQ(s.ReduceFractionAt(VDuration::Seconds(15)), 0.0);
+  EXPECT_DOUBLE_EQ(s.ReduceFractionAt(VDuration::Seconds(17.5)), 0.5);
+  EXPECT_DOUBLE_EQ(s.ReduceFractionAt(VDuration::Seconds(99)), 1.0);
+  EXPECT_DOUBLE_EQ(s.Total().seconds, 20.0);
+}
+
+TEST(MapReduceTest, WordCount) {
+  Cluster cluster(FastConfig());
+  std::vector<std::string> docs = {"a b a", "b c", "a"};
+  auto result = RunMapReduce<std::string, std::string, int64_t,
+                             std::pair<std::string, int64_t>>(
+      &cluster, docs, {.name = "wordcount"},
+      [](const std::string& doc, Emitter<std::string, int64_t>* em) {
+        std::string cur;
+        for (char c : doc) {
+          if (c == ' ') {
+            if (!cur.empty()) em->Emit(cur, 1);
+            cur.clear();
+          } else {
+            cur.push_back(c);
+          }
+        }
+        if (!cur.empty()) em->Emit(cur, 1);
+      },
+      [](const std::string& word, const std::vector<int64_t>& ones,
+         std::vector<std::pair<std::string, int64_t>>* out) {
+        out->emplace_back(word,
+                          std::accumulate(ones.begin(), ones.end(), 0L));
+      });
+  std::map<std::string, int64_t> counts(result.output.begin(),
+                                        result.output.end());
+  EXPECT_EQ(counts["a"], 3);
+  EXPECT_EQ(counts["b"], 2);
+  EXPECT_EQ(counts["c"], 1);
+  EXPECT_EQ(result.stats.input_records, 3u);
+  EXPECT_EQ(result.stats.intermediate_records, 6u);
+  EXPECT_EQ(result.stats.output_records, 3u);
+  EXPECT_GT(result.stats.Total().seconds, 0.0);
+}
+
+TEST(MapReduceTest, CountersAggregate) {
+  Cluster cluster(FastConfig());
+  std::vector<int> input = {1, 2, 3, 4, 5};
+  auto result = RunMapReduce<int, int, int, int>(
+      &cluster, input, {.name = "counters"},
+      [](const int& v, Emitter<int, int>* em) {
+        if (v % 2 == 0) em->Increment("evens");
+        em->Emit(0, v);
+      },
+      [](const int&, const std::vector<int>& vals, std::vector<int>* out) {
+        out->push_back(static_cast<int>(vals.size()));
+      });
+  EXPECT_EQ(result.stats.counters.at("evens"), 2);
+}
+
+TEST(MapReduceTest, EmptyInput) {
+  Cluster cluster(FastConfig());
+  std::vector<int> input;
+  auto result = RunMapReduce<int, int, int, int>(
+      &cluster, input, {.name = "empty"},
+      [](const int&, Emitter<int, int>*) {},
+      [](const int&, const std::vector<int>&, std::vector<int>*) {});
+  EXPECT_TRUE(result.output.empty());
+  EXPECT_EQ(result.stats.num_map_tasks, 0u);
+}
+
+TEST(MapReduceTest, MapOnlyPreservesAllOutput) {
+  Cluster cluster(FastConfig());
+  std::vector<int> input(1000);
+  for (int i = 0; i < 1000; ++i) input[i] = i;
+  auto result = RunMapOnly<int, int>(
+      &cluster, input, {.name = "square"},
+      [](const int& v, std::vector<int>* out) { out->push_back(v * 2); });
+  ASSERT_EQ(result.output.size(), 1000u);
+  // Map-only output preserves input order (splits processed in order).
+  EXPECT_EQ(result.output[0], 0);
+  EXPECT_EQ(result.output[999], 1998);
+}
+
+TEST(MapReduceTest, MapSetupSecondsChargedPerTask) {
+  Cluster cluster(FastConfig());
+  std::vector<int> input = {1};
+  auto without = RunMapOnly<int, int>(
+      &cluster, input, {.name = "no-setup", .num_splits = 1},
+      [](const int&, std::vector<int>*) {});
+  auto with = RunMapOnly<int, int>(
+      &cluster, input,
+      {.name = "setup", .num_splits = 1, .map_setup_seconds = 5.0},
+      [](const int&, std::vector<int>*) {});
+  EXPECT_GT(with.stats.map_time.seconds,
+            without.stats.map_time.seconds + 4.0);
+}
+
+TEST(MapReduceTest, JobHistoryAccumulates) {
+  Cluster cluster(FastConfig());
+  std::vector<int> input = {1, 2, 3};
+  RunMapOnly<int, int>(&cluster, input, {.name = "j1"},
+                       [](const int&, std::vector<int>*) {});
+  RunMapOnly<int, int>(&cluster, input, {.name = "j2"},
+                       [](const int&, std::vector<int>*) {});
+  EXPECT_EQ(cluster.job_history().size(), 2u);
+  EXPECT_EQ(cluster.job_history()[0].name, "j1");
+  EXPECT_GT(cluster.total_machine_time().seconds, 0.0);
+  cluster.ResetAccounting();
+  EXPECT_EQ(cluster.job_history().size(), 0u);
+  EXPECT_EQ(cluster.total_machine_time().seconds, 0.0);
+}
+
+TEST(MapReduceTest, DeterministicOutputAcrossRuns) {
+  ClusterConfig cfg = FastConfig();
+  std::vector<int> input(500);
+  for (int i = 0; i < 500; ++i) input[i] = i % 37;
+  auto run = [&]() {
+    Cluster cluster(cfg);
+    return RunMapReduce<int, int, int, std::pair<int, int>>(
+               &cluster, input, {.name = "det"},
+               [](const int& v, Emitter<int, int>* em) { em->Emit(v, 1); },
+               [](const int& k, const std::vector<int>& vals,
+                  std::vector<std::pair<int, int>>* out) {
+                 out->emplace_back(k, static_cast<int>(vals.size()));
+               })
+        .output;
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,158 @@
+// Integration tests for the crowd-time masking semantics (Section 10.2):
+// the Table-5 ordering invariants and the per-operator accounting rules.
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "core/pipeline.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+namespace falcon {
+namespace {
+
+ClusterConfig FastCluster() {
+  ClusterConfig c;
+  c.job_startup = VDuration::Seconds(0.5);
+  c.task_overhead = VDuration::Seconds(0.01);
+  return c;
+}
+
+FalconConfig BaseConfig() {
+  FalconConfig cfg;
+  cfg.sample_size = 5000;
+  cfg.al_max_iterations = 10;
+  cfg.max_rules_to_eval = 8;
+  cfg.matcher_only_max_bytes = 1 << 20;
+  cfg.seed = 7;
+  return cfg;
+}
+
+RunMetrics RunWith(bool masking, bool o1, bool o2, bool o3) {
+  WorkloadOptions opt;
+  opt.size_a = 250;
+  opt.size_b = 750;
+  opt.seed = 7;
+  auto data = GenerateProducts(opt);
+  Cluster cluster(FastCluster());
+  SimulatedCrowdConfig ccfg;
+  ccfg.error_rate = 0.02;
+  ccfg.seed = 7;
+  SimulatedCrowd crowd(ccfg, data.truth.MakeOracle());
+  FalconConfig cfg = BaseConfig();
+  cfg.enable_masking = masking;
+  cfg.mask_index_building = o1;
+  cfg.mask_speculative_execution = o2;
+  cfg.mask_pair_selection = o3;
+  FalconPipeline pipeline(&data.a, &data.b, &crowd, &cluster, cfg);
+  auto r = pipeline.Run();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return r.ok() ? r->metrics : RunMetrics{};
+}
+
+TEST(MaskingTest, Table5OrderingInvariants) {
+  RunMetrics u = RunWith(false, false, false, false);
+  RunMetrics o = RunWith(true, true, true, true);
+  // Full masking never exceeds the unmasked critical path. (Virtual times
+  // carry some measurement noise; allow a small tolerance.)
+  double slack = 0.1 * u.machine_unmasked.seconds + 2.0;
+  EXPECT_LE(o.machine_unmasked.seconds, u.machine_unmasked.seconds + slack);
+  // With everything off, no machine time is hidden.
+  EXPECT_NEAR(u.machine_unmasked.seconds, u.machine_time.seconds,
+              1e-6 * u.machine_time.seconds + 1e-6);
+  // With masking on, some machine work was actually hidden.
+  EXPECT_LT(o.machine_unmasked.seconds, o.machine_time.seconds);
+}
+
+TEST(MaskingTest, AblationsLieBetween) {
+  RunMetrics u = RunWith(false, false, false, false);
+  RunMetrics o1_off = RunWith(true, false, true, true);
+  // An ablated run still masks (other optimizations run), so it cannot be
+  // better than... it CAN tie full masking if the ablated optimization had
+  // nothing to hide; it must not exceed the fully unmasked time by more
+  // than noise.
+  double slack = 0.15 * u.machine_unmasked.seconds + 2.0;
+  EXPECT_LE(o1_off.machine_unmasked.seconds,
+            u.machine_unmasked.seconds + slack);
+  EXPECT_LE(o1_off.machine_unmasked.seconds,
+            o1_off.machine_time.seconds + 1e-9);
+}
+
+TEST(MaskingTest, OperatorRowsAccounting) {
+  RunMetrics m = RunWith(true, true, true, true);
+  ASSERT_FALSE(m.operators.empty());
+  std::map<std::string, int> seen;
+  VDuration sum_raw;
+  VDuration sum_unmasked;
+  for (const auto& op : m.operators) {
+    ++seen[op.name];
+    EXPECT_LE(op.unmasked.seconds, op.raw.seconds + 1e-9) << op.name;
+    if (!op.is_crowd) {
+      sum_raw += op.raw;
+      sum_unmasked += op.unmasked;
+    }
+  }
+  // The canonical plan stages all appear exactly once.
+  for (const char* required :
+       {"sample_pairs", "gen_fvs", "al_matcher(blocker)", "get_block_rules",
+        "eval_rules", "sel_opt_seq", "apply_block_rules", "gen_fvs(C)",
+        "al_matcher(matcher)", "apply_matcher"}) {
+    EXPECT_EQ(seen[required], 1) << required;
+  }
+  // Machine rows account for all machine time except the al_matcher rows'
+  // embedded machine parts (selection/training live inside crowd rows).
+  EXPECT_LE(sum_unmasked.seconds, m.machine_unmasked.seconds + 1e-6);
+  EXPECT_LE(sum_raw.seconds, m.machine_time.seconds + 1e-6);
+  // Index building appeared as masked work.
+  EXPECT_GE(seen["index_build(generic,masked)"] +
+                seen["index_build(rules,masked)"],
+            1);
+}
+
+TEST(MaskingTest, MaskedIndexBuildFullyHiddenUnderAmpleCrowdTime) {
+  // At MTurk-scale latency the crowd bank dwarfs index-build time, so the
+  // masked index rows should show (near-)zero unmasked time.
+  RunMetrics m = RunWith(true, true, true, true);
+  for (const auto& op : m.operators) {
+    if (op.name.rfind("index_build(generic", 0) == 0 ||
+        op.name.rfind("index_build(rules", 0) == 0) {
+      EXPECT_LT(op.unmasked.seconds, op.raw.seconds * 0.5 + 0.5) << op.name;
+    }
+  }
+}
+
+TEST(MaskingTest, SpeculativeExecutionReusedUnderAmpleCrowdTime) {
+  // With MTurk-scale crowd latency the mask window comfortably covers
+  // speculative execution of every candidate rule, and the selected
+  // sequence's rules are a subset of those candidates — so Algorithm 2 must
+  // find a completed output to reuse.
+  RunMetrics m = RunWith(true, true, true, true);
+  EXPECT_GT(m.speculated_rules, 0);
+  EXPECT_TRUE(m.spec_rule_reused);
+  // And the reuse keeps apply_block_rules' unmasked cost below its raw
+  // fresh-execution cost recorded in the unmasked run.
+  RunMetrics u = RunWith(false, false, false, false);
+  VDuration masked_apply;
+  VDuration unmasked_apply;
+  for (const auto& op : m.operators) {
+    if (op.name == "apply_block_rules") masked_apply = op.unmasked;
+  }
+  for (const auto& op : u.operators) {
+    if (op.name == "apply_block_rules") unmasked_apply = op.unmasked;
+  }
+  EXPECT_GT(unmasked_apply.seconds, 0.0);
+  EXPECT_LE(masked_apply.seconds, unmasked_apply.seconds * 3.0 + 2.0);
+}
+
+TEST(MaskingTest, TotalsAreConsistentAcrossConfigs) {
+  for (bool masking : {false, true}) {
+    RunMetrics m = RunWith(masking, masking, masking, masking);
+    EXPECT_NEAR(m.total_time.seconds,
+                m.crowd_time.seconds + m.machine_unmasked.seconds, 1e-6);
+    EXPECT_LE(m.machine_unmasked.seconds, m.machine_time.seconds + 1e-9);
+    EXPECT_GT(m.crowd_time.seconds, 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,123 @@
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "blocking/sorted_neighborhood.h"
+#include "crowd/cli_crowd.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+namespace falcon {
+namespace {
+
+// --- sorted-neighborhood blocking ---------------------------------------------
+
+TEST(SortedNeighborhoodTest, WindowedPairsOnly) {
+  Schema s({{"k", AttrType::kString}});
+  Table a(s);
+  Table b(s);
+  for (const char* k : {"apple", "cherry", "fig"}) {
+    ASSERT_TRUE(a.AppendRow({k}).ok());
+  }
+  for (const char* k : {"banana", "date", "grape"}) {
+    ASSERT_TRUE(b.AppendRow({k}).ok());
+  }
+  Cluster cluster{ClusterConfig{}};
+  // Sorted: apple banana cherry date fig grape. Window 2 pairs neighbors.
+  auto snb = SortedNeighborhoodBlocking(a, b, 0, 0, 2, &cluster);
+  std::set<std::pair<RowId, RowId>> got(snb.pairs.begin(), snb.pairs.end());
+  std::set<std::pair<RowId, RowId>> expected = {
+      {0, 0},  // apple-banana
+      {1, 0},  // banana-cherry
+      {1, 1},  // cherry-date
+      {2, 1},  // date-fig
+      {2, 2},  // fig-grape
+  };
+  EXPECT_EQ(got, expected);
+}
+
+TEST(SortedNeighborhoodTest, LargerWindowsSuperset) {
+  WorkloadOptions opt;
+  opt.size_a = 150;
+  opt.size_b = 350;
+  opt.seed = 3;
+  auto d = GenerateProducts(opt);
+  Cluster cluster{ClusterConfig{}};
+  int col = d.a.schema().IndexOf("title");
+  auto w3 = SortedNeighborhoodBlocking(d.a, d.b, col, col, 3, &cluster);
+  auto w9 = SortedNeighborhoodBlocking(d.a, d.b, col, col, 9, &cluster);
+  EXPECT_GT(w9.pairs.size(), w3.pairs.size());
+  std::set<CandidatePair> small(w3.pairs.begin(), w3.pairs.end());
+  std::set<CandidatePair> big(w9.pairs.begin(), w9.pairs.end());
+  for (const auto& p : small) EXPECT_TRUE(big.count(p));
+  // Recall grows with the window but typo'd keys still lose matches.
+  EXPECT_GE(BlockingRecall(w9.pairs, d.truth),
+            BlockingRecall(w3.pairs, d.truth));
+  EXPECT_LT(BlockingRecall(w9.pairs, d.truth), 1.0);
+}
+
+TEST(SortedNeighborhoodTest, NoDuplicates) {
+  WorkloadOptions opt;
+  opt.size_a = 100;
+  opt.size_b = 100;
+  opt.seed = 7;
+  auto d = GenerateSongs(opt);
+  Cluster cluster{ClusterConfig{}};
+  auto snb = SortedNeighborhoodBlocking(d.a, d.b, 0, 0, 5, &cluster);
+  std::set<CandidatePair> uniq(snb.pairs.begin(), snb.pairs.end());
+  EXPECT_EQ(uniq.size(), snb.pairs.size());
+}
+
+// --- CLI crowd --------------------------------------------------------------------
+
+struct CliFixture {
+  Table a{Schema({{"name", AttrType::kString}})};
+  Table b{Schema({{"name", AttrType::kString}})};
+
+  CliFixture() {
+    (void)a.AppendRow({"alpha"});
+    (void)a.AppendRow({"beta"});
+    (void)b.AppendRow({"alpha!"});
+    (void)b.AppendRow({"gamma"});
+  }
+};
+
+TEST(CliCrowdTest, ParsesAnswers) {
+  CliFixture fx;
+  std::istringstream in("y\nn\nYES\n0\n");
+  std::ostringstream out;
+  CliCrowd crowd(&fx.a, &fx.b, &in, &out);
+  std::vector<PairQuestion> qs = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  auto r = crowd.LabelPairs(qs, VoteScheme::kMajority3);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->labels, (std::vector<bool>{true, false, true, false}));
+  EXPECT_EQ(r->num_answers, 4u);
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+  // Questions were rendered with both values visible.
+  EXPECT_NE(out.str().find("alpha"), std::string::npos);
+  EXPECT_NE(out.str().find("gamma"), std::string::npos);
+}
+
+TEST(CliCrowdTest, RepromptsOnGarbage) {
+  CliFixture fx;
+  std::istringstream in("maybe\nwhat\ny\n");
+  std::ostringstream out;
+  CliCrowd crowd(&fx.a, &fx.b, &in, &out);
+  auto r = crowd.LabelPairs({{0, 0}}, VoteScheme::kMajority3);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(r->labels[0]);
+  EXPECT_NE(out.str().find("please answer"), std::string::npos);
+}
+
+TEST(CliCrowdTest, EofIsIoError) {
+  CliFixture fx;
+  std::istringstream in("y\n");  // only one answer for two questions
+  std::ostringstream out;
+  CliCrowd crowd(&fx.a, &fx.b, &in, &out);
+  auto r = crowd.LabelPairs({{0, 0}, {1, 1}}, VoteScheme::kMajority3);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace falcon

@@ -1,0 +1,22 @@
+// Compile check for the umbrella header plus a smoke test that the pieces
+// it exposes compose.
+#include "falcon.h"
+
+#include <gtest/gtest.h>
+
+namespace falcon {
+namespace {
+
+TEST(UmbrellaTest, PublicApiComposes) {
+  Table t(Schema({{"name", AttrType::kString}}));
+  ASSERT_TRUE(t.AppendRow({"widget"}).ok());
+  Cluster cluster{ClusterConfig{}};
+  EXPECT_EQ(cluster.total_map_slots(), 80);
+  EXPECT_NEAR(ComputeCostCap(), 349.60, 1e-9);
+  EXPECT_EQ(VDuration::Minutes(1.5).ToString(), "1m 30s");
+  auto fs = FeatureSet::Generate(t, t);
+  EXPECT_GT(fs.size(), 0u);
+}
+
+}  // namespace
+}  // namespace falcon
