@@ -81,7 +81,7 @@ WorkloadOptions DatasetOptions(const std::string& name, double scale,
   return opt;
 }
 
-ClusterConfig BenchClusterConfig() {
+ClusterConfig BenchClusterConfig(int local_threads) {
   ClusterConfig c;
   // 10 nodes x 8 cores, as in the paper's testbed.
   c.num_nodes = 10;
@@ -94,6 +94,7 @@ ClusterConfig BenchClusterConfig() {
   // regimes.
   c.mapper_memory_bytes = size_t{8} * 1024 * 1024;
   c.reducer_memory_bytes = size_t{8} * 1024 * 1024;
+  c.local_threads = local_threads;
   return c;
 }
 
@@ -177,6 +178,86 @@ std::string Pct(double v, int digits) {
 }
 
 std::string Money(double v) { return "$" + FormatDouble(v, 2); }
+
+// --- BenchReport -------------------------------------------------------------
+
+namespace {
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string JsonNumber(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+void BenchReport::Add(const std::string& key, double value) {
+  entries_.emplace_back(key, JsonNumber(value));
+}
+
+void BenchReport::Add(const std::string& key, int64_t value) {
+  entries_.emplace_back(key, std::to_string(value));
+}
+
+void BenchReport::Add(const std::string& key, const std::string& value) {
+  entries_.emplace_back(key, "\"" + JsonEscape(value) + "\"");
+}
+
+std::string BenchReport::Write() {
+  double wall_ms = std::chrono::duration<double, std::milli>(
+                       std::chrono::steady_clock::now() - start_)
+                       .count();
+  std::string path = "BENCH_" + name_ + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BenchReport: cannot write %s\n", path.c_str());
+    return path;
+  }
+  std::fprintf(f, "{\n  \"name\": \"%s\",\n  \"wall_clock_ms\": %s",
+               JsonEscape(name_).c_str(), JsonNumber(wall_ms).c_str());
+  for (const auto& [key, value] : entries_) {
+    std::fprintf(f, ",\n  \"%s\": %s", JsonEscape(key).c_str(),
+                 value.c_str());
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("[bench] wrote %s (wall_clock_ms=%s)\n", path.c_str(),
+              JsonNumber(wall_ms).c_str());
+  return path;
+}
 
 }  // namespace bench
 }  // namespace falcon

@@ -9,8 +9,10 @@
 #ifndef FALCON_BENCH_HARNESS_H_
 #define FALCON_BENCH_HARNESS_H_
 
+#include <chrono>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/pipeline.h"
@@ -40,8 +42,10 @@ class Flags {
 WorkloadOptions DatasetOptions(const std::string& name, double scale,
                                uint64_t seed);
 
-/// Cluster/pipeline/crowd defaults used across benches.
-ClusterConfig BenchClusterConfig();
+/// Cluster/pipeline/crowd defaults used across benches. `local_threads`
+/// controls real execution threads (0 = hardware concurrency, 1 = serial);
+/// pass `flags.GetInt("threads", 0)` so every bench accepts --threads N.
+ClusterConfig BenchClusterConfig(int local_threads = 0);
 FalconConfig BenchFalconConfig(double scale, uint64_t seed);
 SimulatedCrowdConfig BenchCrowdConfig(double error_rate, uint64_t seed);
 
@@ -73,6 +77,28 @@ class TablePrinter {
 
 std::string Pct(double v, int digits = 1);
 std::string Money(double v);
+
+/// Machine-readable bench output: collects metrics and writes them to
+/// BENCH_<name>.json alongside a wall_clock_ms field (measured from
+/// construction to Write), so real speedups — not just virtual times — are
+/// tracked across PRs.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void Add(const std::string& key, double value);
+  void Add(const std::string& key, int64_t value);
+  void Add(const std::string& key, const std::string& value);
+
+  /// Writes BENCH_<name>.json in the working directory. Returns the path.
+  std::string Write();
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  /// Preformatted (key, JSON value) pairs, kept in insertion order.
+  std::vector<std::pair<std::string, std::string>> entries_;
+};
 
 }  // namespace bench
 }  // namespace falcon

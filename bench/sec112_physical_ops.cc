@@ -20,9 +20,10 @@ namespace {
 
 /// Learns a blocking-rule sequence by running the pipeline once.
 Result<RuleSequence> LearnSequence(const GeneratedDataset& data,
-                                   double scale, uint64_t seed) {
-  auto run = RunPipeline(data, BenchFalconConfig(scale, seed),
-                         BenchCrowdConfig(0.05, seed), BenchClusterConfig());
+                                   double scale, uint64_t seed, int threads) {
+  auto run =
+      RunPipeline(data, BenchFalconConfig(scale, seed),
+                  BenchCrowdConfig(0.05, seed), BenchClusterConfig(threads));
   if (!run.ok()) return run.status();
   if (run->sequence.rules.empty()) {
     return Status::Internal("pipeline produced no rule sequence");
@@ -36,14 +37,18 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   double scale = flags.GetDouble("scale", 1.0);
   uint64_t seed = flags.GetInt("seed", 100);
+  int threads = static_cast<int>(flags.GetInt("threads", 0));
   // Virtual kill limit for the enumerate-A-x-B baselines.
   VDuration limit = VDuration::Minutes(flags.GetDouble("kill-minutes", 60));
 
   std::printf("=== Section 11.2: physical operators for apply_blocking_rules "
               "===\n\n");
+  BenchReport report("sec112_physical_ops");
+  report.Add("scale", scale);
+  report.Add("threads", static_cast<int64_t>(threads));
   for (const char* name : {"products", "songs", "citations"}) {
     auto data = GenerateByName(name, DatasetOptions(name, scale, seed));
-    auto seq = LearnSequence(*data, scale, seed);
+    auto seq = LearnSequence(*data, scale, seed, threads);
     if (!seq.ok()) {
       std::fprintf(stderr, "%s: %s\n", name, seq.status().ToString().c_str());
       continue;
@@ -59,7 +64,7 @@ int main(int argc, char** argv) {
                                static_cast<double>(data->b.num_rows());
     // Memory sweep mirroring the paper's 2G / 1G / 500M.
     for (size_t mem_mb : {8, 2, 1}) {
-      ClusterConfig ccfg = BenchClusterConfig();
+      ClusterConfig ccfg = BenchClusterConfig(threads);
       ccfg.mapper_memory_bytes = mem_mb * 1024 * 1024;
       Cluster cluster(ccfg);
       IndexCatalog catalog;
@@ -88,6 +93,12 @@ int main(int argc, char** argv) {
           time = res->time.ToString();
           cands = std::to_string(res->pairs.size());
           examined = std::to_string(res->candidates_examined);
+          std::string base = std::string(name) + "/" +
+                             std::to_string(mem_mb) + "MB/" +
+                             ApplyMethodName(m);
+          report.Add(base + "/virtual_seconds", res->time.seconds);
+          report.Add(base + "/candidates",
+                     static_cast<int64_t>(res->pairs.size()));
           if (baseline) {
             VDuration at_paper_scale =
                 res->time * (paper_pairs / bench_pairs);
@@ -119,5 +130,6 @@ int main(int argc, char** argv) {
       "as memory shrinks apply_all stops fitting before apply_conjunct,\n"
       "which stops before apply_predicate; Falcon's rule selects a fitting\n"
       "fast operator at every memory level.\n");
+  report.Write();
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "blocking/apply.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <map>
@@ -49,21 +50,28 @@ RuleApplier::RuleApplier(const RuleSequence& seq, const FeatureSet* fs,
     }
     rules_.push_back(std::move(bound));
   }
-  slot_values_.resize(slot_of.size());
-  slot_computed_.resize(slot_of.size());
+  num_slots_ = slot_of.size();
 }
 
 bool RuleApplier::Keep(RowId a_row, RowId b_row) const {
-  std::fill(slot_computed_.begin(), slot_computed_.end(), 0);
+  // Thread-local memoization scratch: reset per call, so it is safe to call
+  // Keep concurrently and to share one scratch across applier instances.
+  thread_local std::vector<double> slot_values;
+  thread_local std::vector<char> slot_computed;
+  if (slot_values.size() < num_slots_) {
+    slot_values.resize(num_slots_);
+    slot_computed.resize(num_slots_);
+  }
+  std::fill(slot_computed.begin(), slot_computed.begin() + num_slots_, 0);
   for (const auto& rule : rules_) {
     bool fires = !rule.empty();
     for (const auto& p : rule) {
-      if (!slot_computed_[p.slot]) {
-        slot_values_[p.slot] =
+      if (!slot_computed[p.slot]) {
+        slot_values[p.slot] =
             fs_->Compute(p.feature_id, *a_, a_row, *b_, b_row);
-        slot_computed_[p.slot] = 1;
+        slot_computed[p.slot] = 1;
       }
-      double v = slot_values_[p.slot];
+      double v = slot_values[p.slot];
       bool holds;
       if (std::isnan(v)) {
         holds = false;  // missing cannot prove a non-match
@@ -225,7 +233,8 @@ Result<ApplyResult> RunKeyedByA(
   const uint32_t a_bytes = static_cast<uint32_t>(AvgRowBytes(a));
 
   ApplyResult result;
-  size_t candidates_examined = 0;
+  // Reduce partitions run concurrently; the examined-pairs tally is atomic.
+  std::atomic<size_t> candidates_examined{0};
   auto input = InterleavedInput(a.num_rows(), b.num_rows());
   auto job = RunMapReduce<TaggedRow, RowId, ShuffleVal, CandidatePair>(
       cluster, input, {.name = name, .map_setup_seconds = map_setup_seconds},
@@ -251,7 +260,7 @@ Result<ApplyResult> RunKeyedByA(
           std::vector<CandidatePair>* out) {
         for (const auto& v : vals) {
           if (v.tag < 0) continue;  // the A-record marker
-          ++candidates_examined;
+          candidates_examined.fetch_add(1, std::memory_order_relaxed);
           RowId b_row = static_cast<RowId>(v.tag);
           if (applier.Keep(a_row, b_row)) out->emplace_back(a_row, b_row);
         }
@@ -259,7 +268,7 @@ Result<ApplyResult> RunKeyedByA(
   result.pairs = std::move(job.output);
   result.main_job = job.stats;
   result.time = job.stats.Total();
-  result.candidates_examined = candidates_examined;
+  result.candidates_examined = candidates_examined.load();
   if (result.time > opts.virtual_time_limit) {
     return Status::Cancelled(name + " exceeded virtual time limit (" +
                              result.time.ToString() + ")");
@@ -311,7 +320,7 @@ Result<ApplyResult> RunKeyedByPair(const Table& a, const Table& b,
   };
 
   ApplyResult result;
-  size_t candidates_examined = 0;
+  std::atomic<size_t> candidates_examined{0};
   auto job = RunMapReduce<UnitRow, uint64_t, ShuffleVal, CandidatePair>(
       cluster, input, {.name = name, .map_setup_seconds = map_setup_seconds},
       [&](const UnitRow& rec, Emitter<uint64_t, ShuffleVal>* em) {
@@ -357,13 +366,13 @@ Result<ApplyResult> RunKeyedByPair(const Table& a, const Table& b,
               static_cast<uint32_t>(std::popcount(mask)) >= k_b;
         }
         if (!survives) return;
-        ++candidates_examined;
+        candidates_examined.fetch_add(1, std::memory_order_relaxed);
         if (applier.Keep(a_row, b_row)) out->emplace_back(a_row, b_row);
       });
   result.pairs = std::move(job.output);
   result.main_job = job.stats;
   result.time = job.stats.Total();
-  result.candidates_examined = candidates_examined;
+  result.candidates_examined = candidates_examined.load();
   if (result.time > opts.virtual_time_limit) {
     return Status::Cancelled(name + " exceeded virtual time limit (" +
                              result.time.ToString() + ")");

@@ -75,6 +75,10 @@ struct ApplyResult {
 /// Evaluates a rule sequence on raw tuple pairs with per-pair feature
 /// memoization (Section 7.3, optimization 3 is applied to the sequence
 /// beforehand via SimplifySequence).
+///
+/// Thread safety: Keep() may be called concurrently from multiple threads —
+/// the per-pair memoization scratch is thread-local and fully reset on every
+/// call.
 class RuleApplier {
  public:
   RuleApplier(const RuleSequence& seq, const FeatureSet* fs, const Table* a,
@@ -98,8 +102,7 @@ class RuleApplier {
   const FeatureSet* fs_;
   const Table* a_;
   const Table* b_;
-  mutable std::vector<double> slot_values_;
-  mutable std::vector<char> slot_computed_;
+  size_t num_slots_ = 0;  ///< memoization slots; scratch lives in TLS
 };
 
 /// Runs one physical operator. The rule sequence is simplified internally.

@@ -1,6 +1,7 @@
 #include "blocking/filters.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cmath>
 #include <limits>
@@ -11,6 +12,47 @@ namespace falcon {
 namespace {
 
 constexpr double kEps = 1e-9;
+
+/// Per-thread working state for one ClauseProber. Keeping it in TLS (instead
+/// of mutable members) makes concurrent probing race-free with zero locking:
+/// each thread owns a private token cache and stamp/count scratch.
+struct ProberScratch {
+  uint64_t owner = 0;  ///< scratch_id_ of the prober this state belongs to
+  RowId cached_b = static_cast<RowId>(-1);
+  std::map<std::pair<int, int>, std::vector<std::string>> token_cache;
+  std::vector<uint32_t> stamps;
+  std::vector<uint32_t> counts;
+  uint32_t epoch = 0;
+};
+
+/// This thread's scratch, reset if it last served a different prober.
+ProberScratch& ScratchFor(uint64_t prober_id) {
+  thread_local ProberScratch scratch;
+  if (scratch.owner != prober_id) {
+    scratch.owner = prober_id;
+    scratch.cached_b = static_cast<RowId>(-1);
+    scratch.token_cache.clear();
+    std::fill(scratch.stamps.begin(), scratch.stamps.end(), 0);
+    std::fill(scratch.counts.begin(), scratch.counts.end(), 0);
+    scratch.epoch = 0;
+  }
+  return scratch;
+}
+
+/// Advances the stamp epoch, clearing stamps on the (rare) uint32 wrap so a
+/// stale stamp can never alias the fresh epoch.
+uint32_t NextEpoch(ProberScratch* s) {
+  if (++s->epoch == 0) {
+    std::fill(s->stamps.begin(), s->stamps.end(), 0);
+    s->epoch = 1;
+  }
+  return s->epoch;
+}
+
+uint64_t NextProberId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 size_t CeilSafe(double v) {
   if (v <= 0.0) return 0;
@@ -222,19 +264,27 @@ size_t IndexCatalog::TotalMemoryUsage() const {
 
 // --- ClauseProber --------------------------------------------------------------
 
+ClauseProber::ClauseProber(const IndexCatalog* catalog, const FeatureSet* fs,
+                           size_t num_a_rows)
+    : catalog_(catalog),
+      fs_(fs),
+      num_a_rows_(num_a_rows),
+      scratch_id_(NextProberId()) {}
+
 const std::vector<std::string>& ClauseProber::TokensFor(
     const Table& b_table, RowId b, int col_b, Tokenization tok,
     const TokenOrdering& ord) const {
-  if (b != cached_b_) {
-    token_cache_.clear();
-    cached_b_ = b;
+  ProberScratch& s = ScratchFor(scratch_id_);
+  if (b != s.cached_b) {
+    s.token_cache.clear();
+    s.cached_b = b;
   }
   auto key = std::make_pair(col_b, static_cast<int>(tok));
-  auto it = token_cache_.find(key);
-  if (it != token_cache_.end()) return it->second;
+  auto it = s.token_cache.find(key);
+  if (it != s.token_cache.end()) return it->second;
   auto tokens = ToTokenSet(Tokenize(b_table.Get(b, col_b), tok));
   ord.Sort(&tokens);
-  return token_cache_.emplace(key, std::move(tokens)).first->second;
+  return s.token_cache.emplace(key, std::move(tokens)).first->second;
 }
 
 CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
@@ -300,11 +350,12 @@ CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
                                    fn == SimFunction::kCosine;
 
       // Stamp-based dedup across probe tokens.
-      if (stamps_.size() < num_a_rows_) stamps_.resize(num_a_rows_, 0);
-      ++epoch_;
+      ProberScratch& s = ScratchFor(scratch_id_);
+      if (s.stamps.size() < num_a_rows_) s.stamps.resize(num_a_rows_, 0);
+      const uint32_t epoch = NextEpoch(&s);
       for (size_t j = 0; j < pi_y && j < y; ++j) {
         for (const Posting& p : bundle->inverted.Probe(y_tokens[j])) {
-          if (stamps_[p.row] == epoch_) continue;
+          if (s.stamps[p.row] == epoch) continue;
           const size_t x = p.set_size;
           if (x < len_lo || x > len_hi) continue;
           // Index-side prefix bound, enforced at probe time.
@@ -316,7 +367,7 @@ CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
                 1 + std::min(x - 1 - p.position, y - 1 - j);
             if (ubound < alpha) continue;
           }
-          stamps_[p.row] = epoch_;
+          s.stamps[p.row] = epoch;
           out.rows.push_back(p.row);
         }
       }
@@ -368,12 +419,13 @@ CandidateSet ClauseProber::ProbeClause(const CnfClause& clause,
     }
     parts.push_back(std::move(c.rows));
   }
-  if (stamps_.size() < num_a_rows_) stamps_.resize(num_a_rows_, 0);
-  ++epoch_;
+  ProberScratch& s = ScratchFor(scratch_id_);
+  if (s.stamps.size() < num_a_rows_) s.stamps.resize(num_a_rows_, 0);
+  const uint32_t epoch = NextEpoch(&s);
   for (const auto& part : parts) {
     for (RowId r : part) {
-      if (stamps_[r] != epoch_) {
-        stamps_[r] = epoch_;
+      if (s.stamps[r] != epoch) {
+        s.stamps[r] = epoch;
         out.rows.push_back(r);
       }
     }
@@ -398,19 +450,21 @@ CandidateSet ClauseProber::ProbeRule(const CnfRule& rule,
     out.rows = std::move(active_sets[0]);
     return out;
   }
-  // Count-based intersection (each set holds distinct rows).
-  if (counts_.size() < num_a_rows_) counts_.resize(num_a_rows_, 0);
+  // Count-based intersection (each set holds distinct rows). The counts
+  // scratch is all-zero between calls by construction (reset loop below).
+  ProberScratch& s = ScratchFor(scratch_id_);
+  if (s.counts.size() < num_a_rows_) s.counts.resize(num_a_rows_, 0);
   std::vector<RowId> touched;
   for (const auto& set : active_sets) {
     for (RowId r : set) {
-      if (counts_[r] == 0) touched.push_back(r);
-      ++counts_[r];
+      if (s.counts[r] == 0) touched.push_back(r);
+      ++s.counts[r];
     }
   }
   const uint32_t want = static_cast<uint32_t>(active_sets.size());
   for (RowId r : touched) {
-    if (counts_[r] == want) out.rows.push_back(r);
-    counts_[r] = 0;
+    if (s.counts[r] == want) out.rows.push_back(r);
+    s.counts[r] = 0;
   }
   return out;
 }

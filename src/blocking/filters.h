@@ -24,6 +24,7 @@
 #ifndef FALCON_BLOCKING_FILTERS_H_
 #define FALCON_BLOCKING_FILTERS_H_
 
+#include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
@@ -114,11 +115,17 @@ struct CandidateSet {
 ///
 /// A ClauseProber is bound to one (catalog, feature set, |A|) and reused
 /// across B-rows; it caches the tokenization of the current B-row.
+///
+/// Thread safety: probing is safe from multiple threads concurrently (map
+/// tasks share one prober). All mutable working state — the B-row token
+/// cache and the stamp/count scratch — lives in thread-local storage keyed
+/// by a process-unique prober id, so threads never contend and a thread
+/// moving between probers (or a prober constructed at a recycled address)
+/// never sees stale cache entries.
 class ClauseProber {
  public:
   ClauseProber(const IndexCatalog* catalog, const FeatureSet* fs,
-               size_t num_a_rows)
-      : catalog_(catalog), fs_(fs), num_a_rows_(num_a_rows) {}
+               size_t num_a_rows);
 
   /// FindProbableCandidates of Algorithm 1: A-rows that may satisfy `pred`
   /// against B-row `b`. `all` if the predicate is unfilterable (for this b).
@@ -149,15 +156,10 @@ class ClauseProber {
   const IndexCatalog* catalog_;
   const FeatureSet* fs_;
   size_t num_a_rows_;
-
-  // Per-B-row caches; ClauseProber is used from single-threaded map tasks.
-  mutable RowId cached_b_ = static_cast<RowId>(-1);
-  mutable std::map<std::pair<int, int>, std::vector<std::string>>
-      token_cache_;
-  // Stamp-based dedup/intersection scratch.
-  mutable std::vector<uint32_t> stamps_;
-  mutable std::vector<uint32_t> counts_;
-  mutable uint32_t epoch_ = 0;
+  /// Process-unique id keying this prober's thread-local scratch. An id (not
+  /// `this`) is used because stack addresses are recycled: a fresh prober at
+  /// the same address must not inherit the previous prober's token cache.
+  uint64_t scratch_id_;
 };
 
 /// Required overlap alpha(x, y) for set-based predicates (ceil applied);

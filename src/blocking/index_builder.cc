@@ -91,13 +91,15 @@ VDuration IndexBuilder::Ensure(const std::vector<IndexNeed>& needs,
 
 VDuration IndexBuilder::BuildHash(int col_a, IndexCatalog* catalog) {
   // Map-only job: each map task scans its split of A and inserts into the
-  // (shared, single-threaded) index.
+  // shared index; insertion order matters and the index is not synchronized,
+  // so the job opts into the serial path.
   HashIndex idx;
   std::vector<RowId> rows(a_->num_rows());
   for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
   auto result = RunMapOnly<RowId, int>(
       cluster_, rows,
-      {.name = "build-hash(col" + std::to_string(col_a) + ")"},
+      {.name = "build-hash(col" + std::to_string(col_a) + ")",
+       .serial = true},
       [&](const RowId& r, std::vector<int>*) {
         idx.Insert(a_->Get(r, col_a), r);
       });
@@ -111,7 +113,8 @@ VDuration IndexBuilder::BuildBTree(int col_a, IndexCatalog* catalog) {
   for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
   auto result = RunMapOnly<RowId, int>(
       cluster_, rows,
-      {.name = "build-btree(col" + std::to_string(col_a) + ")"},
+      {.name = "build-btree(col" + std::to_string(col_a) + ")",
+       .serial = true},
       [&](const RowId& r, std::vector<int>*) {
         double v = a_->GetNumeric(r, col_a);
         if (std::isnan(v)) return;
@@ -136,8 +139,10 @@ VDuration IndexBuilder::BuildOrdering(int col_a, Tokenization tok,
   std::unordered_map<std::string, uint64_t> freq;
   auto job1 = RunMapReduce<RowId, std::string, uint32_t, int>(
       cluster_, rows,
+      // Reduce writes into the shared `freq` map -> serial path.
       {.name = "token-freq(col" + std::to_string(col_a) + "," +
-               TokenizationName(tok) + ")"},
+               TokenizationName(tok) + ")",
+       .serial = true},
       [&](const RowId& r, Emitter<std::string, uint32_t>* em) {
         if (a_->IsMissing(r, col_a)) return;
         for (auto& t : ToTokenSet(Tokenize(a_->Get(r, col_a), tok))) {
@@ -181,8 +186,10 @@ VDuration IndexBuilder::BuildTokenBundle(int col_a, Tokenization tok,
   for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
   auto job3 = RunMapOnly<RowId, int>(
       cluster_, rows,
+      // Builds the shared bundle in input order -> serial path.
       {.name = "build-inverted(col" + std::to_string(col_a) + "," +
-               TokenizationName(tok) + ")"},
+               TokenizationName(tok) + ")",
+       .serial = true},
       [&](const RowId& r, std::vector<int>*) {
         if (a_->IsMissing(r, col_a)) {
           bundle.inverted.AddMissing(r);

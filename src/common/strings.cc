@@ -63,4 +63,14 @@ std::string FormatDouble(double v, int digits) {
   return buf;
 }
 
+uint64_t Fnv1a(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 14695981039346656037ULL;  // FNV offset basis
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return h;
+}
+
 }  // namespace falcon

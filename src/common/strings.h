@@ -2,6 +2,7 @@
 #ifndef FALCON_COMMON_STRINGS_H_
 #define FALCON_COMMON_STRINGS_H_
 
+#include <cstdint>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -26,6 +27,14 @@ bool ParseDouble(std::string_view s, double* out);
 
 /// Formats a double with `digits` decimal places.
 std::string FormatDouble(double v, int digits);
+
+/// 64-bit FNV-1a hash over `len` bytes. Stable across platforms and standard
+/// libraries (unlike std::hash), so shuffle partition assignment in the
+/// MapReduce engine is identical everywhere.
+uint64_t Fnv1a(const void* data, size_t len);
+
+/// Convenience overload for string-like keys.
+inline uint64_t Fnv1a(std::string_view s) { return Fnv1a(s.data(), s.size()); }
 
 }  // namespace falcon
 

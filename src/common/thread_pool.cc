@@ -1,0 +1,96 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+namespace falcon {
+
+int ThreadPool::HardwareThreads() {
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int threads) {
+  int workers = std::max(1, threads) - 1;
+  workers_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  job_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::RunTasks(const std::shared_ptr<Job>& job) {
+  for (;;) {
+    size_t i = job->next.fetch_add(1, std::memory_order_relaxed);
+    if (i >= job->n) return;
+    try {
+      job->fn(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(job->mu);
+      if (!job->first_error) job->first_error = std::current_exception();
+    }
+    if (job->done.fetch_add(1, std::memory_order_acq_rel) + 1 == job->n) {
+      // Last task: wake the caller. Locking job->mu pairs with the caller's
+      // predicate check so the notification cannot be missed.
+      std::lock_guard<std::mutex> lock(job->mu);
+      job->done_cv.notify_all();
+    }
+  }
+}
+
+void ThreadPool::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      job_cv_.wait(lock, [&] {
+        return stop_ || (generation_ != seen && job_ != nullptr);
+      });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;  // shared ownership: safe even if the caller moves on
+    }
+    RunTasks(job);
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n,
+                             const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  std::lock_guard<std::mutex> outer(run_mu_);
+  auto job = std::make_shared<Job>();
+  job->fn = fn;
+  job->n = n;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = job;
+    ++generation_;
+  }
+  job_cv_.notify_all();
+  RunTasks(job);
+  {
+    std::unique_lock<std::mutex> lock(job->mu);
+    job->done_cv.wait(lock, [&] {
+      return job->done.load(std::memory_order_acquire) == job->n;
+    });
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = nullptr;
+  }
+  if (job->first_error) std::rethrow_exception(job->first_error);
+}
+
+}  // namespace falcon

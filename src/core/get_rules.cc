@@ -49,11 +49,15 @@ RuleCandidates GetBlockingRules(const RandomForest& forest,
   for (auto& rule : extracted) {
     Scored s;
     s.cov = Bitmap(sample_fvs.size());
+    // Map tasks emit fired indices into the (per-split, later concatenated)
+    // job output; the bitmap is set afterwards on one thread. Setting bits
+    // from map_fn would race: distinct indices can share a bitmap word.
     auto job = RunMapOnly<size_t, int>(
         cluster, idx, {.name = "rule-coverage"},
-        [&](const size_t& i, std::vector<int>*) {
-          if (rule.Fires(sample_fvs[i])) s.cov.Set(i);
+        [&](const size_t& i, std::vector<int>* fired) {
+          if (rule.Fires(sample_fvs[i])) fired->push_back(static_cast<int>(i));
         });
+    for (int i : job.output) s.cov.Set(static_cast<size_t>(i));
     out.time += job.stats.Total();
     rule.coverage = s.cov.Count();
     rule.selectivity =

@@ -19,8 +19,9 @@ Result<SampleResult> SampleUniform(const Table& a, const Table& b, size_t n,
   for (size_t i = 0; i < n; ++i) idx[i] = i;
   std::unordered_map<uint64_t, char> seen;
   Rng job_rng = rng->Fork();
+  // Shared rng + dedup map require sequential semantics -> serial path.
   auto job = RunMapOnly<size_t, PairQuestion>(
-      cluster, idx, {.name = "sample-uniform"},
+      cluster, idx, {.name = "sample-uniform", .serial = true},
       [&](const size_t&, std::vector<PairQuestion>* out) {
         for (int attempt = 0; attempt < 20; ++attempt) {
           RowId ar = static_cast<RowId>(job_rng.NextBelow(a.num_rows()));
@@ -68,8 +69,9 @@ Result<SampleResult> SamplePairs(const Table& a, const Table& b, size_t n,
   std::unordered_map<std::string, std::vector<RowId>> index;
   std::vector<RowId> a_rows(a.num_rows());
   for (RowId r = 0; r < a.num_rows(); ++r) a_rows[r] = r;
+  // Builds the shared inverted index in input order -> serial path.
   auto job1 = RunMapOnly<RowId, int>(
-      cluster, a_rows, {.name = "sample-index(A)"},
+      cluster, a_rows, {.name = "sample-index(A)", .serial = true},
       [&](const RowId& r, std::vector<int>*) {
         std::vector<std::string> doc;
         for (size_t c : string_cols) {
@@ -93,9 +95,10 @@ Result<SampleResult> SamplePairs(const Table& a, const Table& b, size_t n,
   const size_t posting_cap = std::max<size_t>(50, a.num_rows() / 20);
   Rng job_rng = rng->Fork();
 
+  // Shared rng + scratch map require sequential semantics -> serial path.
   std::unordered_map<RowId, uint32_t> shared;
   auto job2 = RunMapOnly<RowId, PairQuestion>(
-      cluster, b_rows, {.name = "sample-pairs(B)"},
+      cluster, b_rows, {.name = "sample-pairs(B)", .serial = true},
       [&](const RowId& br, std::vector<PairQuestion>* out) {
         shared.clear();
         std::vector<std::string> doc;

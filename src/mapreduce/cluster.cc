@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <queue>
 
+#include "common/thread_pool.h"
+
 namespace falcon {
+
+Cluster::Cluster(ClusterConfig config) : config_(config) {}
+
+Cluster::~Cluster() = default;
+
+int Cluster::local_threads() const {
+  if (config_.local_threads <= 0) return ThreadPool::HardwareThreads();
+  return config_.local_threads;
+}
+
+ThreadPool* Cluster::pool() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!pool_created_) {
+    pool_created_ = true;
+    int threads = local_threads();
+    if (threads > 1) pool_ = std::make_unique<ThreadPool>(threads);
+  }
+  return pool_.get();
+}
 
 JobStats::Phase JobStats::PhaseAt(VDuration t) const {
   if (t.seconds < 0) return Phase::kNotStarted;
@@ -56,11 +77,13 @@ VDuration Cluster::ShuffleTime(size_t bytes) const {
 }
 
 void Cluster::RecordJob(const JobStats& stats) {
+  std::lock_guard<std::mutex> lock(mu_);
   total_machine_time_ += stats.Total();
   job_history_.push_back(stats);
 }
 
 void Cluster::ResetAccounting() {
+  std::lock_guard<std::mutex> lock(mu_);
   total_machine_time_ = VDuration::Zero();
   job_history_.clear();
 }

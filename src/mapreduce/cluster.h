@@ -14,6 +14,8 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,8 @@
 #include "common/vtime.h"
 
 namespace falcon {
+
+class ThreadPool;
 
 /// Static description of the simulated cluster.
 struct ClusterConfig {
@@ -47,6 +51,11 @@ struct ClusterConfig {
   /// Virtual speed of one cluster core relative to the local CPU executing
   /// the user code (>1 means cluster cores are slower).
   double core_speed_factor = 1.0;
+  /// Local execution threads for real task parallelism (wall clock only;
+  /// virtual-time accounting is unaffected because per-task durations are
+  /// measured with thread CPU time). 0 = hardware_concurrency, 1 = the exact
+  /// legacy serial path (no thread pool is created).
+  int local_threads = 0;
 };
 
 /// Hadoop-style named counters.
@@ -81,9 +90,17 @@ struct JobStats {
 };
 
 /// A simulated cluster: configuration plus accumulated accounting.
+///
+/// Thread safety: RecordJob/ResetAccounting are synchronized so concurrent
+/// jobs (or jobs issued from pool tasks) account correctly; configuration is
+/// immutable after construction and may be read from any thread.
 class Cluster {
  public:
-  explicit Cluster(ClusterConfig config = {}) : config_(config) {}
+  explicit Cluster(ClusterConfig config = {});
+  ~Cluster();
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
 
   const ClusterConfig& config() const { return config_; }
 
@@ -112,10 +129,22 @@ class Cluster {
   const std::vector<JobStats>& job_history() const { return job_history_; }
   void ResetAccounting();
 
+  /// Resolved local thread count (config.local_threads, with 0 mapped to
+  /// the hardware concurrency).
+  int local_threads() const;
+
+  /// Lazily created shared thread pool for real task execution, or nullptr
+  /// when local_threads() == 1 (the legacy serial path runs inline).
+  ThreadPool* pool();
+
  private:
   ClusterConfig config_;
   VDuration total_machine_time_;
   std::vector<JobStats> job_history_;
+
+  std::mutex mu_;  ///< guards accounting and pool creation
+  std::unique_ptr<ThreadPool> pool_;
+  bool pool_created_ = false;
 };
 
 }  // namespace falcon

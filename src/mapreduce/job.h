@@ -5,22 +5,41 @@
 // to a virtual makespan by Cluster::ScheduleMakespan, so the same execution
 // yields both correct results and cluster-calibrated virtual durations.
 //
-// Determinism: splits, partitions, and group iteration are derived purely
-// from the input order and key hashes, so repeated runs of the same binary
-// on the same input produce identical outputs and identical record counts.
+// Execution is genuinely multi-threaded: map splits and reduce partitions
+// run concurrently on the cluster's shared thread pool (see
+// ClusterConfig::local_threads; 1 selects the exact legacy serial path).
+// Two contracts are preserved regardless of thread count:
+//
+//   Determinism — each split owns a private Emitter; emitted pairs are merged
+//   into shuffle partitions in split-index order and reduce outputs are
+//   concatenated in partition order, so a parallel run is byte-identical to
+//   a serial run. Partitioning uses a stable FNV-1a key hash (not the
+//   implementation-defined std::hash), so partition assignment and output
+//   order are also identical across standard libraries.
+//
+//   Virtual time — per-task seconds are measured with per-thread CPU time
+//   (CLOCK_THREAD_CPUTIME_ID), so concurrently running tasks do not inflate
+//   each other's measured durations and the virtual makespan matches the
+//   serial baseline within measurement noise.
 #ifndef FALCON_MAPREDUCE_JOB_H_
 #define FALCON_MAPREDUCE_JOB_H_
 
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
+#include <ctime>
 #include <functional>
+#include <iterator>
 #include <string>
+#include <string_view>
+#include <type_traits>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/status.h"
+#include "common/strings.h"
+#include "common/thread_pool.h"
 #include "mapreduce/cluster.h"
 
 namespace falcon {
@@ -46,7 +65,9 @@ size_t EstimateBytes(const std::vector<T>& v) {
 
 // --- emitter -----------------------------------------------------------------
 
-/// Collects (key, value) pairs emitted by one map task.
+/// Collects (key, value) pairs emitted by one map task. Each map task owns a
+/// private Emitter, so user map functions never share one across threads;
+/// counters are merged into JobStats in split-index order after the map phase.
 template <typename K, typename V>
 class Emitter {
  public:
@@ -80,6 +101,10 @@ struct JobOptions {
   /// e.g. loading filter indexes into mapper memory (map-setup of
   /// Algorithm 1).
   double map_setup_seconds = 0.0;
+  /// Forces this job onto the serial in-order path even when the cluster has
+  /// a thread pool. Set for jobs whose map/reduce functions mutate shared
+  /// state in input order (e.g. index construction, reservoir sampling).
+  bool serial = false;
 };
 
 /// Result of a job: exact output plus virtual-time stats.
@@ -91,10 +116,32 @@ struct JobOutput {
 
 namespace internal {
 
+/// CPU seconds consumed by the calling thread, or a negative value when the
+/// clock is unavailable.
+inline double ThreadCpuSeconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+#endif
+  return -1.0;
+}
+
+/// Measures the seconds `fn` takes using per-thread CPU time, falling back
+/// to steady_clock wall time where the thread clock is unavailable. Thread
+/// CPU time is immune both to other host processes stealing the core and to
+/// sibling pool tasks running concurrently, so virtual-time accounting is
+/// identical in serial and parallel execution.
 inline double MeasureSeconds(const std::function<void()>& fn) {
-  auto t0 = std::chrono::steady_clock::now();
+  const double c0 = ThreadCpuSeconds();
+  const auto t0 = std::chrono::steady_clock::now();
   fn();
-  auto t1 = std::chrono::steady_clock::now();
+  if (c0 >= 0.0) {
+    const double c1 = ThreadCpuSeconds();
+    if (c1 >= 0.0) return c1 - c0;
+  }
+  const auto t1 = std::chrono::steady_clock::now();
   return std::chrono::duration<double>(t1 - t0).count();
 }
 
@@ -114,12 +161,53 @@ inline std::vector<std::pair<size_t, size_t>> MakeSplits(size_t n,
   return splits;
 }
 
+/// Stable shuffle hash: identical partition assignment on every platform and
+/// standard library, unlike std::hash.
+template <typename K>
+uint64_t StableKeyHash(const K& k) {
+  if constexpr (std::is_convertible_v<const K&, std::string_view>) {
+    return Fnv1a(std::string_view(k));
+  } else if constexpr (std::is_integral_v<K> || std::is_enum_v<K>) {
+    const uint64_t v = static_cast<uint64_t>(k);
+    return Fnv1a(&v, sizeof(v));
+  } else {
+    static_assert(std::is_trivially_copyable_v<K>,
+                  "no stable hash for this key type");
+    return Fnv1a(&k, sizeof(k));
+  }
+}
+
+template <typename A, typename B>
+uint64_t StableKeyHash(const std::pair<A, B>& p) {
+  const uint64_t h[2] = {StableKeyHash(p.first), StableKeyHash(p.second)};
+  return Fnv1a(h, sizeof(h));
+}
+
+/// Runs fn(0..n-1) on the cluster pool, or inline in index order when the
+/// job opted out of parallelism, the task count is trivial, or the cluster
+/// resolves to a single local thread.
+inline void RunTasks(Cluster* cluster, bool serial, size_t n,
+                     const std::function<void(size_t)>& fn) {
+  ThreadPool* pool = (serial || n <= 1) ? nullptr : cluster->pool();
+  if (pool == nullptr) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  pool->ParallelFor(n, fn);
+}
+
 }  // namespace internal
 
 /// Runs a full map-shuffle-reduce job over `input`.
 ///
 /// `map_fn(item, emitter)` is invoked once per input item;
 /// `reduce_fn(key, values, output)` once per distinct key.
+///
+/// Unless `opts.serial` is set, map splits (and then reduce partitions) run
+/// concurrently on the cluster's thread pool; map_fn/reduce_fn must then be
+/// safe to call from multiple threads for *distinct* splits/partitions —
+/// i.e. they may freely use their arguments and read shared state, but any
+/// writes to captured state must be disjoint per input index or atomic.
 template <typename InT, typename K, typename V, typename OutT>
 JobOutput<OutT> RunMapReduce(
     Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
@@ -145,23 +233,32 @@ JobOutput<OutT> RunMapReduce(
   stats.num_map_tasks = splits.size();
 
   // --- map phase ---
-  std::vector<double> map_task_seconds;
-  map_task_seconds.reserve(splits.size());
+  // Each split writes only its own Emitter and seconds slot, so tasks can run
+  // on any thread in any order; everything order-sensitive happens in the
+  // split-index-order merge below.
+  std::vector<Emitter<K, V>> emitters(splits.size());
+  std::vector<double> map_task_seconds(splits.size());
+  internal::RunTasks(cluster, opts.serial, splits.size(), [&](size_t t) {
+    const auto [begin, end] = splits[t];
+    Emitter<K, V>* emitter = &emitters[t];
+    map_task_seconds[t] = internal::MeasureSeconds([&] {
+      for (size_t i = begin; i < end; ++i) map_fn(input[i], emitter);
+    });
+    map_task_seconds[t] += opts.map_setup_seconds;
+  });
+
+  // Merge in split-index order: counters, byte counts, and the shuffle all
+  // see the same sequence a serial run produces.
   std::vector<std::unordered_map<K, std::vector<V>>> partitions(num_reducers);
   size_t intermediate_records = 0;
   size_t intermediate_bytes = 0;
-  for (const auto& [begin, end] : splits) {
-    Emitter<K, V> emitter;
-    double secs = internal::MeasureSeconds([&] {
-      for (size_t i = begin; i < end; ++i) map_fn(input[i], &emitter);
-    });
-    map_task_seconds.push_back(secs + opts.map_setup_seconds);
+  for (auto& emitter : emitters) {
     intermediate_records += emitter.pairs().size();
     intermediate_bytes += emitter.bytes();
     for (auto& [counter, v] : emitter.counters()) stats.counters[counter] += v;
-    // Partition the emitted pairs by key hash (the shuffle).
+    // Partition the emitted pairs by stable key hash (the shuffle).
     for (auto& [k, v] : emitter.pairs()) {
-      size_t p = std::hash<K>{}(k) % num_reducers;
+      size_t p = internal::StableKeyHash(k) % num_reducers;
       partitions[p][std::move(k)].push_back(std::move(v));
     }
   }
@@ -172,20 +269,28 @@ JobOutput<OutT> RunMapReduce(
   stats.shuffle_time = cluster->ShuffleTime(intermediate_bytes);
 
   // --- reduce phase ---
-  std::vector<double> reduce_task_seconds;
-  reduce_task_seconds.reserve(num_reducers);
-  size_t active_reducers = 0;
-  for (auto& groups : partitions) {
-    if (groups.empty()) continue;
-    ++active_reducers;
-    double secs = internal::MeasureSeconds([&] {
-      for (auto& [key, values] : groups) {
-        reduce_fn(key, values, &result.output);
-      }
-    });
-    reduce_task_seconds.push_back(secs);
+  // Non-empty partitions become reduce tasks; each writes a private output
+  // vector, concatenated in partition order afterwards.
+  std::vector<size_t> active;
+  active.reserve(partitions.size());
+  for (size_t p = 0; p < partitions.size(); ++p) {
+    if (!partitions[p].empty()) active.push_back(p);
   }
-  stats.num_reduce_tasks = active_reducers;
+  std::vector<std::vector<OutT>> reduce_outputs(active.size());
+  std::vector<double> reduce_task_seconds(active.size());
+  internal::RunTasks(cluster, opts.serial, active.size(), [&](size_t t) {
+    auto& groups = partitions[active[t]];
+    std::vector<OutT>* out = &reduce_outputs[t];
+    reduce_task_seconds[t] = internal::MeasureSeconds([&] {
+      for (auto& [key, values] : groups) reduce_fn(key, values, out);
+    });
+  });
+  for (auto& out : reduce_outputs) {
+    result.output.insert(result.output.end(),
+                         std::make_move_iterator(out.begin()),
+                         std::make_move_iterator(out.end()));
+  }
+  stats.num_reduce_tasks = active.size();
   stats.reduce_time = cluster->ScheduleMakespan(
       reduce_task_seconds, cluster->total_reduce_slots());
   stats.output_records = result.output.size();
@@ -195,6 +300,10 @@ JobOutput<OutT> RunMapReduce(
 }
 
 /// Runs a map-only job: `map_fn(item, output)` appends output records.
+///
+/// Unless `opts.serial` is set, splits run concurrently; each split appends
+/// to a private output vector and the vectors are concatenated in split
+/// order, so output order matches the serial path exactly.
 template <typename InT, typename OutT>
 JobOutput<OutT> RunMapOnly(
     Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
@@ -212,13 +321,20 @@ JobOutput<OutT> RunMapOnly(
   auto splits = internal::MakeSplits(input.size(), num_splits);
   stats.num_map_tasks = splits.size();
 
-  std::vector<double> task_seconds;
-  task_seconds.reserve(splits.size());
-  for (const auto& [begin, end] : splits) {
-    double secs = internal::MeasureSeconds([&] {
-      for (size_t i = begin; i < end; ++i) map_fn(input[i], &result.output);
+  std::vector<std::vector<OutT>> split_outputs(splits.size());
+  std::vector<double> task_seconds(splits.size());
+  internal::RunTasks(cluster, opts.serial, splits.size(), [&](size_t t) {
+    const auto [begin, end] = splits[t];
+    std::vector<OutT>* out = &split_outputs[t];
+    task_seconds[t] = internal::MeasureSeconds([&] {
+      for (size_t i = begin; i < end; ++i) map_fn(input[i], out);
     });
-    task_seconds.push_back(secs + opts.map_setup_seconds);
+    task_seconds[t] += opts.map_setup_seconds;
+  });
+  for (auto& out : split_outputs) {
+    result.output.insert(result.output.end(),
+                         std::make_move_iterator(out.begin()),
+                         std::make_move_iterator(out.end()));
   }
   stats.map_time =
       cluster->ScheduleMakespan(task_seconds, cluster->total_map_slots());

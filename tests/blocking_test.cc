@@ -247,6 +247,38 @@ INSTANTIATE_TEST_SUITE_P(
       return ApplyMethodName(info.param);
     });
 
+// Parallel execution must be byte-identical to the legacy serial path: same
+// candidate pairs in the same order, same work accounting. Covers both an
+// index operator (apply_all) and the shuffle-heavy reduce_split baseline.
+class ApplyParallelDeterminism
+    : public ::testing::TestWithParam<ApplyMethod> {};
+
+TEST_P(ApplyParallelDeterminism, ByteIdenticalToSerial) {
+  static ApplyFixture* fixture = new ApplyFixture();
+  auto run = [&](int threads) {
+    ClusterConfig cfg = FastCluster();
+    cfg.local_threads = threads;
+    Cluster cluster(cfg);
+    return ApplyBlockingRules(fixture->data.a, fixture->data.b, fixture->seq,
+                              fixture->fs, fixture->catalog, &cluster,
+                              GetParam(), ApplyOptions{});
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+  ASSERT_TRUE(serial.ok()) << serial.status().ToString();
+  ASSERT_TRUE(parallel.ok()) << parallel.status().ToString();
+  EXPECT_EQ(serial->pairs, parallel->pairs);
+  EXPECT_EQ(serial->candidates_examined, parallel->candidates_examined);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Operators, ApplyParallelDeterminism,
+    ::testing::Values(ApplyMethod::kApplyAll, ApplyMethod::kApplyGreedy,
+                      ApplyMethod::kReduceSplit),
+    [](const ::testing::TestParamInfo<ApplyMethod>& info) {
+      return ApplyMethodName(info.param);
+    });
+
 TEST(ApplyTest, BlockingRecallIsHighOnGeneratedData) {
   ApplyFixture fixture;
   auto res =

@@ -1,5 +1,8 @@
+#include <atomic>
 #include <set>
+#include <stdexcept>
 #include <string>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -7,6 +10,7 @@
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/strings.h"
+#include "common/thread_pool.h"
 #include "common/vtime.h"
 
 namespace falcon {
@@ -294,6 +298,74 @@ TEST(VTimeTest, FormattingMatchesPaperStyle) {
 TEST(VTimeTest, MinMax) {
   EXPECT_DOUBLE_EQ(Max(VDuration(1), VDuration(2)).seconds, 2.0);
   EXPECT_DOUBLE_EQ(Min(VDuration(1), VDuration(2)).seconds, 1.0);
+}
+
+// --- Fnv1a -----------------------------------------------------------------
+
+TEST(StringsTest, Fnv1aKnownVectors) {
+  // Reference values for 64-bit FNV-1a; they pin the shuffle partitioning
+  // to a cross-platform stable function.
+  EXPECT_EQ(Fnv1a(""), 14695981039346656037ULL);
+  EXPECT_EQ(Fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+  EXPECT_EQ(Fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(StringsTest, Fnv1aOverloadsAgree) {
+  const char buf[3] = {'f', 'o', 'o'};
+  EXPECT_EQ(Fnv1a(buf, 3), Fnv1a("foo"));
+  EXPECT_NE(Fnv1a("foo"), Fnv1a("bar"));
+}
+
+// --- ThreadPool ------------------------------------------------------------
+
+TEST(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_threads(), 4);
+  std::vector<std::atomic<int>> hits(997);
+  pool.ParallelFor(hits.size(), [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(3);
+  std::atomic<long> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    pool.ParallelFor(100,
+                     [&](size_t i) { sum.fetch_add(static_cast<long>(i)); });
+  }
+  EXPECT_EQ(sum.load(), 50L * 4950L);
+}
+
+TEST(ThreadPoolTest, PropagatesFirstException) {
+  ThreadPool pool(4);
+  std::atomic<int> ran{0};
+  EXPECT_THROW(pool.ParallelFor(64,
+                                [&](size_t i) {
+                                  ran.fetch_add(1);
+                                  if (i % 2 == 0) {
+                                    throw std::runtime_error("task failed");
+                                  }
+                                }),
+               std::runtime_error);
+  // A failing task does not cancel its siblings: every index still runs.
+  EXPECT_EQ(ran.load(), 64);
+}
+
+TEST(ThreadPoolTest, TrivialSizes) {
+  ThreadPool pool(2);
+  int calls = 0;
+  pool.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  pool.ParallelFor(1, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPoolTest, SingleThreadDegeneratesToCallerLoop) {
+  ThreadPool pool(1);
+  EXPECT_EQ(pool.num_threads(), 1);
+  std::vector<int> order;
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(static_cast<int>(i)); });
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
 }
 
 }  // namespace

@@ -1,8 +1,13 @@
+#include <chrono>
 #include <numeric>
+#include <stdexcept>
 #include <string>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "common/strings.h"
+#include "common/thread_pool.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/job.h"
 
@@ -199,6 +204,162 @@ TEST(MapReduceTest, DeterministicOutputAcrossRuns) {
         .output;
   };
   EXPECT_EQ(run(), run());
+}
+
+// --- real multi-threaded execution -----------------------------------------
+
+ClusterConfig ThreadedConfig(int threads) {
+  ClusterConfig c = FastConfig();
+  c.local_threads = threads;
+  return c;
+}
+
+TEST(ParallelMapReduceTest, SingleThreadConfigHasNoPool) {
+  Cluster serial(ThreadedConfig(1));
+  EXPECT_EQ(serial.local_threads(), 1);
+  EXPECT_EQ(serial.pool(), nullptr);
+
+  Cluster wide(ThreadedConfig(4));
+  EXPECT_EQ(wide.local_threads(), 4);
+  ASSERT_NE(wide.pool(), nullptr);
+  EXPECT_EQ(wide.pool()->num_threads(), 4);
+  // The pool is created once and shared across jobs.
+  EXPECT_EQ(wide.pool(), wide.pool());
+}
+
+// The core determinism contract: a 4-thread run of word count must produce
+// the exact same output vector (values AND order) as the legacy serial path.
+TEST(ParallelMapReduceTest, WordCountByteIdenticalToSerial) {
+  std::vector<std::string> docs;
+  for (int i = 0; i < 240; ++i) {
+    docs.push_back("w" + std::to_string(i % 13) + " w" + std::to_string(i % 7) +
+                   " common");
+  }
+  auto run = [&](int threads) {
+    Cluster cluster(ThreadedConfig(threads));
+    return RunMapReduce<std::string, std::string, int64_t,
+                        std::pair<std::string, int64_t>>(
+        &cluster, docs, {.name = "wc", .num_splits = 16},
+        [](const std::string& doc, Emitter<std::string, int64_t>* em) {
+          std::string cur;
+          for (char c : doc) {
+            if (c == ' ') {
+              if (!cur.empty()) em->Emit(cur, 1);
+              cur.clear();
+            } else {
+              cur.push_back(c);
+            }
+          }
+          if (!cur.empty()) em->Emit(cur, 1);
+        },
+        [](const std::string& word, const std::vector<int64_t>& ones,
+           std::vector<std::pair<std::string, int64_t>>* out) {
+          out->emplace_back(word,
+                            std::accumulate(ones.begin(), ones.end(), 0L));
+        });
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+  EXPECT_EQ(serial.output, parallel.output);
+  EXPECT_EQ(serial.stats.input_records, parallel.stats.input_records);
+  EXPECT_EQ(serial.stats.intermediate_records,
+            parallel.stats.intermediate_records);
+  EXPECT_EQ(serial.stats.output_records, parallel.stats.output_records);
+  EXPECT_EQ(serial.stats.num_map_tasks, parallel.stats.num_map_tasks);
+  EXPECT_EQ(serial.stats.num_reduce_tasks, parallel.stats.num_reduce_tasks);
+  // Virtual time comes from per-thread CPU measurement plus deterministic
+  // overheads, so parallel execution must not inflate it. The measured CPU
+  // component of these tiny tasks is microseconds; the tolerance covers
+  // measurement noise only.
+  EXPECT_NEAR(serial.stats.Total().seconds, parallel.stats.Total().seconds,
+              0.1);
+}
+
+TEST(ParallelMapReduceTest, CountersExactUnderConcurrency) {
+  Cluster cluster(ThreadedConfig(4));
+  std::vector<int> input(1000);
+  std::iota(input.begin(), input.end(), 0);
+  auto result = RunMapReduce<int, int, int, std::pair<int, int>>(
+      &cluster, input, {.name = "counters-mt", .num_splits = 32},
+      [](const int& v, Emitter<int, int>* em) {
+        em->Increment("seen");
+        if (v % 2 == 0) em->Increment("evens");
+        em->Emit(v % 8, v);
+      },
+      [](const int& k, const std::vector<int>& vals,
+         std::vector<std::pair<int, int>>* out) {
+        out->emplace_back(k, static_cast<int>(vals.size()));
+      });
+  EXPECT_EQ(result.stats.counters.at("seen"), 1000);
+  EXPECT_EQ(result.stats.counters.at("evens"), 500);
+  EXPECT_EQ(result.stats.input_records, 1000u);
+  EXPECT_EQ(result.stats.intermediate_records, 1000u);
+}
+
+TEST(ParallelMapReduceTest, MapOnlyPreservesInputOrder) {
+  std::vector<int> input(1000);
+  std::iota(input.begin(), input.end(), 0);
+  auto run = [&](int threads) {
+    Cluster cluster(ThreadedConfig(threads));
+    return RunMapOnly<int, int>(
+               &cluster, input, {.name = "order", .num_splits = 16},
+               [](const int& v, std::vector<int>* out) {
+                 out->push_back(v * 2);
+               })
+        .output;
+  };
+  auto serial = run(1);
+  auto parallel = run(4);
+  ASSERT_EQ(serial.size(), 1000u);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST(ParallelMapReduceTest, MapExceptionPropagates) {
+  Cluster cluster(ThreadedConfig(4));
+  std::vector<int> input(100);
+  std::iota(input.begin(), input.end(), 0);
+  EXPECT_THROW(
+      (RunMapOnly<int, int>(&cluster, input, {.name = "boom", .num_splits = 8},
+                            [](const int& v, std::vector<int>*) {
+                              if (v == 63) throw std::runtime_error("boom");
+                            })),
+      std::runtime_error);
+}
+
+TEST(ParallelMapReduceTest, SerialOptOutRunsWithoutPool) {
+  // A job flagged serial must give identical results on a threaded cluster.
+  std::vector<int> input(200);
+  std::iota(input.begin(), input.end(), 0);
+  auto run = [&](bool serial) {
+    Cluster cluster(ThreadedConfig(4));
+    return RunMapOnly<int, int>(
+               &cluster, input,
+               {.name = "opt-out", .num_splits = 8, .serial = serial},
+               [](const int& v, std::vector<int>* out) {
+                 out->push_back(v + 1);
+               })
+        .output;
+  };
+  EXPECT_EQ(run(true), run(false));
+}
+
+TEST(ParallelMapReduceTest, MeasureSecondsUsesThreadCpuTime) {
+  // Sleeping burns wall time but no CPU; the thread-CPU clock keeps the
+  // virtual bill near zero, which is what makes concurrent execution safe
+  // for the simulated cluster's accounting.
+  double s = internal::MeasureSeconds(
+      [] { std::this_thread::sleep_for(std::chrono::milliseconds(100)); });
+  EXPECT_GE(s, 0.0);
+  EXPECT_LT(s, 0.05);
+}
+
+TEST(ParallelMapReduceTest, StableKeyHashMatchesFnv1a) {
+  EXPECT_EQ(internal::StableKeyHash(std::string("abc")), Fnv1a("abc"));
+  // Integral keys hash their 64-bit widening, so int and int64_t agree.
+  EXPECT_EQ(internal::StableKeyHash(42),
+            internal::StableKeyHash(int64_t{42}));
+  auto p = std::make_pair(std::string("a"), 7);
+  EXPECT_EQ(internal::StableKeyHash(p), internal::StableKeyHash(p));
 }
 
 }  // namespace

@@ -89,6 +89,43 @@ TEST(PipelineTest, BlockingPlanEndToEnd) {
   }
 }
 
+// Smoke test for real multi-threaded execution: the full pipeline must run
+// under a threaded cluster and bill (virtually) the same machine time as the
+// serial path. Exact equality is impossible — per-task seconds are MEASURED
+// thread-CPU times, so they carry run-to-run noise even serially, and that
+// noise can steer rule selection — but concurrency must not systematically
+// inflate the virtual clock, so the totals stay within a loose band.
+TEST(PipelineTest, ParallelPipelineMatchesSerialAccounting) {
+  struct Outcome {
+    double f1 = 0.0;
+    double machine_seconds = 0.0;
+  };
+  auto run = [](int threads) {
+    ClusterConfig ccfg = FastCluster();
+    ccfg.local_threads = threads;
+    GeneratedDataset data = E2E::MakeData(7);
+    Cluster cluster(ccfg);
+    SimulatedCrowd crowd(E2E::MakeCrowdConfig(7, 0.03),
+                         data.truth.MakeOracle());
+    FalconPipeline pipeline(&data.a, &data.b, &crowd, &cluster, SmallConfig());
+    auto r = pipeline.Run();
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    Outcome out;
+    if (r.ok()) {
+      out.f1 = EvaluateMatches(r->matches, data.truth).f1;
+      out.machine_seconds = cluster.total_machine_time().seconds;
+    }
+    return out;
+  };
+  Outcome serial = run(1);
+  Outcome parallel = run(4);
+  EXPECT_GT(serial.f1, 0.6);
+  EXPECT_GT(parallel.f1, 0.6);
+  ASSERT_GT(serial.machine_seconds, 0.0);
+  EXPECT_NEAR(parallel.machine_seconds, serial.machine_seconds,
+              0.3 * serial.machine_seconds);
+}
+
 TEST(PipelineTest, MaskingReducesUnmaskedMachineTime) {
   FalconConfig masked_cfg = SmallConfig();
   FalconConfig unmasked_cfg = SmallConfig();
