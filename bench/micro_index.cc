@@ -1,5 +1,15 @@
-// Microbenchmarks: index build and probe paths (google-benchmark).
+// Microbenchmarks: index build and probe paths (google-benchmark). The
+// custom main() first writes BENCH_micro_index.json with a store-path vs
+// fallback-path (tokenize + dictionary lookup, the old string behaviour)
+// probe comparison, then runs google-benchmark. FALCON_BENCH_SMOKE=1 shrinks
+// the dataset so the binary doubles as a ctest smoke test.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include <benchmark/benchmark.h>
+
+#include "harness.h"
 
 #include "blocking/filters.h"
 #include "blocking/index_builder.h"
@@ -11,11 +21,13 @@
 namespace falcon {
 namespace {
 
+bool SmokeMode() { return std::getenv("FALCON_BENCH_SMOKE") != nullptr; }
+
 const GeneratedDataset& Data() {
   static GeneratedDataset* data = [] {
     WorkloadOptions opt;
-    opt.size_a = 5000;
-    opt.size_b = 5000;
+    opt.size_a = SmokeMode() ? 300 : 5000;
+    opt.size_b = SmokeMode() ? 300 : 5000;
     opt.seed = 3;
     return new GeneratedDataset(GenerateProducts(opt));
   }();
@@ -69,7 +81,8 @@ BENCHMARK(BM_BTreeRangeProbe);
 
 struct TokenFixture {
   Cluster cluster;
-  IndexCatalog catalog;
+  IndexCatalog catalog;    ///< with B-side store views: id-path probing
+  IndexCatalog fallback;   ///< indexes only: tokenize+Find fallback probing
   FeatureSet fs;
   Predicate pred;
 
@@ -86,7 +99,9 @@ struct TokenFixture {
     }
     pred = Predicate{jac, jac, PredOp::kGt, 0.5};
     IndexBuilder builder(&d.a, &cluster);
+    builder.EnsureTokenStores(d.b, fs, &catalog);
     builder.Ensure({ClassifyPredicate(pred, fs)}, &catalog);
+    builder.Ensure({ClassifyPredicate(pred, fs)}, &fallback);
   }
 };
 
@@ -104,9 +119,14 @@ void BM_TokenIndexBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_TokenIndexBuild)->Unit(benchmark::kMillisecond);
 
+TokenFixture* SharedFixture() {
+  static TokenFixture* fx = new TokenFixture();
+  return fx;
+}
+
 void BM_PrefixFilterProbe(benchmark::State& state) {
   const auto& d = Data();
-  static TokenFixture* fx = new TokenFixture();
+  TokenFixture* fx = SharedFixture();
   ClauseProber prober(&fx->catalog, &fx->fs, d.a.num_rows());
   size_t i = 0;
   for (auto _ : state) {
@@ -116,7 +136,97 @@ void BM_PrefixFilterProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_PrefixFilterProbe);
 
+void BM_PrefixFilterProbeFallback(benchmark::State& state) {
+  const auto& d = Data();
+  TokenFixture* fx = SharedFixture();
+  ClauseProber prober(&fx->fallback, &fx->fs, d.a.num_rows());
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(prober.ProbePredicate(
+        fx->pred, d.b, static_cast<RowId>(i++ % d.b.num_rows())));
+  }
+}
+BENCHMARK(BM_PrefixFilterProbeFallback);
+
+/// Store-path vs fallback-path comparison written to BENCH_micro_index.json.
+void WriteComparisonReport() {
+  using Clock = std::chrono::steady_clock;
+  const auto& d = Data();
+  TokenFixture* fx = SharedFixture();
+  const size_t sweeps = SmokeMode() ? 2 : 10;
+
+  bench::BenchReport report("micro_index");
+  report.Add("rows_a", static_cast<int64_t>(d.a.num_rows()));
+  report.Add("rows_b", static_cast<int64_t>(d.b.num_rows()));
+  report.Add("sweeps", static_cast<int64_t>(sweeps));
+  report.Add("catalog_bytes_with_store",
+             static_cast<int64_t>(fx->catalog.TotalMemoryUsage()));
+  report.Add("catalog_bytes_fallback",
+             static_cast<int64_t>(fx->fallback.TotalMemoryUsage()));
+
+  // Same probing work over every B row, both paths; candidates must agree.
+  size_t candidates_store = 0;
+  size_t candidates_fallback = 0;
+  ClauseProber store_prober(&fx->catalog, &fx->fs, d.a.num_rows());
+  ClauseProber fb_prober(&fx->fallback, &fx->fs, d.a.num_rows());
+  auto t0 = Clock::now();
+  for (size_t s = 0; s < sweeps; ++s) {
+    for (RowId b = 0; b < d.b.num_rows(); ++b) {
+      candidates_store +=
+          store_prober.ProbePredicate(fx->pred, d.b, b).rows.size();
+    }
+  }
+  auto t1 = Clock::now();
+  for (size_t s = 0; s < sweeps; ++s) {
+    for (RowId b = 0; b < d.b.num_rows(); ++b) {
+      candidates_fallback +=
+          fb_prober.ProbePredicate(fx->pred, d.b, b).rows.size();
+    }
+  }
+  auto t2 = Clock::now();
+  if (candidates_store != candidates_fallback) {
+    fprintf(stderr, "FATAL: store/fallback candidate mismatch: %zu vs %zu\n",
+            candidates_store, candidates_fallback);
+    exit(1);
+  }
+  const double probes =
+      static_cast<double>(sweeps) * static_cast<double>(d.b.num_rows());
+  double store_us =
+      std::chrono::duration<double, std::micro>(t1 - t0).count() / probes;
+  double fb_us =
+      std::chrono::duration<double, std::micro>(t2 - t1).count() / probes;
+  report.Add("probe/candidates_per_sweep",
+             static_cast<int64_t>(candidates_store / sweeps));
+  report.Add("probe/store_us_per_row", store_us);
+  report.Add("probe/fallback_us_per_row", fb_us);
+  report.Add("probe/speedup", store_us > 0.0 ? fb_us / store_us : 0.0);
+
+  // Index build (jobs 1-3 + store views) from a cold catalog.
+  auto t3 = Clock::now();
+  {
+    Cluster cluster((ClusterConfig()));
+    IndexCatalog catalog;
+    IndexBuilder builder(&d.a, &cluster);
+    builder.EnsureTokenStores(d.b, fx->fs, &catalog);
+    builder.Ensure({ClassifyPredicate(fx->pred, fx->fs)}, &catalog);
+    benchmark::DoNotOptimize(catalog.TotalMemoryUsage());
+  }
+  auto t4 = Clock::now();
+  report.Add("build/full_ms",
+             std::chrono::duration<double, std::milli>(t4 - t3).count());
+
+  std::string path = report.Write();
+  printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace falcon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  falcon::WriteComparisonReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

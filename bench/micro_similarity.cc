@@ -1,8 +1,18 @@
 // Microbenchmarks: similarity functions and tokenizers (google-benchmark).
+// The custom main() first writes BENCH_micro_similarity.json with a direct
+// string-path vs TokenId-path comparison, then runs google-benchmark.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
 #include <benchmark/benchmark.h>
+
+#include "harness.h"
 
 #include "common/rng.h"
 #include "text/similarity.h"
+#include "text/token_dictionary.h"
 #include "text/tokenize.h"
 #include "workload/generator.h"
 
@@ -22,6 +32,10 @@ struct Corpus {
   std::vector<std::string> phrases;
   std::vector<std::vector<std::string>> word_sets;
   std::vector<std::vector<std::string>> gram_sets;
+  /// The same sets, interned: sorted-unique TokenId arrays over one dict.
+  TokenDictionary dict;
+  std::vector<std::vector<TokenId>> word_id_sets;
+  std::vector<std::vector<TokenId>> gram_id_sets;
 
   Corpus() {
     Rng rng(7);
@@ -30,7 +44,17 @@ struct Corpus {
       phrases.push_back(RandomPhrase(&rng, vocab, 3 + i % 8));
       word_sets.push_back(ToTokenSet(WordTokens(phrases.back())));
       gram_sets.push_back(ToTokenSet(QGramTokens(phrases.back(), 3)));
+      word_id_sets.push_back(InternSet(word_sets.back()));
+      gram_id_sets.push_back(InternSet(gram_sets.back()));
     }
+  }
+
+  std::vector<TokenId> InternSet(const std::vector<std::string>& tokens) {
+    std::vector<TokenId> ids;
+    ids.reserve(tokens.size());
+    for (const auto& t : tokens) ids.push_back(dict.Intern(t));
+    std::sort(ids.begin(), ids.end());
+    return ids;
   }
 };
 
@@ -75,6 +99,22 @@ BENCHMARK(BM_SetSimWord<&DiceSim>)->Name("BM_Dice_word");
 BENCHMARK(BM_SetSimWord<&OverlapSim>)->Name("BM_Overlap_word");
 BENCHMARK(BM_SetSimWord<&CosineSim>)->Name("BM_Cosine_word");
 
+template <double (*F)(std::span<const TokenId>, std::span<const TokenId>)>
+void BM_SetSimWordIds(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = c.word_id_sets[i % c.word_id_sets.size()];
+    const auto& y = c.word_id_sets[(i * 7 + 3) % c.word_id_sets.size()];
+    benchmark::DoNotOptimize(F(x, y));
+    ++i;
+  }
+}
+BENCHMARK(BM_SetSimWordIds<&JaccardSim>)->Name("BM_Jaccard_word_ids");
+BENCHMARK(BM_SetSimWordIds<&DiceSim>)->Name("BM_Dice_word_ids");
+BENCHMARK(BM_SetSimWordIds<&OverlapSim>)->Name("BM_Overlap_word_ids");
+BENCHMARK(BM_SetSimWordIds<&CosineSim>)->Name("BM_Cosine_word_ids");
+
 void BM_Jaccard3gram(benchmark::State& state) {
   const auto& c = GetCorpus();
   size_t i = 0;
@@ -86,6 +126,19 @@ void BM_Jaccard3gram(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Jaccard3gram);
+
+void BM_Jaccard3gramIds(benchmark::State& state) {
+  const auto& c = GetCorpus();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& x = c.gram_id_sets[i % c.gram_id_sets.size()];
+    const auto& y = c.gram_id_sets[(i * 7 + 3) % c.gram_id_sets.size()];
+    benchmark::DoNotOptimize(
+        JaccardSim(std::span<const TokenId>(x), std::span<const TokenId>(y)));
+    ++i;
+  }
+}
+BENCHMARK(BM_Jaccard3gramIds)->Name("BM_Jaccard3gram_ids");
 
 void BM_Levenshtein(benchmark::State& state) {
   const auto& c = GetCorpus();
@@ -153,7 +206,86 @@ void BM_TfIdf(benchmark::State& state) {
 }
 BENCHMARK(BM_TfIdf);
 
+/// Measures ns/op of one string-path and one id-path set-similarity sweep
+/// over the same pair sequence and records both plus the speedup.
+template <typename StringFn, typename IdFn>
+void CompareSetSim(bench::BenchReport* report, const std::string& key,
+                   const std::vector<std::vector<std::string>>& str_sets,
+                   const std::vector<std::vector<TokenId>>& id_sets,
+                   StringFn sf, IdFn idf, size_t iters) {
+  using Clock = std::chrono::steady_clock;
+  double sink = 0.0;
+  auto t0 = Clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    sink += sf(str_sets[i % str_sets.size()],
+               str_sets[(i * 7 + 3) % str_sets.size()]);
+  }
+  auto t1 = Clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    sink += idf(id_sets[i % id_sets.size()],
+                id_sets[(i * 7 + 3) % id_sets.size()]);
+  }
+  auto t2 = Clock::now();
+  benchmark::DoNotOptimize(sink);
+  double string_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(iters);
+  double id_ns = std::chrono::duration<double, std::nano>(t2 - t1).count() /
+                 static_cast<double>(iters);
+  report->Add(key + "/string_ns_per_op", string_ns);
+  report->Add(key + "/id_ns_per_op", id_ns);
+  report->Add(key + "/speedup", id_ns > 0.0 ? string_ns / id_ns : 0.0);
+}
+
+/// String-vs-TokenId comparison written to BENCH_micro_similarity.json.
+void WriteComparisonReport() {
+  const Corpus& c = GetCorpus();
+  const bool smoke = std::getenv("FALCON_BENCH_SMOKE") != nullptr;
+  const size_t iters = smoke ? 20'000 : 2'000'000;
+  bench::BenchReport report("micro_similarity");
+  report.Add("iters", static_cast<int64_t>(iters));
+  auto j_s = [](const std::vector<std::string>& x,
+                const std::vector<std::string>& y) { return JaccardSim(x, y); };
+  auto d_s = [](const std::vector<std::string>& x,
+                const std::vector<std::string>& y) { return DiceSim(x, y); };
+  auto o_s = [](const std::vector<std::string>& x,
+                const std::vector<std::string>& y) { return OverlapSim(x, y); };
+  auto c_s = [](const std::vector<std::string>& x,
+                const std::vector<std::string>& y) { return CosineSim(x, y); };
+  auto j_i = [](std::span<const TokenId> x, std::span<const TokenId> y) {
+    return JaccardSim(x, y);
+  };
+  auto d_i = [](std::span<const TokenId> x, std::span<const TokenId> y) {
+    return DiceSim(x, y);
+  };
+  auto o_i = [](std::span<const TokenId> x, std::span<const TokenId> y) {
+    return OverlapSim(x, y);
+  };
+  auto c_i = [](std::span<const TokenId> x, std::span<const TokenId> y) {
+    return CosineSim(x, y);
+  };
+  CompareSetSim(&report, "jaccard_word", c.word_sets, c.word_id_sets, j_s,
+                j_i, iters);
+  CompareSetSim(&report, "dice_word", c.word_sets, c.word_id_sets, d_s, d_i,
+                iters);
+  CompareSetSim(&report, "overlap_word", c.word_sets, c.word_id_sets, o_s,
+                o_i, iters);
+  CompareSetSim(&report, "cosine_word", c.word_sets, c.word_id_sets, c_s,
+                c_i, iters);
+  CompareSetSim(&report, "jaccard_3gram", c.gram_sets, c.gram_id_sets, j_s,
+                j_i, iters);
+  std::string path = report.Write();
+  printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace falcon
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  falcon::WriteComparisonReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

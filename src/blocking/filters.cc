@@ -15,11 +15,12 @@ constexpr double kEps = 1e-9;
 
 /// Per-thread working state for one ClauseProber. Keeping it in TLS (instead
 /// of mutable members) makes concurrent probing race-free with zero locking:
-/// each thread owns a private token cache and stamp/count scratch.
+/// each thread owns private rank and stamp/count scratch. There is no token
+/// cache anymore — the token store already holds each B-row's interned set,
+/// so a probe only rank-sorts a handful of ids into `ranked`.
 struct ProberScratch {
   uint64_t owner = 0;  ///< scratch_id_ of the prober this state belongs to
-  RowId cached_b = static_cast<RowId>(-1);
-  std::map<std::pair<int, int>, std::vector<std::string>> token_cache;
+  std::vector<std::pair<uint32_t, TokenId>> ranked;  ///< (rank, id) per probe
   std::vector<uint32_t> stamps;
   std::vector<uint32_t> counts;
   uint32_t epoch = 0;
@@ -30,8 +31,7 @@ ProberScratch& ScratchFor(uint64_t prober_id) {
   thread_local ProberScratch scratch;
   if (scratch.owner != prober_id) {
     scratch.owner = prober_id;
-    scratch.cached_b = static_cast<RowId>(-1);
-    scratch.token_cache.clear();
+    scratch.ranked.clear();
     std::fill(scratch.stamps.begin(), scratch.stamps.end(), 0);
     std::fill(scratch.counts.begin(), scratch.counts.end(), 0);
     scratch.epoch = 0;
@@ -222,6 +222,27 @@ void IndexCatalog::PutOrdering(int col_a, Tokenization tok,
                               std::move(ordering));
 }
 
+TokenDictionary* IndexCatalog::mutable_dict() {
+  if (dict_ == nullptr) dict_ = std::make_unique<TokenDictionary>();
+  return dict_.get();
+}
+
+TokenStore* IndexCatalog::mutable_store(const Table* table) {
+  auto it = stores_.find(table);
+  if (it == stores_.end()) {
+    it = stores_
+             .emplace(table,
+                      std::make_unique<TokenStore>(table, mutable_dict()))
+             .first;
+  }
+  return it->second.get();
+}
+
+const TokenStore* IndexCatalog::store(const Table* table) const {
+  auto it = stores_.find(table);
+  return it == stores_.end() ? nullptr : it->second.get();
+}
+
 size_t IndexCatalog::MemoryUsageFor(
     const std::vector<IndexNeed>& needs) const {
   // Deduplicate needs so shared indexes are counted once.
@@ -259,6 +280,8 @@ size_t IndexCatalog::TotalMemoryUsage() const {
   for (const auto& [col, idx] : hash_) bytes += idx.MemoryUsage();
   for (const auto& [col, idx] : btree_) bytes += idx.MemoryUsage();
   for (const auto& [key, bundle] : tokens_) bytes += bundle.MemoryUsage();
+  if (dict_ != nullptr) bytes += dict_->MemoryUsage();
+  for (const auto& [table, store] : stores_) bytes += store->MemoryUsage();
   return bytes;
 }
 
@@ -271,20 +294,45 @@ ClauseProber::ClauseProber(const IndexCatalog* catalog, const FeatureSet* fs,
       num_a_rows_(num_a_rows),
       scratch_id_(NextProberId()) {}
 
-const std::vector<std::string>& ClauseProber::TokensFor(
+ClauseProber::ProbeShape ClauseProber::RankedIdsFor(
     const Table& b_table, RowId b, int col_b, Tokenization tok,
     const TokenOrdering& ord) const {
   ProberScratch& s = ScratchFor(scratch_id_);
-  if (b != s.cached_b) {
-    s.token_cache.clear();
-    s.cached_b = b;
+  s.ranked.clear();
+  ProbeShape shape;
+  const TokenStore* store = catalog_->store(&b_table);
+  const TokenSetView* view =
+      store == nullptr ? nullptr : store->view(col_b, tok);
+  if (view != nullptr) {
+    auto ids = view->row(b);
+    shape.y = ids.size();
+    for (TokenId id : ids) {
+      uint32_t r;
+      if (ord.RankId(id, &r)) {
+        s.ranked.emplace_back(r, id);
+      } else {
+        ++shape.num_unknown;
+      }
+    }
+  } else {
+    // Fallback for catalogs without a store view (e.g. hand-built in tests):
+    // tokenize and translate through the dictionary. Tokens absent from the
+    // dictionary or unranked both count as unknown — neither has postings.
+    auto tokens = ToTokenSet(Tokenize(b_table.Get(b, col_b), tok));
+    shape.y = tokens.size();
+    const TokenDictionary* dict = catalog_->dict();
+    for (const auto& token : tokens) {
+      TokenId id;
+      uint32_t r;
+      if (dict != nullptr && dict->Find(token, &id) && ord.RankId(id, &r)) {
+        s.ranked.emplace_back(r, id);
+      } else {
+        ++shape.num_unknown;
+      }
+    }
   }
-  auto key = std::make_pair(col_b, static_cast<int>(tok));
-  auto it = s.token_cache.find(key);
-  if (it != s.token_cache.end()) return it->second;
-  auto tokens = ToTokenSet(Tokenize(b_table.Get(b, col_b), tok));
-  ord.Sort(&tokens);
-  return s.token_cache.emplace(key, std::move(tokens)).first->second;
+  std::sort(s.ranked.begin(), s.ranked.end());
+  return shape;
 }
 
 CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
@@ -334,9 +382,9 @@ CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
     }
     case IndexKind::kToken: {
       const TokenIndexBundle* bundle = catalog_->tokens(need.col_a, need.tok);
-      const auto& y_tokens =
-          TokensFor(b_table, b, f.col_b, need.tok, bundle->ordering);
-      const size_t y = y_tokens.size();
+      const ProbeShape py =
+          RankedIdsFor(b_table, b, f.col_b, need.tok, bundle->ordering);
+      const size_t y = py.y;
       if (y == 0) {
         out.all = true;  // empty token set cannot prove a non-match
         return out;
@@ -349,12 +397,15 @@ CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
                                    fn == SimFunction::kDice ||
                                    fn == SimFunction::kCosine;
 
-      // Stamp-based dedup across probe tokens.
+      // Stamp-based dedup across probe tokens. Unknown tokens occupy probe
+      // positions 0..num_unknown-1 (the string path put them first too) and
+      // have no postings, so probing starts at position num_unknown.
       ProberScratch& s = ScratchFor(scratch_id_);
       if (s.stamps.size() < num_a_rows_) s.stamps.resize(num_a_rows_, 0);
       const uint32_t epoch = NextEpoch(&s);
-      for (size_t j = 0; j < pi_y && j < y; ++j) {
-        for (const Posting& p : bundle->inverted.Probe(y_tokens[j])) {
+      for (size_t j = py.num_unknown; j < pi_y && j < y; ++j) {
+        for (const Posting& p :
+             bundle->inverted.Probe(s.ranked[j - py.num_unknown].second)) {
           if (s.stamps[p.row] == epoch) continue;
           const size_t x = p.set_size;
           if (x < len_lo || x > len_hi) continue;
@@ -376,6 +427,7 @@ CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
       return out;
     }
     case IndexKind::kNone:
+    case IndexKind::kTokenOrdering:
       break;
   }
   out.all = true;

@@ -37,6 +37,8 @@
 #include "index/token_ordering.h"
 #include "rules/rule.h"
 #include "table/table.h"
+#include "table/token_store.h"
+#include "text/token_dictionary.h"
 
 namespace falcon {
 
@@ -78,14 +80,32 @@ struct IndexNeed {
 /// the predicate passes every pair).
 IndexNeed ClassifyPredicate(const Predicate& pred, const FeatureSet& fs);
 
-/// Holds the indexes built so far over table A.
+/// Holds the indexes built so far over table A, plus the token dictionary
+/// and per-table token stores the dictionary-encoded probe path reads.
+/// Move-only (stores and orderings point into the owned dictionary).
 class IndexCatalog {
  public:
+  IndexCatalog() = default;
+  IndexCatalog(const IndexCatalog&) = delete;
+  IndexCatalog& operator=(const IndexCatalog&) = delete;
+  IndexCatalog(IndexCatalog&&) = default;
+  IndexCatalog& operator=(IndexCatalog&&) = default;
+
   const HashIndex* hash(int col_a) const;
   const BTreeIndex* btree(int col_a) const;
   const TokenIndexBundle* tokens(int col_a, Tokenization tok) const;
   /// Standalone ordering (pre-built during masking); bundles carry their own.
   const TokenOrdering* ordering(int col_a, Tokenization tok) const;
+
+  /// The shared token dictionary, created on first use. One dictionary spans
+  /// every table's store so ids are comparable across tables.
+  TokenDictionary* mutable_dict();
+  const TokenDictionary* dict() const { return dict_.get(); }
+
+  /// The token store for `table`, created (empty) on first use. Views are
+  /// filled by IndexBuilder; `table` must outlive the catalog.
+  TokenStore* mutable_store(const Table* table);
+  const TokenStore* store(const Table* table) const;
 
   bool Has(const IndexNeed& need) const;
   void PutHash(int col_a, HashIndex idx);
@@ -94,7 +114,10 @@ class IndexCatalog {
   void PutOrdering(int col_a, Tokenization tok, TokenOrdering ordering);
 
   /// Memory footprint of the indexes satisfying `needs` (0 for kNone needs;
-  /// missing indexes contribute 0 — call Has() first).
+  /// missing indexes contribute 0 — call Has() first). Counts only
+  /// mapper-resident structures: the dictionary and token stores are not
+  /// loaded into mappers (probing needs only the bundle's rank vector; the
+  /// B-side store streams with the input split).
   size_t MemoryUsageFor(const std::vector<IndexNeed>& needs) const;
   size_t TotalMemoryUsage() const;
 
@@ -103,6 +126,10 @@ class IndexCatalog {
   std::map<int, BTreeIndex> btree_;
   std::map<std::pair<int, int>, TokenIndexBundle> tokens_;
   std::map<std::pair<int, int>, TokenOrdering> orderings_;
+  /// unique_ptr: stable address for the string_view keys and the pointers
+  /// held by stores/orderings.
+  std::unique_ptr<TokenDictionary> dict_;
+  std::map<const Table*, std::unique_ptr<TokenStore>> stores_;
 };
 
 /// Result of probing: either an explicit candidate row list or "all of A".
@@ -114,14 +141,17 @@ struct CandidateSet {
 /// Probes the catalog's filters for candidate A-rows, per B-row.
 ///
 /// A ClauseProber is bound to one (catalog, feature set, |A|) and reused
-/// across B-rows; it caches the tokenization of the current B-row.
+/// across B-rows. Token predicates read the B-row's interned id set straight
+/// out of the catalog's token store (falling back to tokenize+dictionary
+/// lookup when no store view was built), so the per-thread token cache the
+/// string path needed is gone.
 ///
 /// Thread safety: probing is safe from multiple threads concurrently (map
-/// tasks share one prober). All mutable working state — the B-row token
-/// cache and the stamp/count scratch — lives in thread-local storage keyed
-/// by a process-unique prober id, so threads never contend and a thread
-/// moving between probers (or a prober constructed at a recycled address)
-/// never sees stale cache entries.
+/// tasks share one prober). The catalog — dictionary, stores, bundles — is
+/// read-only during probing; all mutable working state (rank/stamp/count
+/// scratch) lives in thread-local storage keyed by a process-unique prober
+/// id, so threads never contend and a thread moving between probers (or a
+/// prober constructed at a recycled address) never sees stale state.
 class ClauseProber {
  public:
   ClauseProber(const IndexCatalog* catalog, const FeatureSet* fs,
@@ -149,9 +179,16 @@ class ClauseProber {
   size_t num_a_rows() const { return num_a_rows_; }
 
  private:
-  const std::vector<std::string>& TokensFor(const Table& b_table, RowId b,
-                                            int col_b, Tokenization tok,
-                                            const TokenOrdering& ord) const;
+  /// Shape of the current B-row's token set for probing: the ranked ids live
+  /// in this thread's scratch, sorted ascending by rank (= the global token
+  /// order); unranked tokens yield no postings and occupy the first
+  /// `num_unknown` positions, exactly as the string path ordered them.
+  struct ProbeShape {
+    size_t y = 0;            ///< total distinct tokens (unranked included)
+    size_t num_unknown = 0;  ///< tokens without a rank in the ordering
+  };
+  ProbeShape RankedIdsFor(const Table& b_table, RowId b, int col_b,
+                          Tokenization tok, const TokenOrdering& ord) const;
 
   const IndexCatalog* catalog_;
   const FeatureSet* fs_;

@@ -129,28 +129,75 @@ VDuration IndexBuilder::BuildBTree(int col_a, IndexCatalog* catalog) {
   return result.stats.Total();
 }
 
+VDuration IndexBuilder::BuildStoreView(const Table& t, const char* label,
+                                       int col, Tokenization tok,
+                                       IndexCatalog* catalog) {
+  TokenStore* store = catalog->mutable_store(&t);
+  if (store->view(col, tok) != nullptr) return VDuration::Zero();
+  store->StartView(col, tok);
+  std::vector<RowId> rows(t.num_rows());
+  for (RowId r = 0; r < t.num_rows(); ++r) rows[r] = r;
+  // Interning writes into the shared dictionary and appends to the shared
+  // arena in row order -> serial path.
+  auto result = RunMapOnly<RowId, int>(
+      cluster_, rows,
+      {.name = std::string("tokenize-store(") + label + ",col" +
+               std::to_string(col) + "," + TokenizationName(tok) + ")",
+       .serial = true},
+      [&](const RowId& r, std::vector<int>*) { store->AppendRow(r); });
+  store->FinishView();
+  return result.stats.Total();
+}
+
+VDuration IndexBuilder::EnsureTokenStores(const Table& b, const FeatureSet& fs,
+                                          IndexCatalog* catalog) {
+  VDuration spent = VDuration::Zero();
+  for (const Feature& f : fs.features()) {
+    if (!f.usable_for_blocking) continue;
+    Tokenization tok;
+    switch (f.fn) {
+      case SimFunction::kJaccard:
+      case SimFunction::kDice:
+      case SimFunction::kOverlap:
+      case SimFunction::kCosine:
+        tok = f.tok;
+        break;
+      case SimFunction::kLevenshtein:
+        tok = Tokenization::kQgram3;
+        break;
+      default:
+        continue;
+    }
+    spent += BuildStoreView(*a_, "a", f.col_a, tok, catalog);
+    spent += BuildStoreView(b, "b", f.col_b, tok, catalog);
+  }
+  return spent;
+}
+
 VDuration IndexBuilder::BuildOrdering(int col_a, Tokenization tok,
                                       IndexCatalog* catalog) {
-  VDuration spent = VDuration::Zero();
+  // The A-side store view is a prerequisite: tokenization/interning happens
+  // once here, and every later job reads the interned ids.
+  VDuration spent = BuildStoreView(*a_, "a", col_a, tok, catalog);
+  const TokenSetView* view = catalog->store(a_)->view(col_a, tok);
+  const TokenDictionary* dict = catalog->dict();
   std::vector<RowId> rows(a_->num_rows());
   for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
 
-  // MR job 1: token frequency counting over A.
-  std::unordered_map<std::string, uint64_t> freq;
-  auto job1 = RunMapReduce<RowId, std::string, uint32_t, int>(
+  // MR job 1: token frequency counting over A, keyed by TokenId. Missing
+  // rows have empty store views, so they emit nothing (as before).
+  std::vector<uint64_t> freq(dict->size(), 0);
+  auto job1 = RunMapReduce<RowId, TokenId, uint32_t, int>(
       cluster_, rows,
-      // Reduce writes into the shared `freq` map -> serial path.
+      // Reduce writes into the shared `freq` vector -> serial path.
       {.name = "token-freq(col" + std::to_string(col_a) + "," +
                TokenizationName(tok) + ")",
        .serial = true},
-      [&](const RowId& r, Emitter<std::string, uint32_t>* em) {
-        if (a_->IsMissing(r, col_a)) return;
-        for (auto& t : ToTokenSet(Tokenize(a_->Get(r, col_a), tok))) {
-          em->Emit(std::move(t), 1);
-        }
+      [&](const RowId& r, Emitter<TokenId, uint32_t>* em) {
+        for (TokenId id : view->row(r)) em->Emit(id, 1);
       },
-      [&](const std::string& token, const std::vector<uint32_t>& ones,
-          std::vector<int>*) { freq[token] += ones.size(); });
+      [&](const TokenId& id, const std::vector<uint32_t>& ones,
+          std::vector<int>*) { freq[id] += ones.size(); });
   spent += job1.stats.Total();
 
   // MR job 2: global sort of tokens by frequency. A single reducer performs
@@ -162,7 +209,7 @@ VDuration IndexBuilder::BuildOrdering(int col_a, Tokenization tok,
       {.name = "token-sort(col" + std::to_string(col_a) + ")",
        .num_splits = 1},
       [&](const int&, std::vector<int>*) {
-        ordering = TokenOrdering::FromFrequencies(freq);
+        ordering = TokenOrdering::FromIdFrequencies(dict, freq);
       });
   spent += job2.stats.Total();
 
@@ -177,13 +224,17 @@ VDuration IndexBuilder::BuildTokenBundle(int col_a, Tokenization tok,
   if (catalog->ordering(col_a, tok) == nullptr) {
     spent += BuildOrdering(col_a, tok, catalog);
   }
+  // No-op unless the catalog was handed a prebuilt ordering without a store.
+  spent += BuildStoreView(*a_, "a", col_a, tok, catalog);
+  const TokenSetView* view = catalog->store(a_)->view(col_a, tok);
   TokenIndexBundle bundle;
   bundle.ordering = *catalog->ordering(col_a, tok);
 
-  // MR job 3: tokenize/reorder every A-row; build the inverted index (full
-  // reordered token list with positions) and the length index.
+  // MR job 3: reorder every A-row's interned token set; build the inverted
+  // index (full reordered id list with positions) and the length index.
   std::vector<RowId> rows(a_->num_rows());
   for (RowId r = 0; r < a_->num_rows(); ++r) rows[r] = r;
+  std::vector<TokenId> scratch;
   auto job3 = RunMapOnly<RowId, int>(
       cluster_, rows,
       // Builds the shared bundle in input order -> serial path.
@@ -196,14 +247,15 @@ VDuration IndexBuilder::BuildTokenBundle(int col_a, Tokenization tok,
           bundle.lengths.Add(0, r);
           return;
         }
-        auto tokens = ToTokenSet(Tokenize(a_->Get(r, col_a), tok));
-        bundle.ordering.Sort(&tokens);
-        bundle.lengths.Add(static_cast<uint32_t>(tokens.size()), r);
-        if (tokens.empty()) {
+        auto ids = view->row(r);
+        scratch.assign(ids.begin(), ids.end());
+        bundle.ordering.SortIds(&scratch);
+        bundle.lengths.Add(static_cast<uint32_t>(scratch.size()), r);
+        if (scratch.empty()) {
           bundle.inverted.AddMissing(r);
         } else {
-          bundle.inverted.AddPrefix(r, tokens,
-                                    static_cast<uint32_t>(tokens.size()));
+          bundle.inverted.AddPrefix(r, scratch,
+                                    static_cast<uint32_t>(scratch.size()));
         }
       });
   spent += job3.stats.Total();

@@ -40,12 +40,26 @@ class IndexBuilder {
   /// missing ones. Returns the virtual time spent (zero if all present).
   VDuration Ensure(const std::vector<IndexNeed>& needs, IndexCatalog* catalog);
 
+  /// Ensures the catalog's token stores hold the interned token sets both
+  /// sides of every token-filterable feature read: the A-side views feed the
+  /// ordering/inverted-index jobs, the B-side views feed probing and feature
+  /// computation. Runs one tokenize job per missing (table, attribute,
+  /// tokenization) view; already-built views cost nothing, so this composes
+  /// with the masking optimizer the same way Ensure() does.
+  VDuration EnsureTokenStores(const Table& b, const FeatureSet& fs,
+                              IndexCatalog* catalog);
+
  private:
   VDuration BuildHash(int col_a, IndexCatalog* catalog);
   VDuration BuildBTree(int col_a, IndexCatalog* catalog);
   VDuration BuildOrdering(int col_a, Tokenization tok, IndexCatalog* catalog);
   VDuration BuildTokenBundle(int col_a, Tokenization tok,
                              IndexCatalog* catalog);
+  /// Tokenizes + interns one (table, attribute, tokenization) into the
+  /// catalog's token store. No-op if the view already exists. `label` names
+  /// the table in the job name ("a" / "b").
+  VDuration BuildStoreView(const Table& t, const char* label, int col,
+                           Tokenization tok, IndexCatalog* catalog);
 
   const Table* a_;
   Cluster* cluster_;

@@ -133,6 +133,14 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   Rng rng(config_.seed);
   IndexCatalog catalog;
   IndexBuilder builder(a_, cluster_);
+  // The feature set may be bound to the catalog's token stores below for the
+  // dictionary-encoded fast path; the catalog is local to this plan, so the
+  // binding must be cleared before the catalog is destroyed (guard declared
+  // after `catalog` -> destroyed first).
+  struct StoreBindingGuard {
+    FeatureSet* fs;
+    ~StoreBindingGuard() { fs->BindTokenStores(nullptr, nullptr); }
+  } store_guard{&features_};
 
   auto add_machine = [&](const std::string& name, VDuration raw,
                          VDuration unmasked) {
@@ -179,11 +187,15 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   }
 
   // O1a: while the blocker crowdsources, build rule-independent indexes.
+  // Token stores come first: tokenizing/interning both tables inside the
+  // mask window makes every later probe and feature computation run on
+  // integer ids.
   if (config_.enable_masking && config_.mask_index_building) {
-    VDuration dur = builder.Ensure(IndexBuilder::GenericNeeds(features_),
-                                   &catalog);
+    VDuration dur = builder.EnsureTokenStores(*b_, features_, &catalog);
+    dur += builder.Ensure(IndexBuilder::GenericNeeds(features_), &catalog);
     VDuration unmasked = bank.Run(dur);
     add_machine("index_build(generic,masked)", dur, unmasked);
+    features_.BindTokenStores(catalog.store(a_), catalog.store(b_));
   }
 
   // --- (4) get_blocking_rules ------------------------------------------------
@@ -301,9 +313,10 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   // Any index the selected sequence still needs is built now, unmasked.
   {
     CnfRule q = ToCnf(SimplifySequence(selected.sequence));
-    VDuration dur =
-        builder.Ensure(IndexBuilder::NeedsOfCnf(q, features_), &catalog);
+    VDuration dur = builder.EnsureTokenStores(*b_, features_, &catalog);
+    dur += builder.Ensure(IndexBuilder::NeedsOfCnf(q, features_), &catalog);
     if (dur.seconds > 0.0) add_machine("index_build(unmasked)", dur, dur);
+    features_.BindTokenStores(catalog.store(a_), catalog.store(b_));
   }
   ApplyMethod preferred = SelectApplyMethod(*a_, *b_, selected.sequence,
                                             features_, catalog, *cluster_);

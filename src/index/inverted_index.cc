@@ -4,27 +4,22 @@ namespace falcon {
 
 const std::vector<Posting> InvertedIndex::kEmpty;
 
-void InvertedIndex::AddPrefix(RowId row,
-                              const std::vector<std::string>& prefix,
+void InvertedIndex::AddPrefix(RowId row, std::span<const TokenId> prefix,
                               uint32_t set_size) {
   for (uint32_t i = 0; i < prefix.size(); ++i) {
-    postings_[prefix[i]].push_back(Posting{row, i, set_size});
+    TokenId id = prefix[i];
+    if (id >= postings_.size()) postings_.resize(id + 1);
+    if (postings_[id].empty()) ++num_tokens_;
+    postings_[id].push_back(Posting{row, i, set_size});
     ++num_postings_;
   }
 }
 
-const std::vector<Posting>& InvertedIndex::Probe(
-    const std::string& token) const {
-  auto it = postings_.find(token);
-  return it == postings_.end() ? kEmpty : it->second;
-}
-
 size_t InvertedIndex::MemoryUsage() const {
-  size_t bytes = missing_.capacity() * sizeof(RowId);
-  for (const auto& [token, list] : postings_) {
-    bytes += sizeof(std::string) + list.capacity() * sizeof(Posting) +
-             sizeof(void*) * 2;
-    if (token.capacity() > sizeof(std::string)) bytes += token.capacity();
+  size_t bytes = missing_.capacity() * sizeof(RowId) +
+                 postings_.capacity() * sizeof(std::vector<Posting>);
+  for (const auto& list : postings_) {
+    bytes += list.capacity() * sizeof(Posting);
   }
   return bytes;
 }

@@ -5,15 +5,18 @@
 // `prefix_len` tokens are indexed with their positions (Section 7.5, third
 // MapReduce job). Postings carry (row, position, set size) so that probes can
 // apply the position filter without a second lookup.
+//
+// Postings are keyed by TokenId: a flat vector indexed by id replaces the
+// string-keyed hash map, so a probe is one bounds check + one array read.
 #ifndef FALCON_INDEX_INVERTED_INDEX_H_
 #define FALCON_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
-#include <string>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "table/table.h"
+#include "text/token_dictionary.h"
 
 namespace falcon {
 
@@ -27,28 +30,32 @@ struct Posting {
 /// Inverted index over the prefix tokens of table A's token sets.
 class InvertedIndex {
  public:
-  /// Adds the prefix of one row: `prefix` holds the first tokens of the
+  /// Adds the prefix of one row: `prefix` holds the first token ids of the
   /// globally reordered token set, `set_size` the full set size.
-  void AddPrefix(RowId row, const std::vector<std::string>& prefix,
+  void AddPrefix(RowId row, std::span<const TokenId> prefix,
                  uint32_t set_size);
 
   /// Marks `row` as having a missing value for the indexed attribute.
   void AddMissing(RowId row) { missing_.push_back(row); }
 
   /// Postings for `token` (empty vector if absent).
-  const std::vector<Posting>& Probe(const std::string& token) const;
+  const std::vector<Posting>& Probe(TokenId token) const {
+    return token < postings_.size() ? postings_[token] : kEmpty;
+  }
 
   const std::vector<RowId>& missing_rows() const { return missing_; }
 
-  size_t num_tokens() const { return postings_.size(); }
+  /// Distinct tokens with at least one posting.
+  size_t num_tokens() const { return num_tokens_; }
   size_t num_postings() const { return num_postings_; }
 
   /// Approximate heap footprint in bytes.
   size_t MemoryUsage() const;
 
  private:
-  std::unordered_map<std::string, std::vector<Posting>> postings_;
+  std::vector<std::vector<Posting>> postings_;  ///< indexed by TokenId
   std::vector<RowId> missing_;
+  size_t num_tokens_ = 0;
   size_t num_postings_ = 0;
   static const std::vector<Posting> kEmpty;
 };

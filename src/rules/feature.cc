@@ -143,6 +143,34 @@ FeatureSet FeatureSet::Generate(const Table& a, const Table& b,
   return fs;
 }
 
+namespace {
+
+/// The bound store's view for (t, col, tok), or nullptr if the store is
+/// absent, bound to a different table, or lacks that view.
+const TokenSetView* ViewFor(const TokenStore* store, const Table& t, int col,
+                            Tokenization tok) {
+  if (store == nullptr || store->table() != &t) return nullptr;
+  return store->view(col, tok);
+}
+
+/// Set similarity over two sorted-unique sequences; dispatches on SimFunction
+/// for both the id-span and string-vector representations.
+template <typename Set>
+double SetSim(SimFunction fn, const Set& x, const Set& y) {
+  switch (fn) {
+    case SimFunction::kJaccard:
+      return JaccardSim(x, y);
+    case SimFunction::kDice:
+      return DiceSim(x, y);
+    case SimFunction::kOverlap:
+      return OverlapSim(x, y);
+    default:
+      return CosineSim(x, y);
+  }
+}
+
+}  // namespace
+
 double FeatureSet::Compute(int id, const Table& a, RowId a_row,
                            const Table& b, RowId b_row) const {
   const Feature& f = features_[id];
@@ -157,17 +185,20 @@ double FeatureSet::Compute(int id, const Table& a, RowId a_row,
     case SimFunction::kLevenshtein:
       return LevenshteinSim(va, vb);
     case SimFunction::kJaccard:
-      return JaccardSim(ToTokenSet(Tokenize(va, f.tok)),
-                        ToTokenSet(Tokenize(vb, f.tok)));
     case SimFunction::kDice:
-      return DiceSim(ToTokenSet(Tokenize(va, f.tok)),
-                     ToTokenSet(Tokenize(vb, f.tok)));
     case SimFunction::kOverlap:
-      return OverlapSim(ToTokenSet(Tokenize(va, f.tok)),
-                        ToTokenSet(Tokenize(vb, f.tok)));
-    case SimFunction::kCosine:
-      return CosineSim(ToTokenSet(Tokenize(va, f.tok)),
-                       ToTokenSet(Tokenize(vb, f.tok)));
+    case SimFunction::kCosine: {
+      // Dictionary-encoded fast path: both sides' interned sets share one
+      // dictionary, so set similarity over id spans is byte-identical to the
+      // string computation (it depends only on intersection and set sizes).
+      const TokenSetView* view_a = ViewFor(store_a_, a, f.col_a, f.tok);
+      const TokenSetView* view_b = ViewFor(store_b_, b, f.col_b, f.tok);
+      if (view_a != nullptr && view_b != nullptr) {
+        return SetSim(f.fn, view_a->row(a_row), view_b->row(b_row));
+      }
+      return SetSim(f.fn, ToTokenSet(Tokenize(va, f.tok)),
+                    ToTokenSet(Tokenize(vb, f.tok)));
+    }
     case SimFunction::kAbsDiff: {
       double na = a.GetNumeric(a_row, f.col_a);
       double nb = b.GetNumeric(b_row, f.col_b);

@@ -19,6 +19,7 @@
 #include "learn/decision_tree.h"
 #include "table/profile.h"
 #include "table/table.h"
+#include "table/token_store.h"
 #include "text/similarity.h"
 #include "text/tokenize.h"
 
@@ -74,11 +75,26 @@ class FeatureSet {
   FeatureVec ComputeVector(const std::vector<int>& ids, const Table& a,
                            RowId a_row, const Table& b, RowId b_row) const;
 
+  /// Binds the token stores holding each table's interned token sets.
+  /// While bound, set-based features compute over integer-id spans instead
+  /// of retokenizing strings — byte-identical results, no allocation. The
+  /// stores must outlive the binding; callers owning a shorter-lived catalog
+  /// must unbind (pass nullptr, nullptr) before destroying it. Compute falls
+  /// back to the string path for any (table, attribute, tokenization) the
+  /// bound stores do not cover.
+  void BindTokenStores(const TokenStore* a_store, const TokenStore* b_store) {
+    store_a_ = a_store;
+    store_b_ = b_store;
+  }
+
  private:
   std::vector<Feature> features_;
   std::vector<int> blocking_ids_;
   std::vector<int> all_ids_;
   std::vector<std::unique_ptr<IdfDict>> idfs_;
+  /// Optional dictionary-encoded fast path (not owned); see BindTokenStores.
+  const TokenStore* store_a_ = nullptr;
+  const TokenStore* store_b_ = nullptr;
 };
 
 }  // namespace falcon

@@ -1,0 +1,66 @@
+#include "table/token_store.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace falcon {
+
+const TokenSetView* TokenStore::view(int col, Tokenization tok) const {
+  auto it = views_.find({col, static_cast<int>(tok)});
+  return it == views_.end() ? nullptr : &it->second;
+}
+
+const TokenSetView& TokenStore::EnsureView(int col, Tokenization tok) {
+  if (const TokenSetView* v = view(col, tok)) return *v;
+  StartView(col, tok);
+  for (RowId r = 0; r < table_->num_rows(); ++r) AppendRow(r);
+  return FinishView();
+}
+
+bool TokenStore::StartView(int col, Tokenization tok) {
+  assert(pending_ == nullptr && "previous view build not finished");
+  auto key = std::make_pair(col, static_cast<int>(tok));
+  if (views_.count(key) != 0) return false;
+  pending_ = &views_[key];
+  pending_->offsets_.reserve(table_->num_rows() + 1);
+  pending_->offsets_.push_back(0);
+  pending_col_ = col;
+  pending_tok_ = tok;
+  return true;
+}
+
+void TokenStore::AppendRow(RowId row) {
+  assert(pending_ != nullptr);
+  assert(pending_->offsets_.size() == row + 1 && "rows must arrive in order");
+  TokenSetView& v = *pending_;
+  if (!table_->IsMissing(row, pending_col_)) {
+    for (const std::string& t :
+         Tokenize(table_->Get(row, pending_col_), pending_tok_)) {
+      v.ids_.push_back(dict_->Intern(t));
+    }
+    auto begin = v.ids_.begin() + v.offsets_.back();
+    std::sort(begin, v.ids_.end());
+    v.ids_.erase(std::unique(begin, v.ids_.end()), v.ids_.end());
+  }
+  v.offsets_.push_back(static_cast<uint32_t>(v.ids_.size()));
+}
+
+const TokenSetView& TokenStore::FinishView() {
+  assert(pending_ != nullptr);
+  assert(pending_->offsets_.size() == table_->num_rows() + 1);
+  TokenSetView* done = pending_;
+  done->ids_.shrink_to_fit();
+  pending_ = nullptr;
+  pending_col_ = -1;
+  return *done;
+}
+
+size_t TokenStore::MemoryUsage() const {
+  size_t bytes = 0;
+  for (const auto& [key, v] : views_) {
+    bytes += v.MemoryUsage() + sizeof(void*) * 4;  // map node overhead
+  }
+  return bytes;
+}
+
+}  // namespace falcon

@@ -1,0 +1,98 @@
+// Per-table token-id arena.
+//
+// Every (row, attribute, tokenization) a blocking rule or set-based feature
+// touches is tokenized exactly once, interned through the shared
+// TokenDictionary, and stored as a sorted-unique TokenId array in CSR layout
+// (one flat id vector plus per-row offsets). Probing and feature computation
+// then read spans out of the arena instead of re-tokenizing strings — the
+// per-thread token caches the old probe path needed are gone entirely.
+//
+// Stores are built by IndexBuilder during index construction, i.e. inside
+// the O1 masking window (src/core/pipeline.cc), via serial MapReduce jobs so
+// the build cost is charged to virtual time like any other index build.
+// After FinishView() a view is immutable; concurrent readers need no locks.
+#ifndef FALCON_TABLE_TOKEN_STORE_H_
+#define FALCON_TABLE_TOKEN_STORE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "table/table.h"
+#include "text/token_dictionary.h"
+#include "text/tokenize.h"
+
+namespace falcon {
+
+/// Sorted-unique TokenId sets for every row of one (column, tokenization).
+class TokenSetView {
+ public:
+  /// The row's token set, sorted ascending by TokenId, duplicates removed.
+  /// Empty for missing values and values that tokenize to nothing.
+  std::span<const TokenId> row(RowId r) const {
+    return std::span<const TokenId>(ids_.data() + offsets_[r],
+                                    offsets_[r + 1] - offsets_[r]);
+  }
+
+  size_t num_rows() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  size_t num_ids() const { return ids_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const {
+    return ids_.capacity() * sizeof(TokenId) +
+           offsets_.capacity() * sizeof(uint32_t);
+  }
+
+ private:
+  friend class TokenStore;
+  std::vector<TokenId> ids_;
+  std::vector<uint32_t> offsets_;  ///< num_rows + 1 once finished
+};
+
+/// All token-set views of one table, sharing one TokenDictionary.
+class TokenStore {
+ public:
+  /// Binds to `table` and `dict`; both must outlive the store.
+  TokenStore(const Table* table, TokenDictionary* dict)
+      : table_(table), dict_(dict) {}
+
+  /// The view for (col, tok), or nullptr if not built yet.
+  const TokenSetView* view(int col, Tokenization tok) const;
+
+  /// Builds the view if absent (one tokenize+intern pass over the table) and
+  /// returns it. Use StartView/AppendRow/FinishView instead when the build
+  /// cost must be metered per row (MapReduce accounting).
+  const TokenSetView& EnsureView(int col, Tokenization tok);
+
+  /// Incremental build: StartView, then AppendRow for rows 0..n-1 in order,
+  /// then FinishView. Returns false (and arms nothing) if the view exists.
+  bool StartView(int col, Tokenization tok);
+  void AppendRow(RowId row);
+  const TokenSetView& FinishView();
+
+  const Table* table() const { return table_; }
+  const TokenDictionary* dict() const { return dict_; }
+
+  /// Approximate heap footprint of all views in bytes (the shared dictionary
+  /// is accounted separately by its owner).
+  size_t MemoryUsage() const;
+
+ private:
+  const Table* table_;
+  TokenDictionary* dict_;
+  /// (col, tok) -> view. std::map: node addresses stay stable while a
+  /// pending build holds a pointer into it.
+  std::map<std::pair<int, int>, TokenSetView> views_;
+  TokenSetView* pending_ = nullptr;
+  int pending_col_ = -1;
+  Tokenization pending_tok_ = Tokenization::kWord;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_TABLE_TOKEN_STORE_H_

@@ -110,6 +110,52 @@ double CosineSim(const std::vector<std::string>& x,
          std::sqrt(static_cast<double>(x.size()) * y.size());
 }
 
+size_t SortedIntersectionSize(std::span<const TokenId> a,
+                              std::span<const TokenId> b) {
+  size_t i = 0;
+  size_t j = 0;
+  size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++count;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return count;
+}
+
+double JaccardSim(std::span<const TokenId> x, std::span<const TokenId> y) {
+  if (x.empty() && y.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  size_t uni = x.size() + y.size() - inter;
+  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+}
+
+double DiceSim(std::span<const TokenId> x, std::span<const TokenId> y) {
+  if (x.empty() && y.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  size_t total = x.size() + y.size();
+  return total == 0 ? 0.0 : 2.0 * inter / total;
+}
+
+double OverlapSim(std::span<const TokenId> x, std::span<const TokenId> y) {
+  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  return static_cast<double>(inter) / std::min(x.size(), y.size());
+}
+
+double CosineSim(std::span<const TokenId> x, std::span<const TokenId> y) {
+  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
+  size_t inter = SortedIntersectionSize(x, y);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(x.size()) * y.size());
+}
+
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {
   if (a.size() > b.size()) std::swap(a, b);
   const size_t n = a.size();

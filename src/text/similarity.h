@@ -13,10 +13,13 @@
 #ifndef FALCON_TEXT_SIMILARITY_H_
 #define FALCON_TEXT_SIMILARITY_H_
 
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "text/token_dictionary.h"
 
 namespace falcon {
 
@@ -64,6 +67,23 @@ double OverlapSim(const std::vector<std::string>& x,
                   const std::vector<std::string>& y);
 double CosineSim(const std::vector<std::string>& x,
                  const std::vector<std::string>& y);
+
+// --- set-based similarities over sorted unique TokenId spans ----------------
+//
+// The dictionary-encoded hot path: identical formulas over interned ids.
+// Because the set functions depend only on |x ∩ y|, |x| and |y|, results are
+// bit-identical to the string overloads whenever both sides were interned
+// through one TokenDictionary (any total order on distinct elements yields
+// the same intersection size).
+
+/// Integer merge-intersection of two sorted unique id spans.
+size_t SortedIntersectionSize(std::span<const TokenId> a,
+                              std::span<const TokenId> b);
+
+double JaccardSim(std::span<const TokenId> x, std::span<const TokenId> y);
+double DiceSim(std::span<const TokenId> x, std::span<const TokenId> y);
+double OverlapSim(std::span<const TokenId> x, std::span<const TokenId> y);
+double CosineSim(std::span<const TokenId> x, std::span<const TokenId> y);
 
 // --- string similarities ---------------------------------------------------
 

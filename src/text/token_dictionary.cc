@@ -1,0 +1,36 @@
+#include "text/token_dictionary.h"
+
+namespace falcon {
+
+TokenId TokenDictionary::Intern(std::string_view token) {
+  auto it = map_.find(token);
+  if (it != map_.end()) {
+    ++freq_[it->second];
+    return it->second;
+  }
+  TokenId id = static_cast<TokenId>(texts_.size());
+  texts_.emplace_back(token);
+  freq_.push_back(1);
+  map_.emplace(std::string_view(texts_.back()), id);
+  return id;
+}
+
+bool TokenDictionary::Find(std::string_view token, TokenId* id) const {
+  auto it = map_.find(token);
+  if (it == map_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+size_t TokenDictionary::MemoryUsage() const {
+  size_t bytes = freq_.capacity() * sizeof(uint64_t) +
+                 map_.size() * (sizeof(std::string_view) + sizeof(TokenId) +
+                                sizeof(void*) * 2);
+  for (const auto& text : texts_) {
+    bytes += sizeof(std::string);
+    if (text.capacity() > sizeof(std::string)) bytes += text.capacity();
+  }
+  return bytes;
+}
+
+}  // namespace falcon

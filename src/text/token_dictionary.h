@@ -1,0 +1,72 @@
+// Global token interning.
+//
+// The blocking/similarity hot path runs over integer token ids instead of
+// strings: every distinct token seen by any tokenization of any table is
+// interned once into a dense uint32_t TokenId. Sorted-unique id arrays then
+// make set similarity an integer merge (text/similarity.h span overloads) and
+// let the inverted index key postings by id (index/inverted_index.h). The
+// dictionary also tracks per-token occurrence frequencies; the global token
+// ordering (index/token_ordering.h) stores its ranks as a vector indexed by
+// TokenId, subsuming the string-keyed rank map it used before.
+//
+// Set similarities depend only on |x ∩ y|, |x| and |y|, so any shared total
+// order on ids reproduces the string-path results bit for bit — the
+// determinism contract the property tests pin down.
+#ifndef FALCON_TEXT_TOKEN_DICTIONARY_H_
+#define FALCON_TEXT_TOKEN_DICTIONARY_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace falcon {
+
+/// Dense id of an interned token; ids are assigned in first-seen order.
+using TokenId = uint32_t;
+
+/// String <-> TokenId interning with per-token occurrence counts.
+///
+/// Not copyable (the lookup map keys view into the owned texts); movable.
+/// Thread safety: Intern() mutates and must be externally serialized (index
+/// construction runs it in serial MapReduce jobs); Find()/Text()/Frequency()
+/// are safe to call concurrently once interning is done.
+class TokenDictionary {
+ public:
+  TokenDictionary() = default;
+  TokenDictionary(const TokenDictionary&) = delete;
+  TokenDictionary& operator=(const TokenDictionary&) = delete;
+  TokenDictionary(TokenDictionary&&) = default;
+  TokenDictionary& operator=(TokenDictionary&&) = default;
+
+  /// Returns the id of `token`, interning it on first sight; bumps the
+  /// token's occurrence count either way.
+  TokenId Intern(std::string_view token);
+
+  /// Looks `token` up without interning. Returns true and sets *id if known.
+  bool Find(std::string_view token, TokenId* id) const;
+
+  /// Text of an interned token; the view stays valid for the dictionary's
+  /// lifetime (texts are deque-backed, never reallocated).
+  std::string_view Text(TokenId id) const { return texts_[id]; }
+
+  /// Total occurrences passed to Intern() for this token.
+  uint64_t Frequency(TokenId id) const { return freq_[id]; }
+
+  size_t size() const { return texts_.size(); }
+
+  /// Approximate heap footprint in bytes.
+  size_t MemoryUsage() const;
+
+ private:
+  std::deque<std::string> texts_;  ///< id -> text (stable addresses)
+  std::vector<uint64_t> freq_;    ///< id -> occurrence count
+  std::unordered_map<std::string_view, TokenId> map_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_TEXT_TOKEN_DICTIONARY_H_

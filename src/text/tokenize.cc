@@ -17,24 +17,37 @@ const char* TokenizationName(Tokenization t) {
 
 std::vector<std::string> WordTokens(std::string_view s) {
   std::vector<std::string> out;
-  std::string cur;
-  for (char raw : s) {
-    unsigned char c = static_cast<unsigned char>(raw);
-    if (std::isalnum(c)) {
-      cur.push_back(static_cast<char>(std::tolower(c)));
-    } else if (!cur.empty()) {
-      out.push_back(std::move(cur));
-      cur.clear();
+  out.reserve(s.size() / 6 + 1);  // ~avg English word + separator
+  size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() &&
+           !std::isalnum(static_cast<unsigned char>(s[i]))) {
+      ++i;
     }
+    size_t j = i;
+    while (j < s.size() && std::isalnum(static_cast<unsigned char>(s[j]))) {
+      ++j;
+    }
+    if (j > i) {
+      // Build the token in place: one string allocation, no temporary.
+      std::string& w = out.emplace_back();
+      w.reserve(j - i);
+      for (size_t k = i; k < j; ++k) {
+        w.push_back(
+            static_cast<char>(std::tolower(static_cast<unsigned char>(s[k]))));
+      }
+    }
+    i = j;
   }
-  if (!cur.empty()) out.push_back(std::move(cur));
   return out;
 }
 
 std::vector<std::string> QGramTokens(std::string_view s, int q) {
   std::vector<std::string> out;
   if (q <= 0 || s.empty()) return out;
-  std::string padded(static_cast<size_t>(q - 1), '#');
+  std::string padded;
+  padded.reserve(s.size() + 2 * static_cast<size_t>(q - 1));
+  padded.append(static_cast<size_t>(q - 1), '#');
   for (char raw : s) {
     padded.push_back(
         static_cast<char>(std::tolower(static_cast<unsigned char>(raw))));
@@ -43,7 +56,9 @@ std::vector<std::string> QGramTokens(std::string_view s, int q) {
   if (padded.size() < static_cast<size_t>(q)) return out;
   out.reserve(padded.size() - q + 1);
   for (size_t i = 0; i + q <= padded.size(); ++i) {
-    out.push_back(padded.substr(i, q));
+    // Construct from the window directly (substr would make the same string
+    // but via an extra temporary move on some ABIs).
+    out.emplace_back(padded.data() + i, static_cast<size_t>(q));
   }
   return out;
 }

@@ -300,5 +300,196 @@ TEST(ApplyEquivalenceWideRules, AllOperatorsMatchBruteForce) {
   }
 }
 
+// --- Dictionary-encoded path equivalence ---------------------------------------
+//
+// The token-store probe path must be byte-identical to the string path: same
+// candidate rows, in the same order, for every predicate and every B row.
+// Two catalogs are built over the same tables — one with B-side store views
+// (store probing) and one without (tokenize + dictionary-lookup fallback) —
+// and their ProbePredicate outputs compared exactly.
+TEST(DictEncodedEquivalence, StoreAndFallbackProbesAreByteIdentical) {
+  WorkloadOptions opt;
+  opt.size_a = 220;
+  opt.size_b = 150;
+  opt.seed = 9;
+  opt.missing_rate = 0.06;
+  auto data = GenerateProducts(opt);
+  auto fs = FeatureSet::Generate(data.a, data.b);
+
+  struct Case {
+    SimFunction fn;
+    const char* attr;
+    Tokenization tok;
+    PredOp op;
+    double t;
+  };
+  const Case cases[] = {
+      {SimFunction::kJaccard, "(title,title)", Tokenization::kWord,
+       PredOp::kGt, 0.4},
+      {SimFunction::kDice, "(title,title)", Tokenization::kWord, PredOp::kGe,
+       0.5},
+      {SimFunction::kCosine, "(title,title)", Tokenization::kWord,
+       PredOp::kGe, 0.45},
+      {SimFunction::kOverlap, "(descr,descr)", Tokenization::kWord,
+       PredOp::kGt, 0.6},
+      {SimFunction::kJaccard, "(brand,brand)", Tokenization::kQgram3,
+       PredOp::kGe, 0.6},
+      {SimFunction::kLevenshtein, "(brand,brand)", Tokenization::kQgram3,
+       PredOp::kGe, 0.7},
+  };
+
+  auto find = [&](const Case& c) {
+    for (const auto& f : fs.features()) {
+      if (f.fn == c.fn && f.name.find(c.attr) != std::string::npos &&
+          (!IsSetBased(c.fn) || f.tok == c.tok)) {
+        return f.id;
+      }
+    }
+    return -1;
+  };
+
+  Cluster cluster{ClusterConfig{}};
+  // with_store: full build including B-side views. fallback: indexes only —
+  // its catalog still interns A's tokens (BuildOrdering builds the A store),
+  // but has no view for table B, forcing the tokenize+Find fallback.
+  IndexCatalog with_store;
+  IndexCatalog fallback;
+  IndexBuilder builder(&data.a, &cluster);
+  builder.EnsureTokenStores(data.b, fs, &with_store);
+  ASSERT_NE(with_store.store(&data.b), nullptr);
+  for (const Case& c : cases) {
+    int f = find(c);
+    ASSERT_GE(f, 0) << c.attr;
+    Predicate pred{f, f, c.op, c.t};
+    IndexNeed need = ClassifyPredicate(pred, fs);
+    builder.Ensure({need}, &with_store);
+    builder.Ensure({need}, &fallback);
+  }
+  ASSERT_EQ(fallback.store(&data.b), nullptr);
+
+  ClauseProber store_prober(&with_store, &fs, data.a.num_rows());
+  ClauseProber fb_prober(&fallback, &fs, data.a.num_rows());
+  for (const Case& c : cases) {
+    Predicate pred{find(c), find(c), c.op, c.t};
+    for (RowId b = 0; b < data.b.num_rows(); ++b) {
+      CandidateSet via_store = store_prober.ProbePredicate(pred, data.b, b);
+      CandidateSet via_fb = fb_prober.ProbePredicate(pred, data.b, b);
+      ASSERT_EQ(via_store.all, via_fb.all)
+          << c.attr << " b=" << b << " t=" << c.t;
+      ASSERT_EQ(via_store.rows, via_fb.rows)
+          << c.attr << " b=" << b << " t=" << c.t;
+    }
+  }
+}
+
+// Set-based features computed through bound token stores must equal the
+// string-path values exactly — including NaN for missing values.
+TEST(DictEncodedEquivalence, BoundFeatureComputeMatchesStringPath) {
+  WorkloadOptions opt;
+  opt.size_a = 120;
+  opt.size_b = 90;
+  opt.seed = 21;
+  opt.missing_rate = 0.08;
+  auto data = GenerateProducts(opt);
+  auto fs = FeatureSet::Generate(data.a, data.b);
+
+  // Unbound (string path) values first.
+  std::vector<std::vector<double>> expect(data.a.num_rows());
+  std::vector<int> ids = fs.blocking_ids();
+  for (RowId a = 0; a < data.a.num_rows(); ++a) {
+    for (RowId b = 0; b < data.b.num_rows(); ++b) {
+      for (int id : ids) {
+        expect[a].push_back(fs.Compute(id, data.a, a, data.b, b));
+      }
+    }
+  }
+
+  Cluster cluster{ClusterConfig{}};
+  IndexCatalog catalog;
+  IndexBuilder builder(&data.a, &cluster);
+  builder.EnsureTokenStores(data.b, fs, &catalog);
+  fs.BindTokenStores(catalog.store(&data.a), catalog.store(&data.b));
+
+  size_t nan_count = 0;
+  for (RowId a = 0; a < data.a.num_rows(); ++a) {
+    size_t i = 0;
+    for (RowId b = 0; b < data.b.num_rows(); ++b) {
+      for (int id : ids) {
+        double want = expect[a][i++];
+        double got = fs.Compute(id, data.a, a, data.b, b);
+        if (std::isnan(want)) {
+          ++nan_count;
+          ASSERT_TRUE(std::isnan(got))
+              << fs.feature(id).name << " a=" << a << " b=" << b;
+        } else {
+          ASSERT_EQ(want, got)  // exact, not approximate
+              << fs.feature(id).name << " a=" << a << " b=" << b;
+        }
+      }
+    }
+  }
+  EXPECT_GT(nan_count, 0u) << "fixture should exercise missing values";
+  fs.BindTokenStores(nullptr, nullptr);
+}
+
+// Concurrent probing against one shared read-only store: every thread reads
+// the same dictionary/store/bundles with zero locking. Run under
+// FALCON_SANITIZE=thread this is the data-race regression test for the
+// dictionary-encoded path.
+TEST(DictEncodedEquivalence, ParallelApplyMatchesSerialWithStores) {
+  WorkloadOptions opt;
+  opt.size_a = 150;
+  opt.size_b = 200;
+  opt.seed = 33;
+  opt.missing_rate = 0.05;
+  auto data = GenerateProducts(opt);
+  auto fs = FeatureSet::Generate(data.a, data.b);
+
+  auto find = [&](SimFunction fn, const char* attr, Tokenization tok) {
+    for (const auto& f : fs.features()) {
+      if (f.fn == fn && f.name.find(attr) != std::string::npos &&
+          (!IsSetBased(fn) || f.tok == tok)) {
+        return f.id;
+      }
+    }
+    return -1;
+  };
+  int jac = find(SimFunction::kJaccard, "(title,title)", Tokenization::kWord);
+  int dice3 =
+      find(SimFunction::kDice, "(brand,brand)", Tokenization::kQgram3);
+  ASSERT_GE(jac, 0);
+  ASSERT_GE(dice3, 0);
+  RuleSequence seq;
+  Rule r;
+  r.predicates = {{jac, jac, PredOp::kLt, 0.45},
+                  {dice3, dice3, PredOp::kLt, 0.6}};
+  r.selectivity = 0.2;
+  seq.rules.push_back(r);
+  seq.selectivity = 0.2;
+
+  auto run = [&](int threads) {
+    ClusterConfig cfg;
+    cfg.local_threads = threads;
+    Cluster cluster{cfg};
+    IndexCatalog catalog;
+    IndexBuilder builder(&data.a, &cluster);
+    builder.EnsureTokenStores(data.b, fs, &catalog);
+    builder.Ensure(IndexBuilder::NeedsOfCnf(ToCnf(seq), fs), &catalog);
+    fs.BindTokenStores(catalog.store(&data.a), catalog.store(&data.b));
+    auto res = ApplyBlockingRules(data.a, data.b, seq, fs, catalog, &cluster,
+                                  ApplyMethod::kApplyPredicate,
+                                  ApplyOptions{});
+    fs.BindTokenStores(nullptr, nullptr);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    auto pairs = res->pairs;
+    std::sort(pairs.begin(), pairs.end());
+    return pairs;
+  };
+  auto serial = run(1);
+  auto wide = run(4);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, wide);
+}
+
 }  // namespace
 }  // namespace falcon

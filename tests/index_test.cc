@@ -50,6 +50,61 @@ TEST(TokenOrderingTest, SortPutsUnknownFirst) {
   EXPECT_EQ(tokens[2], "y");
 }
 
+// The id-based ordering must reproduce the string ordering exactly: rank
+// ascending by frequency, frequency ties broken by token text.
+TEST(TokenOrderingTest, FromIdFrequenciesMatchesStringOrdering) {
+  TokenDictionary dict;
+  // Interning order scrambled relative to both frequency and lex order.
+  TokenId common = dict.Intern("common");
+  TokenId b = dict.Intern("b_tie");
+  TokenId rare = dict.Intern("rare");
+  TokenId a = dict.Intern("a_tie");
+  std::vector<uint64_t> freq(dict.size(), 0);
+  freq[common] = 100;
+  freq[rare] = 1;
+  freq[a] = 5;
+  freq[b] = 5;
+  auto ord = TokenOrdering::FromIdFrequencies(&dict, freq);
+  EXPECT_TRUE(ord.has_ids());
+  EXPECT_EQ(ord.size(), 4u);
+
+  auto ord_str = TokenOrdering::FromFrequencies(
+      {{"common", 100}, {"rare", 1}, {"a_tie", 5}, {"b_tie", 5}});
+  for (TokenId id : {common, b, rare, a}) {
+    uint32_t via_id, via_str;
+    ASSERT_TRUE(ord.RankId(id, &via_id));
+    ASSERT_TRUE(ord_str.Rank(std::string(dict.Text(id)), &via_str));
+    EXPECT_EQ(via_id, via_str) << dict.Text(id);
+    // The string-keyed Rank() on an id-based ordering dispatches through the
+    // dictionary and must agree.
+    ASSERT_TRUE(ord.Rank(std::string(dict.Text(id)), &via_str));
+    EXPECT_EQ(via_id, via_str) << dict.Text(id);
+  }
+  // Zero-frequency ids (interned but absent from the indexed column) and
+  // out-of-range ids are unranked.
+  TokenId ghost = dict.Intern("ghost");
+  std::vector<uint64_t> freq2 = freq;
+  freq2.push_back(0);
+  auto ord2 = TokenOrdering::FromIdFrequencies(&dict, freq2);
+  uint32_t dummy;
+  EXPECT_FALSE(ord2.RankId(ghost, &dummy));
+  EXPECT_FALSE(ord2.RankId(999, &dummy));
+}
+
+TEST(TokenOrderingTest, SortIdsMatchesStringSort) {
+  TokenDictionary dict;
+  TokenId x = dict.Intern("x");
+  TokenId y = dict.Intern("y");
+  TokenId zz = dict.Intern("zz_unseen");
+  std::vector<uint64_t> freq(dict.size(), 0);
+  freq[x] = 1;
+  freq[y] = 2;  // zz_unseen stays frequency 0 -> unranked
+  auto ord = TokenOrdering::FromIdFrequencies(&dict, freq);
+  std::vector<TokenId> ids = {y, zz, x};
+  ord.SortIds(&ids);
+  EXPECT_EQ(ids, (std::vector<TokenId>{zz, x, y}));
+}
+
 // --- HashIndex ------------------------------------------------------------------
 
 Table YearTable() {
@@ -187,14 +242,18 @@ TEST(LengthIndexTest, ProbeRangeClamps) {
 
 TEST(InvertedIndexTest, PostingsCarryPositionAndSize) {
   InvertedIndex idx;
-  idx.AddPrefix(7, {"rare", "mid"}, 10);
+  const TokenId rare = 4, mid = 2, absent = 7;
+  const std::vector<TokenId> prefix = {rare, mid};
+  idx.AddPrefix(7, prefix, 10);
   idx.AddMissing(9);
-  const auto& p = idx.Probe("mid");
+  const auto& p = idx.Probe(mid);
   ASSERT_EQ(p.size(), 1u);
   EXPECT_EQ(p[0].row, 7u);
   EXPECT_EQ(p[0].position, 1u);
   EXPECT_EQ(p[0].set_size, 10u);
-  EXPECT_TRUE(idx.Probe("absent").empty());
+  EXPECT_TRUE(idx.Probe(absent).empty());
+  // Probing past the posting table's end is an empty list too.
+  EXPECT_TRUE(idx.Probe(1000).empty());
   EXPECT_EQ(idx.missing_rows(), (std::vector<RowId>{9}));
   EXPECT_EQ(idx.num_tokens(), 2u);
   EXPECT_EQ(idx.num_postings(), 2u);

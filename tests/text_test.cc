@@ -1,6 +1,11 @@
+#include <algorithm>
+#include <span>
+
 #include <gtest/gtest.h>
 
+#include "common/rng.h"
 #include "text/similarity.h"
+#include "text/token_dictionary.h"
 #include "text/tokenize.h"
 
 namespace falcon {
@@ -66,14 +71,14 @@ TEST(SimilarityTest, JaccardBasics) {
   EXPECT_DOUBLE_EQ(JaccardSim(Set({"a", "b"}), Set({"c"})), 0.0);
   EXPECT_DOUBLE_EQ(JaccardSim(Set({"a", "b", "c"}), Set({"b", "c", "d"})),
                    2.0 / 4.0);
-  EXPECT_DOUBLE_EQ(JaccardSim({}, {}), 1.0);
-  EXPECT_DOUBLE_EQ(JaccardSim({}, Set({"a"})), 0.0);
+  EXPECT_DOUBLE_EQ(JaccardSim(Set({}), Set({})), 1.0);
+  EXPECT_DOUBLE_EQ(JaccardSim(Set({}), Set({"a"})), 0.0);
 }
 
 TEST(SimilarityTest, DiceBasics) {
   EXPECT_DOUBLE_EQ(DiceSim(Set({"a", "b", "c"}), Set({"b", "c", "d"})),
                    2.0 * 2.0 / 6.0);
-  EXPECT_DOUBLE_EQ(DiceSim({}, {}), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSim(Set({}), Set({})), 1.0);
 }
 
 TEST(SimilarityTest, OverlapBasics) {
@@ -81,7 +86,7 @@ TEST(SimilarityTest, OverlapBasics) {
                    1.0);
   EXPECT_DOUBLE_EQ(OverlapSim(Set({"a", "x"}), Set({"a", "b", "c", "d"})),
                    0.5);
-  EXPECT_DOUBLE_EQ(OverlapSim({}, Set({"a"})), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapSim(Set({}), Set({"a"})), 0.0);
 }
 
 TEST(SimilarityTest, CosineBasics) {
@@ -114,8 +119,80 @@ TEST_P(SetSimProperty, SymmetricBoundedReflexive) {
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSetSims, SetSimProperty,
-                         ::testing::Values(&JaccardSim, &DiceSim, &OverlapSim,
-                                           &CosineSim));
+                         ::testing::Values(static_cast<SetSimFn>(&JaccardSim),
+                                           static_cast<SetSimFn>(&DiceSim),
+                                           static_cast<SetSimFn>(&OverlapSim),
+                                           static_cast<SetSimFn>(&CosineSim)));
+
+// --- TokenId-span overloads ------------------------------------------------------
+//
+// The id-path similarity must be bit-identical to the string path: a set
+// similarity depends only on (|x ∩ y|, |x|, |y|), and interning is a
+// bijection, so ANY consistent order on ids preserves all three. Randomized
+// sweep over set sizes 0..12 from a small vocabulary (forces overlaps),
+// EXPECT_EQ on exact doubles.
+TEST(SimilarityTest, IdSpanOverloadsMatchStringPathRandomized) {
+  const std::vector<std::string> vocab = {
+      "alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta",
+      "theta", "iota", "kappa", "lambda", "mu", "nu", "xi", "omicron"};
+  TokenDictionary dict;
+  // Intern in a scrambled order so TokenId order != lexicographic order —
+  // the equality below must hold regardless.
+  for (size_t i = 0; i < vocab.size(); ++i) {
+    dict.Intern(vocab[(i * 7 + 3) % vocab.size()]);
+  }
+
+  Rng rng(42);
+  auto random_set = [&](size_t max_size) {
+    std::vector<std::string> s;
+    size_t n = rng.NextBelow(max_size + 1);
+    for (size_t i = 0; i < n; ++i) {
+      s.push_back(vocab[rng.NextBelow(vocab.size())]);
+    }
+    return ToTokenSet(std::move(s));
+  };
+  auto to_ids = [&](const std::vector<std::string>& s) {
+    std::vector<TokenId> ids;
+    for (const auto& t : s) {
+      TokenId id;
+      EXPECT_TRUE(dict.Find(t, &id));
+      ids.push_back(id);
+    }
+    std::sort(ids.begin(), ids.end());
+    return ids;
+  };
+
+  for (int trial = 0; trial < 500; ++trial) {
+    auto xs = random_set(12);
+    auto ys = random_set(12);
+    std::vector<TokenId> xi = to_ids(xs);
+    std::vector<TokenId> yi = to_ids(ys);
+    std::span<const TokenId> x(xi);
+    std::span<const TokenId> y(yi);
+    EXPECT_EQ(SortedIntersectionSize(x, y), SortedIntersectionSize(xs, ys));
+    EXPECT_EQ(JaccardSim(x, y), JaccardSim(xs, ys));
+    EXPECT_EQ(DiceSim(x, y), DiceSim(xs, ys));
+    EXPECT_EQ(OverlapSim(x, y), OverlapSim(xs, ys));
+    EXPECT_EQ(CosineSim(x, y), CosineSim(xs, ys));
+  }
+}
+
+TEST(SimilarityTest, IdSpanEmptySetEdges) {
+  std::vector<TokenId> none;
+  std::vector<TokenId> one = {3};
+  std::span<const TokenId> e(none);
+  std::span<const TokenId> s(one);
+  // Both empty: similarity 1 across the family (matches the string path).
+  EXPECT_DOUBLE_EQ(JaccardSim(e, e), 1.0);
+  EXPECT_DOUBLE_EQ(DiceSim(e, e), 1.0);
+  EXPECT_DOUBLE_EQ(OverlapSim(e, e), 1.0);
+  EXPECT_DOUBLE_EQ(CosineSim(e, e), 1.0);
+  // Exactly one empty: 0.
+  EXPECT_DOUBLE_EQ(JaccardSim(e, s), 0.0);
+  EXPECT_DOUBLE_EQ(DiceSim(s, e), 0.0);
+  EXPECT_DOUBLE_EQ(OverlapSim(e, s), 0.0);
+  EXPECT_DOUBLE_EQ(CosineSim(s, e), 0.0);
+}
 
 // --- Edit-distance family -------------------------------------------------------
 

@@ -1,0 +1,142 @@
+// Unit tests for the token dictionary and per-table token store: interning
+// invariants, CSR view construction (monolithic and incremental), and the
+// sorted-unique / missing-value contracts the probe path depends on.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "table/schema.h"
+#include "table/table.h"
+#include "table/token_store.h"
+#include "text/token_dictionary.h"
+#include "text/tokenize.h"
+
+namespace falcon {
+namespace {
+
+// --- TokenDictionary -----------------------------------------------------------
+
+TEST(TokenDictionaryTest, InternAssignsDenseIdsAndCountsFrequency) {
+  TokenDictionary dict;
+  EXPECT_EQ(dict.size(), 0u);
+  TokenId a = dict.Intern("alpha");
+  TokenId b = dict.Intern("beta");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(dict.Intern("alpha"), a);  // stable on re-intern
+  EXPECT_EQ(dict.size(), 2u);
+  EXPECT_EQ(dict.Frequency(a), 2u);
+  EXPECT_EQ(dict.Frequency(b), 1u);
+  EXPECT_EQ(dict.Text(a), "alpha");
+  EXPECT_EQ(dict.Text(b), "beta");
+}
+
+TEST(TokenDictionaryTest, FindDoesNotIntern) {
+  TokenDictionary dict;
+  TokenId id;
+  EXPECT_FALSE(dict.Find("ghost", &id));
+  EXPECT_EQ(dict.size(), 0u);
+  TokenId g = dict.Intern("ghost");
+  ASSERT_TRUE(dict.Find("ghost", &id));
+  EXPECT_EQ(id, g);
+  EXPECT_EQ(dict.Frequency(g), 1u);  // Find must not bump the count
+}
+
+TEST(TokenDictionaryTest, TextPointersStableAcrossGrowth) {
+  TokenDictionary dict;
+  std::string_view first = dict.Text(dict.Intern("first"));
+  for (int i = 0; i < 5000; ++i) dict.Intern("tok" + std::to_string(i));
+  EXPECT_EQ(first, "first");  // deque storage: no reallocation of texts
+  TokenId id;
+  ASSERT_TRUE(dict.Find("first", &id));
+  EXPECT_EQ(id, 0u);
+}
+
+// --- TokenStore ----------------------------------------------------------------
+
+Table FixtureTable() {
+  Table t(Schema({{"name", AttrType::kString}}));
+  EXPECT_TRUE(t.AppendRow({"red blue red"}).ok());   // dup token collapses
+  EXPECT_TRUE(t.AppendRow({""}).ok());               // missing -> empty set
+  EXPECT_TRUE(t.AppendRow({"blue green"}).ok());
+  EXPECT_TRUE(t.AppendRow({"---"}).ok());            // tokenizes to nothing
+  return t;
+}
+
+TEST(TokenStoreTest, EnsureViewBuildsSortedUniqueSets) {
+  Table t = FixtureTable();
+  TokenDictionary dict;
+  TokenStore store(&t, &dict);
+  EXPECT_EQ(store.view(0, Tokenization::kWord), nullptr);
+  const TokenSetView& v = store.EnsureView(0, Tokenization::kWord);
+  EXPECT_EQ(store.view(0, Tokenization::kWord), &v);
+  ASSERT_EQ(v.num_rows(), 4u);
+
+  auto row0 = v.row(0);
+  ASSERT_EQ(row0.size(), 2u);  // {red, blue}, dup removed
+  EXPECT_LT(row0[0], row0[1]);  // ascending by id
+  EXPECT_TRUE(v.row(1).empty());
+  EXPECT_TRUE(v.row(3).empty());
+  ASSERT_EQ(v.row(2).size(), 2u);
+
+  // Ids round-trip through the dictionary to the expected strings.
+  TokenId blue;
+  ASSERT_TRUE(dict.Find("blue", &blue));
+  EXPECT_TRUE(row0[0] == blue || row0[1] == blue);
+  EXPECT_TRUE(v.row(2)[0] == blue || v.row(2)[1] == blue);
+
+  // The view equals what Tokenize+ToTokenSet produce, token by token.
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    auto expect = ToTokenSet(Tokenize(t.Get(r, 0), Tokenization::kWord));
+    auto ids = v.row(r);
+    ASSERT_EQ(ids.size(), expect.size()) << "row " << r;
+    std::vector<std::string> got;
+    for (TokenId id : ids) got.emplace_back(dict.Text(id));
+    std::sort(got.begin(), got.end());
+    std::sort(expect.begin(), expect.end());
+    EXPECT_EQ(got, expect) << "row " << r;
+  }
+}
+
+TEST(TokenStoreTest, IncrementalBuildMatchesMonolithic) {
+  Table t = FixtureTable();
+  TokenDictionary d1, d2;
+  TokenStore inc(&t, &d1);
+  TokenStore mono(&t, &d2);
+  ASSERT_TRUE(inc.StartView(0, Tokenization::kQgram3));
+  for (RowId r = 0; r < t.num_rows(); ++r) inc.AppendRow(r);
+  const TokenSetView& vi = inc.FinishView();
+  const TokenSetView& vm = mono.EnsureView(0, Tokenization::kQgram3);
+  ASSERT_EQ(vi.num_rows(), vm.num_rows());
+  ASSERT_EQ(vi.num_ids(), vm.num_ids());
+  for (RowId r = 0; r < t.num_rows(); ++r) {
+    auto a = vi.row(r);
+    auto b = vm.row(r);
+    ASSERT_EQ(a.size(), b.size()) << "row " << r;
+    for (size_t i = 0; i < a.size(); ++i) {
+      // Same interleaving of interning -> identical ids in both dicts.
+      EXPECT_EQ(a[i], b[i]) << "row " << r << " pos " << i;
+    }
+  }
+  // Re-starting an existing view is refused.
+  EXPECT_FALSE(inc.StartView(0, Tokenization::kQgram3));
+}
+
+TEST(TokenStoreTest, ViewsAreKeyedByColumnAndTokenization) {
+  Table t = FixtureTable();
+  TokenDictionary dict;
+  TokenStore store(&t, &dict);
+  store.EnsureView(0, Tokenization::kWord);
+  EXPECT_EQ(store.view(0, Tokenization::kQgram3), nullptr);
+  store.EnsureView(0, Tokenization::kQgram3);
+  EXPECT_NE(store.view(0, Tokenization::kQgram3), nullptr);
+  EXPECT_NE(store.view(0, Tokenization::kWord),
+            store.view(0, Tokenization::kQgram3));
+  EXPECT_GT(store.MemoryUsage(), 0u);
+  EXPECT_GT(dict.MemoryUsage(), 0u);
+}
+
+}  // namespace
+}  // namespace falcon
