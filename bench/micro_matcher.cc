@@ -1,0 +1,251 @@
+// Microbenchmarks: the matching-stage hot path (google-benchmark). The
+// custom main() first writes BENCH_micro_matcher.json comparing the eager
+// strategy (materialize the full feature vector, vote every tree) against
+// the fused one (lazy memoized features + short-circuit FlatForest voting)
+// per pair, asserting byte-identical predictions, then runs
+// google-benchmark. FALCON_BENCH_SMOKE=1 shrinks the dataset so the binary
+// doubles as a ctest smoke test.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include <benchmark/benchmark.h>
+
+#include "harness.h"
+
+#include "learn/flat_forest.h"
+#include "learn/random_forest.h"
+#include "rules/feature.h"
+#include "workload/generator.h"
+
+namespace falcon {
+namespace {
+
+bool SmokeMode() { return std::getenv("FALCON_BENCH_SMOKE") != nullptr; }
+
+/// Dataset, features, eval pairs, and a matcher forest trained on a labeled
+/// sample — everything the matching stage consumes, built once.
+struct MatcherFixture {
+  GeneratedDataset data;
+  FeatureSet fs;
+  std::vector<PairQuestion> pairs;  ///< evaluation pairs ("candidates")
+  RandomForest forest;
+  FlatForest flat;
+
+  MatcherFixture() {
+    WorkloadOptions opt;
+    opt.size_a = SmokeMode() ? 150 : 600;
+    opt.size_b = SmokeMode() ? 150 : 600;
+    opt.seed = 7;
+    opt.missing_rate = 0.05;
+    data = GenerateProducts(opt);
+    fs = FeatureSet::Generate(data.a, data.b);
+
+    Rng rng(13);
+    auto sample = [&](size_t n, std::vector<PairQuestion>* out) {
+      for (size_t i = 0; i < n; ++i) {
+        out->emplace_back(
+            static_cast<RowId>(rng.NextBelow(data.a.num_rows())),
+            static_cast<RowId>(rng.NextBelow(data.b.num_rows())));
+      }
+    };
+
+    // Training sample: random pairs plus the ground-truth matches so both
+    // classes are represented.
+    std::vector<PairQuestion> train;
+    sample(400, &train);
+    for (uint64_t key : data.truth.keys()) {
+      train.emplace_back(static_cast<RowId>(key >> 32),
+                         static_cast<RowId>(key & 0xFFFFFFFFu));
+      if (train.size() >= 800) break;
+    }
+    std::vector<FeatureVec> x;
+    std::vector<char> y;
+    for (const auto& [a, b] : train) {
+      x.push_back(fs.ComputeVector(fs.all_ids(), data.a, a, data.b, b));
+      y.push_back(data.truth.IsMatch(a, b) ? 1 : 0);
+    }
+    forest = RandomForest::Train(x, y, ForestOptions{}, &rng);
+    flat = FlatForest::Compile(forest);
+    if (!flat.EquivalentTo(forest)) {
+      std::fprintf(stderr, "FATAL: FlatForest::Compile not equivalent\n");
+      std::exit(1);
+    }
+
+    sample(SmokeMode() ? 500 : 5000, &pairs);
+  }
+};
+
+MatcherFixture* Fixture() {
+  static MatcherFixture* fx = new MatcherFixture();
+  return fx;
+}
+
+void BM_EagerPair(benchmark::State& state) {
+  MatcherFixture* fx = Fixture();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = fx->pairs[i++ % fx->pairs.size()];
+    FeatureVec fv =
+        fx->fs.ComputeVector(fx->fs.all_ids(), fx->data.a, a, fx->data.b, b);
+    benchmark::DoNotOptimize(fx->forest.Predict(fv));
+  }
+}
+BENCHMARK(BM_EagerPair);
+
+void BM_FusedPair(benchmark::State& state) {
+  MatcherFixture* fx = Fixture();
+  const std::vector<int>& ids = fx->fs.all_ids();
+  LazyPairFeatures lazy;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = fx->pairs[i++ % fx->pairs.size()];
+    lazy.Begin(&fx->fs, &ids, &fx->data.a, a, &fx->data.b, b);
+    benchmark::DoNotOptimize(
+        fx->flat.PredictWith([&lazy](int pos) { return lazy.Get(pos); }));
+  }
+}
+BENCHMARK(BM_FusedPair);
+
+// Forest traversal alone (features pre-materialized): isolates the
+// short-circuit voting win from the lazy-feature win.
+void BM_ForestPredictPooled(benchmark::State& state) {
+  MatcherFixture* fx = Fixture();
+  static std::vector<FeatureVec>* fvs = [] {
+    MatcherFixture* f = Fixture();
+    auto* v = new std::vector<FeatureVec>();
+    for (size_t i = 0; i < 512 && i < f->pairs.size(); ++i) {
+      const auto& [a, b] = f->pairs[i];
+      v->push_back(
+          f->fs.ComputeVector(f->fs.all_ids(), f->data.a, a, f->data.b, b));
+    }
+    return v;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx->forest.Predict((*fvs)[i++ % fvs->size()]));
+  }
+}
+BENCHMARK(BM_ForestPredictPooled);
+
+void BM_FlatForestPredict(benchmark::State& state) {
+  MatcherFixture* fx = Fixture();
+  static std::vector<FeatureVec>* fvs = [] {
+    MatcherFixture* f = Fixture();
+    auto* v = new std::vector<FeatureVec>();
+    for (size_t i = 0; i < 512 && i < f->pairs.size(); ++i) {
+      const auto& [a, b] = f->pairs[i];
+      v->push_back(
+          f->fs.ComputeVector(f->fs.all_ids(), f->data.a, a, f->data.b, b));
+    }
+    return v;
+  }();
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fx->flat.Predict((*fvs)[i++ % fvs->size()]));
+  }
+}
+BENCHMARK(BM_FlatForestPredict);
+
+/// Eager-vs-fused comparison written to BENCH_micro_matcher.json.
+void WriteComparisonReport() {
+  using Clock = std::chrono::steady_clock;
+  MatcherFixture* fx = Fixture();
+  const std::vector<int>& ids = fx->fs.all_ids();
+  const size_t sweeps = SmokeMode() ? 1 : 4;
+  const size_t n = fx->pairs.size();
+
+  bench::BenchReport report("micro_matcher");
+  report.Add("rows_a", static_cast<int64_t>(fx->data.a.num_rows()));
+  report.Add("rows_b", static_cast<int64_t>(fx->data.b.num_rows()));
+  report.Add("pairs", static_cast<int64_t>(n));
+  report.Add("sweeps", static_cast<int64_t>(sweeps));
+  report.Add("vector_width", static_cast<int64_t>(ids.size()));
+  report.Add("used_features",
+             static_cast<int64_t>(fx->flat.used_features().size()));
+  report.Add("num_trees", static_cast<int64_t>(fx->forest.num_trees()));
+
+  // Eager: materialize every vector, vote every tree.
+  std::vector<char> eager_pred(n);
+  auto t0 = Clock::now();
+  for (size_t s = 0; s < sweeps; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      const auto& [a, b] = fx->pairs[i];
+      FeatureVec fv = fx->fs.ComputeVector(ids, fx->data.a, a, fx->data.b, b);
+      eager_pred[i] = fx->forest.Predict(fv) ? 1 : 0;
+    }
+  }
+  auto t1 = Clock::now();
+
+  // Fused: lazy memoized features, short-circuit voting, no vector array.
+  std::vector<char> fused_pred(n);
+  uint64_t features_computed = 0;
+  uint64_t trees_voted = 0;
+  LazyPairFeatures lazy;
+  auto t2 = Clock::now();
+  for (size_t s = 0; s < sweeps; ++s) {
+    for (size_t i = 0; i < n; ++i) {
+      const auto& [a, b] = fx->pairs[i];
+      lazy.Begin(&fx->fs, &ids, &fx->data.a, a, &fx->data.b, b);
+      int voted = 0;
+      fused_pred[i] = fx->flat.PredictWith(
+                          [&lazy](int pos) { return lazy.Get(pos); }, &voted)
+                          ? 1
+                          : 0;
+      features_computed += static_cast<uint64_t>(lazy.computed_count());
+      trees_voted += static_cast<uint64_t>(voted);
+    }
+  }
+  auto t3 = Clock::now();
+
+  if (fused_pred != eager_pred) {
+    std::fprintf(stderr,
+                 "FATAL: fused predictions diverge from eager over %zu "
+                 "pairs\n",
+                 n);
+    std::exit(1);
+  }
+
+  const double per = static_cast<double>(sweeps) * static_cast<double>(n);
+  double eager_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() / per;
+  double fused_ns =
+      std::chrono::duration<double, std::nano>(t3 - t2).count() / per;
+  double features_per_pair = static_cast<double>(features_computed) / per;
+  double trees_per_pair = static_cast<double>(trees_voted) / per;
+  report.Add("eager_ns_per_pair", eager_ns);
+  report.Add("fused_ns_per_pair", fused_ns);
+  report.Add("speedup", fused_ns > 0.0 ? eager_ns / fused_ns : 0.0);
+  report.Add("features_per_pair", features_per_pair);
+  report.Add("trees_per_pair", trees_per_pair);
+
+  if (features_per_pair >= static_cast<double>(ids.size())) {
+    std::fprintf(stderr,
+                 "FATAL: lazy path computed %.2f features/pair, not below "
+                 "the full width %zu\n",
+                 features_per_pair, ids.size());
+    std::exit(1);
+  }
+
+  std::string path = report.Write();
+  std::printf("wrote %s\n", path.c_str());
+  std::printf(
+      "eager %.0f ns/pair, fused %.0f ns/pair (%.2fx); %.2f/%zu features, "
+      "%.2f/%zu trees per pair\n",
+      eager_ns, fused_ns, fused_ns > 0.0 ? eager_ns / fused_ns : 0.0,
+      features_per_pair, ids.size(), trees_per_pair,
+      fx->forest.num_trees());
+}
+
+}  // namespace
+}  // namespace falcon
+
+int main(int argc, char** argv) {
+  falcon::WriteComparisonReport();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

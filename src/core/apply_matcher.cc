@@ -9,6 +9,8 @@ ApplyMatcherResult ApplyMatcher(const RandomForest& matcher,
                                 Cluster* cluster) {
   ApplyMatcherResult result;
   result.predictions.resize(fvs.size(), 0);
+  // Input items are indices; each map task writes only its own disjoint
+  // prediction slots, so splits may run on any thread.
   std::vector<size_t> idx(fvs.size());
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   auto job = RunMapOnly<size_t, int>(
@@ -17,6 +19,56 @@ ApplyMatcherResult ApplyMatcher(const RandomForest& matcher,
         result.predictions[i] = matcher.Predict(fvs[i]) ? 1 : 0;
       });
   result.time = job.stats.Total();
+  return result;
+}
+
+namespace {
+
+// Counter keys interned once: the fused map function runs per pair, and a
+// std::string construction per increment would dominate small-tree pairs.
+const std::string kFeaturesComputed = "matcher/features_computed";
+const std::string kTreesVoted = "matcher/trees_voted";
+
+}  // namespace
+
+ApplyMatcherFusedResult ApplyMatcherFused(
+    const Table& a, const Table& b, const std::vector<PairQuestion>& pairs,
+    const FeatureSet& fs, const std::vector<int>& feature_ids,
+    const FlatForest& forest, Cluster* cluster, const char* job_name) {
+  ApplyMatcherFusedResult result;
+  result.predictions.resize(pairs.size(), 0);
+  result.work.pairs = pairs.size();
+  result.work.vector_width = feature_ids.size();
+  result.work.used_features = forest.used_features().size();
+  result.work.num_trees = forest.num_trees();
+
+  std::vector<size_t> idx(pairs.size());
+  for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  auto job = RunMapOnly<size_t, int>(
+      cluster, idx, {.name = job_name},
+      [&](const size_t& i, std::vector<int>*, Counters* counters) {
+        // One lazy evaluator per thread (map splits never share one), with
+        // buffers reused across pairs — the RuleApplier scratch pattern.
+        // Writes to result.predictions are disjoint per input index.
+        thread_local LazyPairFeatures lazy;
+        lazy.Begin(&fs, &feature_ids, &a, pairs[i].first, &b,
+                   pairs[i].second);
+        int voted = 0;
+        bool match = forest.PredictWith(
+            [&lazy](int pos) { return lazy.Get(pos); }, &voted);
+        result.predictions[i] = match ? 1 : 0;
+        (*counters)[kFeaturesComputed] += lazy.computed_count();
+        (*counters)[kTreesVoted] += voted;
+      });
+  result.time = job.stats.Total();
+  if (auto it = job.stats.counters.find(kFeaturesComputed);
+      it != job.stats.counters.end()) {
+    result.work.features_computed = static_cast<uint64_t>(it->second);
+  }
+  if (auto it = job.stats.counters.find(kTreesVoted);
+      it != job.stats.counters.end()) {
+    result.work.trees_voted = static_cast<uint64_t>(it->second);
+  }
   return result;
 }
 

@@ -1,12 +1,27 @@
 // Operator apply_matcher (Section 9): applies a trained matcher to every
-// candidate feature vector with a map-only job.
+// candidate pair with a map-only job.
+//
+// Two execution strategies:
+//   ApplyMatcher       — eager: predicts over pre-materialized feature
+//                        vectors (gen_fvs output). Used where the vectors
+//                        exist anyway (al_matcher's training/entropy path).
+//   ApplyMatcherFused  — fused: one map task per pair evaluates features
+//                        lazily (LazyPairFeatures) against a compiled
+//                        FlatForest with short-circuit voting, so features
+//                        no traversed tree tests are never computed and no
+//                        feature-vector array is materialized. Predictions
+//                        are byte-identical to the eager path.
 #ifndef FALCON_CORE_APPLY_MATCHER_H_
 #define FALCON_CORE_APPLY_MATCHER_H_
 
+#include <cstdint>
 #include <vector>
 
+#include "crowd/crowd.h"
+#include "learn/flat_forest.h"
 #include "learn/random_forest.h"
 #include "mapreduce/cluster.h"
+#include "rules/feature.h"
 
 namespace falcon {
 
@@ -19,6 +34,35 @@ struct ApplyMatcherResult {
 ApplyMatcherResult ApplyMatcher(const RandomForest& matcher,
                                 const std::vector<FeatureVec>& fvs,
                                 Cluster* cluster);
+
+/// Work actually performed by a fused apply_matcher job, aggregated from
+/// the job's per-split counters. The per-pair averages feed Table-4-style
+/// reporting; virtual time already reflects the reduced work because map
+/// task seconds are measured, not modeled.
+struct FusedMatcherWork {
+  uint64_t features_computed = 0;  ///< lazy feature evaluations, all pairs
+  uint64_t trees_voted = 0;        ///< trees traversed before early exit
+  size_t pairs = 0;
+  size_t vector_width = 0;   ///< full feature-vector layout width
+  size_t used_features = 0;  ///< layout positions any tree references
+  size_t num_trees = 0;
+};
+
+struct ApplyMatcherFusedResult {
+  /// Parallel to the input pairs; 1 = predicted match.
+  std::vector<char> predictions;
+  VDuration time;
+  FusedMatcherWork work;
+};
+
+/// Applies `forest` to every pair without materializing feature vectors.
+/// `feature_ids` defines the vector layout the forest was trained on
+/// (position -> FeatureSet id), exactly as passed to GenFvs for training.
+ApplyMatcherFusedResult ApplyMatcherFused(
+    const Table& a, const Table& b, const std::vector<PairQuestion>& pairs,
+    const FeatureSet& fs, const std::vector<int>& feature_ids,
+    const FlatForest& forest, Cluster* cluster,
+    const char* job_name = "apply_matcher(fused)");
 
 }  // namespace falcon
 

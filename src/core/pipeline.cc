@@ -16,6 +16,37 @@
 namespace falcon {
 namespace {
 
+/// Compiles the learned matcher for the fused apply phase and verifies the
+/// compiled form is structurally identical to the node-pool trees. Returns
+/// the real driver-side compile seconds through `compile_time` so the
+/// operator accounting stays honest (like training_time, this runs on the
+/// driver, not the cluster).
+/// Folds the fused apply_matcher work counters into the run metrics.
+void RecordMatcherWork(const FusedMatcherWork& work, RunMetrics* m) {
+  double pairs = static_cast<double>(work.pairs);
+  m->matcher_features_per_pair =
+      work.pairs == 0 ? 0.0 : static_cast<double>(work.features_computed) / pairs;
+  m->matcher_trees_per_pair =
+      work.pairs == 0 ? 0.0 : static_cast<double>(work.trees_voted) / pairs;
+  m->matcher_vector_width = work.vector_width;
+  m->matcher_used_features = work.used_features;
+  m->matcher_num_trees = work.num_trees;
+}
+
+Result<FlatForest> CompileMatcher(const RandomForest& matcher,
+                                  VDuration* compile_time) {
+  FlatForest flat;
+  double seconds = internal::MeasureSeconds(
+      [&] { flat = FlatForest::Compile(matcher); });
+  *compile_time = VDuration::Seconds(seconds);
+  if (!flat.EquivalentTo(matcher)) {
+    return Status::Internal(
+        "FlatForest::Compile produced a forest not equivalent to the "
+        "learned matcher");
+  }
+  return flat;
+}
+
 /// Crowd-time bank for masking: crowd latency deposits credit; masked
 /// machine work withdraws it and returns only the unmasked remainder.
 class MaskBank {
@@ -457,21 +488,31 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
         {"al_matcher(matcher)", matcher.crowd_time + mach, unmask, true});
   }
 
-  // --- (10) apply_matcher (speculated during the matcher's crowd windows) ----------
-  ApplyMatcherResult predictions =
-      ApplyMatcher(matcher.matcher, cfvs.fvs, cluster_);
+  // --- (10) apply_matcher, fused with feature generation (speculated during
+  // the matcher's crowd windows). The fused job re-derives features lazily
+  // per pair instead of reading cfvs, touching only the features the forest
+  // traversals actually test; al_matcher above keeps the materialized
+  // vectors because pair selection scans full vectors every iteration.
+  VDuration compile_time;
+  FALCON_ASSIGN_OR_RETURN(FlatForest flat,
+                          CompileMatcher(matcher.matcher, &compile_time));
+  ApplyMatcherFusedResult predictions = ApplyMatcherFused(
+      *a_, *b_, out.candidates, features_, features_.all_ids(), flat,
+      cluster_);
   {
-    VDuration unmasked = predictions.time;
+    VDuration raw = compile_time + predictions.time;
+    VDuration unmasked = raw;
     if (config_.enable_masking && config_.mask_speculative_execution &&
         matcher.converged) {
       // The model stopped changing, so the speculative run with the
       // best-so-far matcher is the final run; its time hides in the last
       // crowd windows.
-      unmasked = bank.Run(predictions.time);
+      unmasked = bank.Run(raw);
       m.spec_matcher_reused = unmasked.seconds <= 0.0;
     }
-    add_machine("apply_matcher", predictions.time, unmasked);
+    add_machine("apply_matcher", raw, unmasked);
   }
+  RecordMatcherWork(predictions.work, &m);
   for (size_t i = 0; i < out.candidates.size(); ++i) {
     if (predictions.predictions[i]) out.matches.push_back(out.candidates[i]);
   }
@@ -491,6 +532,7 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   }
 
   m.total_time = m.crowd_time + m.machine_unmasked;
+  out.matcher = std::move(matcher.matcher);
   return out;
 }
 
@@ -546,17 +588,25 @@ Result<MatchResult> FalconPipeline::RunMatcherOnlyPlan() {
         {"al_matcher(matcher)", matcher.crowd_time + mach, unmask, true});
   }
 
-  ApplyMatcherResult predictions =
-      ApplyMatcher(matcher.matcher, cfvs.fvs, cluster_);
+  // Fused apply phase, as in the blocking plan: predictions never read the
+  // materialized cfvs (kept above solely for al_matcher).
+  VDuration compile_time;
+  FALCON_ASSIGN_OR_RETURN(FlatForest flat,
+                          CompileMatcher(matcher.matcher, &compile_time));
+  ApplyMatcherFusedResult predictions = ApplyMatcherFused(
+      *a_, *b_, out.candidates, features_, features_.all_ids(), flat,
+      cluster_);
   {
-    VDuration unmasked = predictions.time;
+    VDuration raw = compile_time + predictions.time;
+    VDuration unmasked = raw;
     if (config_.enable_masking && config_.mask_speculative_execution &&
         matcher.converged) {
-      unmasked = bank.Run(predictions.time);
+      unmasked = bank.Run(raw);
       m.spec_matcher_reused = unmasked.seconds <= 0.0;
     }
-    add_machine("apply_matcher", predictions.time, unmasked);
+    add_machine("apply_matcher", raw, unmasked);
   }
+  RecordMatcherWork(predictions.work, &m);
   for (size_t i = 0; i < out.candidates.size(); ++i) {
     if (predictions.predictions[i]) out.matches.push_back(out.candidates[i]);
   }
@@ -575,6 +625,7 @@ Result<MatchResult> FalconPipeline::RunMatcherOnlyPlan() {
   }
 
   m.total_time = m.crowd_time + m.machine_unmasked;
+  out.matcher = std::move(matcher.matcher);
   return out;
 }
 

@@ -22,6 +22,7 @@
 #include "blocking/apply.h"
 #include "core/config.h"
 #include "crowd/crowd.h"
+#include "learn/random_forest.h"
 #include "mapreduce/cluster.h"
 #include "rules/feature.h"
 #include "rules/rule.h"
@@ -59,6 +60,17 @@ struct RunMetrics {
   size_t num_candidate_rules = 0;
   size_t num_retained_rules = 0;
 
+  // Fused apply_matcher work counters (averages over the candidate pairs).
+  // The fused stage computes features lazily and stops voting once the
+  // majority is decided, so features-per-pair < vector width and
+  // trees-per-pair < forest size; the virtual apply_matcher time above
+  // already reflects that reduced work (map task seconds are measured).
+  double matcher_features_per_pair = 0.0;
+  double matcher_trees_per_pair = 0.0;
+  size_t matcher_vector_width = 0;   ///< full feature-vector layout width
+  size_t matcher_used_features = 0;  ///< features referenced by any tree
+  size_t matcher_num_trees = 0;
+
   /// Crowd-estimated accuracy (filled when config.estimate_accuracy is on;
   /// in a real deployment there is no ground truth, so this estimate is
   /// what the user sees).
@@ -74,6 +86,10 @@ struct MatchResult {
   std::vector<CandidatePair> candidates;
   /// The executed blocking-rule sequence (empty for matcher-only).
   RuleSequence sequence;
+  /// The learned matcher forest (lets callers re-apply or A/B the matching
+  /// stage — e.g. the eager-vs-fused bench comparisons — without rerunning
+  /// active learning).
+  RandomForest matcher;
   RunMetrics metrics;
 };
 

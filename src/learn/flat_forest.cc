@@ -1,0 +1,94 @@
+#include "learn/flat_forest.h"
+
+#include <algorithm>
+
+namespace falcon {
+
+FlatForest FlatForest::Compile(const RandomForest& forest) {
+  FlatForest out;
+  size_t total_nodes = 0;
+  for (const auto& tree : forest.trees()) {
+    total_nodes += std::max<size_t>(1, tree.nodes().size());
+  }
+  out.feature_.reserve(total_nodes);
+  out.threshold_.reserve(total_nodes);
+  out.left_.reserve(total_nodes);
+  out.right_.reserve(total_nodes);
+  out.nan_left_.reserve(total_nodes);
+  out.roots_.reserve(forest.num_trees());
+
+  std::vector<char> used;
+  for (const auto& tree : forest.trees()) {
+    const int32_t base = static_cast<int32_t>(out.feature_.size());
+    out.roots_.push_back(base);
+    if (tree.nodes().empty()) {
+      // Degenerate deserialized tree: a single "no match" leaf.
+      out.feature_.push_back(-1);
+      out.threshold_.push_back(0.0);
+      out.left_.push_back(0);
+      out.right_.push_back(0);
+      out.nan_left_.push_back(0);
+      continue;
+    }
+    for (const TreeNode& n : tree.nodes()) {
+      if (n.is_leaf) {
+        out.feature_.push_back(-1);
+        out.threshold_.push_back(0.0);
+        out.left_.push_back(n.prediction ? 1 : 0);
+        out.right_.push_back(0);
+        out.nan_left_.push_back(0);
+      } else {
+        out.feature_.push_back(n.feature);
+        out.threshold_.push_back(n.threshold);
+        out.left_.push_back(base + n.left);
+        out.right_.push_back(base + n.right);
+        out.nan_left_.push_back(n.nan_goes_left ? 1 : 0);
+        if (n.feature >= static_cast<int>(used.size())) {
+          used.resize(n.feature + 1, 0);
+        }
+        used[n.feature] = 1;
+      }
+    }
+  }
+  for (int f = 0; f < static_cast<int>(used.size()); ++f) {
+    if (used[f]) out.used_features_.push_back(f);
+  }
+  return out;
+}
+
+bool FlatForest::EquivalentTo(const RandomForest& forest) const {
+  if (roots_.size() != forest.num_trees()) return false;
+  for (size_t t = 0; t < roots_.size(); ++t) {
+    const auto& nodes = forest.trees()[t].nodes();
+    const int32_t base = roots_[t];
+    const size_t count = std::max<size_t>(1, nodes.size());
+    const size_t end = base + count;
+    if (end > feature_.size()) return false;
+    if (t + 1 < roots_.size() &&
+        static_cast<size_t>(roots_[t + 1]) != end) {
+      return false;
+    }
+    if (nodes.empty()) {
+      if (feature_[base] != -1 || left_[base] != 0) return false;
+      continue;
+    }
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      const TreeNode& n = nodes[i];
+      const size_t k = base + i;
+      if (n.is_leaf) {
+        if (feature_[k] != -1) return false;
+        if (left_[k] != (n.prediction ? 1 : 0)) return false;
+      } else {
+        if (feature_[k] != n.feature) return false;
+        if (threshold_[k] != n.threshold) return false;
+        if ((nan_left_[k] != 0) != n.nan_goes_left) return false;
+        if (left_[k] != base + n.left || right_[k] != base + n.right) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace falcon

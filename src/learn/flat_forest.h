@@ -1,0 +1,108 @@
+// A RandomForest compiled for the matching hot path (apply_matcher).
+//
+// RandomForest keeps one node pool per tree because Falcon *inspects* trees
+// (get_blocking_rules walks root-to-"No"-leaf paths). Classification needs
+// none of that structure: FlatForest packs every tree's nodes into one
+// contiguous structure-of-arrays arena and precomputes the set of features
+// any split references, so a caller can (a) skip features no tree will ever
+// read and (b) stop voting as soon as the majority is decided.
+//
+// Predictions are byte-identical to RandomForest::Predict by construction:
+// Compile copies nodes verbatim (same features, thresholds, NaN routing,
+// child order) and the early exit only skips votes that cannot change the
+// 2*pos >= num_trees majority outcome — including the even-tree-count tie,
+// which predicts "match" exactly like PositiveFraction(fv) >= 0.5 does.
+// EquivalentTo re-walks the node pools to verify the copy.
+#ifndef FALCON_LEARN_FLAT_FOREST_H_
+#define FALCON_LEARN_FLAT_FOREST_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "learn/random_forest.h"
+
+namespace falcon {
+
+/// A bagged ensemble compiled into one flat SoA arena with short-circuit
+/// majority voting. Immutable after Compile, so concurrent map tasks may
+/// share one instance lock-free.
+class FlatForest {
+ public:
+  FlatForest() = default;
+
+  /// Packs `forest`'s trees into the arena. A degenerate empty tree (only
+  /// possible via deserialization) compiles to a single "no match" leaf.
+  static FlatForest Compile(const RandomForest& forest);
+
+  /// Structural equality with `forest`'s node pools: same trees, nodes,
+  /// split features, thresholds, NaN routing, leaf predictions. The cheap
+  /// insurance that a compiled forest predicts like its source.
+  bool EquivalentTo(const RandomForest& forest) const;
+
+  size_t num_trees() const { return roots_.size(); }
+  size_t num_nodes() const { return feature_.size(); }
+
+  /// Ascending feature positions referenced by at least one split. Features
+  /// outside this set never influence any prediction, so a lazy evaluator
+  /// never computes them.
+  const std::vector<int>& used_features() const { return used_features_; }
+
+  /// Majority vote with early exit. `at(pos)` returns the value of feature
+  /// position `pos` (the index RandomForest trees use into FeatureVec) and
+  /// is invoked only for features the traversed trees actually test.
+  /// Voting stops once the outcome is decided: "match" at pos_votes*2 >=
+  /// num_trees (ties on even tree counts predict match, matching
+  /// PositiveFraction >= 0.5), "no match" once the remaining trees cannot
+  /// reach that bound — i.e. after at most ceil(T/2) agreeing or T/2+1
+  /// disagreeing votes. `trees_voted`, when non-null, receives the number
+  /// of trees traversed.
+  template <typename FeatureAt>
+  bool PredictWith(FeatureAt&& at, int* trees_voted = nullptr) const {
+    const size_t trees = roots_.size();
+    size_t pos_votes = 0;
+    for (size_t t = 0; t < trees; ++t) {
+      int32_t n = roots_[t];
+      while (feature_[n] >= 0) {
+        double v = at(feature_[n]);
+        bool left = std::isnan(v) ? nan_left_[n] != 0 : v <= threshold_[n];
+        n = left ? left_[n] : right_[n];
+      }
+      pos_votes += static_cast<size_t>(left_[n]);  // leaf prediction
+      const size_t voted = t + 1;
+      if (2 * pos_votes >= trees) {
+        if (trees_voted != nullptr) *trees_voted = static_cast<int>(voted);
+        return true;
+      }
+      if (2 * (pos_votes + (trees - voted)) < trees) {
+        if (trees_voted != nullptr) *trees_voted = static_cast<int>(voted);
+        return false;
+      }
+    }
+    // Only reachable for an empty forest: no vote, "no match" (matching
+    // RandomForest::PositiveFraction's 0.0 on empty).
+    if (trees_voted != nullptr) *trees_voted = 0;
+    return false;
+  }
+
+  /// Convenience over a materialized vector (tests, equivalence checks).
+  bool Predict(const FeatureVec& fv, int* trees_voted = nullptr) const {
+    return PredictWith([&fv](int pos) { return fv[pos]; }, trees_voted);
+  }
+
+ private:
+  // Node arena, SoA. feature_[n] >= 0 marks an inner node (threshold_,
+  // nan_left_, left_/right_ arena links); feature_[n] == -1 a leaf, whose
+  // prediction is stored in left_[n] (0/1).
+  std::vector<int32_t> feature_;
+  std::vector<double> threshold_;
+  std::vector<int32_t> left_;
+  std::vector<int32_t> right_;
+  std::vector<uint8_t> nan_left_;
+  std::vector<int32_t> roots_;  ///< arena index of each tree's root
+  std::vector<int> used_features_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_LEARN_FLAT_FOREST_H_

@@ -35,7 +35,11 @@ class RandomForest {
                             const std::vector<char>& labels,
                             const ForestOptions& options, Rng* rng);
 
-  /// Majority vote over the trees.
+  /// Majority vote over the trees: match iff PositiveFraction(fv) >= 0.5,
+  /// i.e. iff 2 * positive_votes >= num_trees. With an even tree count an
+  /// exact tie therefore predicts "match" — recall errs toward keeping a
+  /// pair rather than silently dropping it. FlatForest's short-circuit vote
+  /// reproduces this tie-break bit-for-bit (pinned by tests).
   bool Predict(const FeatureVec& fv) const;
 
   /// Fraction of trees voting "match" in [0, 1]. 0.5 = maximal disagreement.

@@ -299,15 +299,16 @@ JobOutput<OutT> RunMapReduce(
   return result;
 }
 
-/// Runs a map-only job: `map_fn(item, output)` appends output records.
-///
-/// Unless `opts.serial` is set, splits run concurrently; each split appends
-/// to a private output vector and the vectors are concatenated in split
-/// order, so output order matches the serial path exactly.
+/// Runs a map-only job whose map function also maintains Hadoop-style
+/// counters: `map_fn(item, output, counters)`. Each split owns a private
+/// Counters object merged into JobStats::counters in split-index order after
+/// the map phase (mirroring RunMapReduce's emitter counters), so counter
+/// totals are identical in serial and parallel execution.
 template <typename InT, typename OutT>
 JobOutput<OutT> RunMapOnly(
     Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
-    const std::function<void(const InT&, std::vector<OutT>*)>& map_fn) {
+    const std::function<void(const InT&, std::vector<OutT>*, Counters*)>&
+        map_fn) {
   JobOutput<OutT> result;
   JobStats& stats = result.stats;
   stats.name = opts.name;
@@ -322,12 +323,14 @@ JobOutput<OutT> RunMapOnly(
   stats.num_map_tasks = splits.size();
 
   std::vector<std::vector<OutT>> split_outputs(splits.size());
+  std::vector<Counters> split_counters(splits.size());
   std::vector<double> task_seconds(splits.size());
   internal::RunTasks(cluster, opts.serial, splits.size(), [&](size_t t) {
     const auto [begin, end] = splits[t];
     std::vector<OutT>* out = &split_outputs[t];
+    Counters* counters = &split_counters[t];
     task_seconds[t] = internal::MeasureSeconds([&] {
-      for (size_t i = begin; i < end; ++i) map_fn(input[i], out);
+      for (size_t i = begin; i < end; ++i) map_fn(input[i], out, counters);
     });
     task_seconds[t] += opts.map_setup_seconds;
   });
@@ -336,11 +339,31 @@ JobOutput<OutT> RunMapOnly(
                          std::make_move_iterator(out.begin()),
                          std::make_move_iterator(out.end()));
   }
+  for (auto& counters : split_counters) {
+    for (auto& [counter, v] : counters) stats.counters[counter] += v;
+  }
   stats.map_time =
       cluster->ScheduleMakespan(task_seconds, cluster->total_map_slots());
   stats.output_records = result.output.size();
   cluster->RecordJob(stats);
   return result;
+}
+
+/// Runs a map-only job: `map_fn(item, output)` appends output records.
+///
+/// Unless `opts.serial` is set, splits run concurrently; each split appends
+/// to a private output vector and the vectors are concatenated in split
+/// order, so output order matches the serial path exactly.
+template <typename InT, typename OutT>
+JobOutput<OutT> RunMapOnly(
+    Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
+    const std::function<void(const InT&, std::vector<OutT>*)>& map_fn) {
+  return RunMapOnly<InT, OutT>(
+      cluster, input, opts,
+      std::function<void(const InT&, std::vector<OutT>*, Counters*)>(
+          [&map_fn](const InT& item, std::vector<OutT>* out, Counters*) {
+            map_fn(item, out);
+          }));
 }
 
 }  // namespace falcon

@@ -246,4 +246,26 @@ FeatureVec FeatureSet::ComputeVector(const std::vector<int>& ids,
   return fv;
 }
 
+void LazyPairFeatures::Begin(const FeatureSet* fs, const std::vector<int>* ids,
+                             const Table* a, RowId a_row, const Table* b,
+                             RowId b_row) {
+  fs_ = fs;
+  ids_ = ids;
+  a_ = a;
+  b_ = b;
+  a_row_ = a_row;
+  b_row_ = b_row;
+  computed_ = 0;
+  // A fresh epoch invalidates every cached slot in O(1). On a layout-size
+  // change or epoch wrap (once per ~4B pairs) the stamps are rebuilt.
+  if (values_.size() != ids->size() ||
+      epoch_ == std::numeric_limits<uint32_t>::max()) {
+    values_.assign(ids->size(), 0.0);
+    stamp_.assign(ids->size(), 0);
+    epoch_ = 1;
+  } else {
+    ++epoch_;
+  }
+}
+
 }  // namespace falcon

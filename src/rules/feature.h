@@ -97,6 +97,57 @@ class FeatureSet {
   const TokenStore* store_b_ = nullptr;
 };
 
+/// Lazy, memoized per-pair feature evaluation for the fused matching stage.
+///
+/// Values are addressed by *position* in a layout vector `ids` — the same
+/// positions a materialized `ComputeVector(ids, ...)` result would have, and
+/// the indices decision trees use into a FeatureVec — and each is computed
+/// on first request, then cached for the current pair. The computed bit is
+/// tracked separately from the value (epoch stamps), so a NaN missing value
+/// memoizes like any other result instead of being recomputed per access.
+///
+/// Begin() starts a new pair in O(1) and reuses the buffers, so one
+/// instance (e.g. a thread_local inside a map task, mirroring RuleApplier's
+/// scratch) evaluates millions of pairs without allocating. Not thread-safe;
+/// use one instance per thread.
+class LazyPairFeatures {
+ public:
+  LazyPairFeatures() = default;
+
+  /// Starts evaluating the pair (`a_row` of `a`, `b_row` of `b`) under the
+  /// layout `ids`. All pointees must outlive the evaluation; the previous
+  /// pair's cache is invalidated without clearing buffers.
+  void Begin(const FeatureSet* fs, const std::vector<int>* ids, const Table* a,
+             RowId a_row, const Table* b, RowId b_row);
+
+  /// Value of the feature at layout position `pos`, bitwise equal to
+  /// `ComputeVector(ids, ...)[pos]`; computed and memoized on first request.
+  double Get(int pos) {
+    if (stamp_[pos] != epoch_) {
+      values_[pos] = fs_->Compute((*ids_)[pos], *a_, a_row_, *b_, b_row_);
+      stamp_[pos] = epoch_;
+      ++computed_;
+    }
+    return values_[pos];
+  }
+
+  /// Features computed so far for the current pair (<= ids->size()).
+  int computed_count() const { return computed_; }
+
+ private:
+  const FeatureSet* fs_ = nullptr;
+  const std::vector<int>* ids_ = nullptr;
+  const Table* a_ = nullptr;
+  const Table* b_ = nullptr;
+  RowId a_row_ = 0;
+  RowId b_row_ = 0;
+  std::vector<double> values_;
+  /// stamp_[pos] == epoch_ iff values_[pos] holds the current pair's value.
+  std::vector<uint32_t> stamp_;
+  uint32_t epoch_ = 0;
+  int computed_ = 0;
+};
+
 }  // namespace falcon
 
 #endif  // FALCON_RULES_FEATURE_H_

@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "learn/decision_tree.h"
+#include "learn/flat_forest.h"
 #include "learn/random_forest.h"
 
 namespace falcon {
@@ -201,6 +202,143 @@ TEST(RandomForestTest, EmptyForestPredictsNegative) {
   RandomForest forest;
   EXPECT_FALSE(forest.Predict({1.0}));
   EXPECT_DOUBLE_EQ(forest.PositiveFraction({1.0}), 0.0);
+}
+
+/// A single-leaf tree with a constant prediction.
+DecisionTree ConstantTree(bool prediction) {
+  TreeNode leaf;
+  leaf.is_leaf = true;
+  leaf.prediction = prediction;
+  return DecisionTree::FromNodes({leaf});
+}
+
+/// A forest of `pos` always-match trees followed by `neg` always-no trees.
+RandomForest ConstantForest(int pos, int neg) {
+  std::vector<DecisionTree> trees;
+  for (int i = 0; i < pos; ++i) trees.push_back(ConstantTree(true));
+  for (int i = 0; i < neg; ++i) trees.push_back(ConstantTree(false));
+  return RandomForest(std::move(trees));
+}
+
+TEST(RandomForestTest, EvenTreeCountTieBreaksToMatch) {
+  // Documented tie behavior: Predict is PositiveFraction >= 0.5, so an
+  // exact 50/50 split of an even-sized committee predicts "match".
+  for (int half : {1, 2, 5}) {
+    RandomForest tied = ConstantForest(half, half);
+    EXPECT_DOUBLE_EQ(tied.PositiveFraction({}), 0.5);
+    EXPECT_TRUE(tied.Predict({})) << "tie with " << 2 * half << " trees";
+    // One vote short of the tie is a "no".
+    RandomForest minority = ConstantForest(half - 1, half + 1);
+    EXPECT_FALSE(minority.Predict({}));
+  }
+}
+
+TEST(FlatForestTest, ReproducesTieBreakExactly) {
+  for (int pos = 0; pos <= 4; ++pos) {
+    for (int neg = 0; neg <= 4; ++neg) {
+      RandomForest forest = ConstantForest(pos, neg);
+      FlatForest flat = FlatForest::Compile(forest);
+      EXPECT_EQ(flat.Predict({}), forest.Predict({}))
+          << pos << " match votes of " << pos + neg;
+    }
+  }
+}
+
+TEST(FlatForestTest, CompileIsEquivalentAndPredictsIdentically) {
+  Rng rng(29);
+  std::vector<FeatureVec> x;
+  std::vector<char> y;
+  // Noisy data so trees disagree and NaN routing matters.
+  for (int i = 0; i < 400; ++i) {
+    double a = rng.NextDouble();
+    double b = rng.NextDouble();
+    x.push_back({a, b, rng.NextDouble()});
+    y.push_back((a > 0.5) == !rng.Bernoulli(0.15) ? 1 : 0);
+  }
+  auto forest = RandomForest::Train(x, y, ForestOptions{}, &rng);
+  FlatForest flat = FlatForest::Compile(forest);
+  EXPECT_TRUE(flat.EquivalentTo(forest));
+  EXPECT_EQ(flat.num_trees(), forest.num_trees());
+  size_t pool_nodes = 0;
+  for (const auto& t : forest.trees()) pool_nodes += t.nodes().size();
+  EXPECT_EQ(flat.num_nodes(), pool_nodes);
+  // used_features is a subset of the training feature positions.
+  EXPECT_FALSE(flat.used_features().empty());
+  for (int f : flat.used_features()) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, 3);
+  }
+  for (int i = 0; i < 500; ++i) {
+    FeatureVec fv = {rng.NextDouble(), rng.NextDouble(), rng.NextDouble()};
+    if (rng.Bernoulli(0.2)) fv[rng.NextBelow(3)] = kNaN;
+    int voted = -1;
+    EXPECT_EQ(flat.Predict(fv, &voted), forest.Predict(fv));
+    EXPECT_GE(voted, 1);
+    EXPECT_LE(voted, static_cast<int>(forest.num_trees()));
+  }
+}
+
+TEST(FlatForestTest, EquivalentToRejectsADifferentForest) {
+  Rng rng(31);
+  std::vector<FeatureVec> x;
+  std::vector<char> y;
+  MakeSeparable(300, &x, &y, &rng);
+  auto forest = RandomForest::Train(x, y, ForestOptions{}, &rng);
+  FlatForest flat = FlatForest::Compile(forest);
+  ASSERT_TRUE(flat.EquivalentTo(forest));
+  EXPECT_FALSE(flat.EquivalentTo(ConstantForest(5, 5)));
+  EXPECT_FALSE(flat.EquivalentTo(RandomForest()));
+  EXPECT_FALSE(FlatForest::Compile(ConstantForest(2, 2)).EquivalentTo(forest));
+}
+
+TEST(FlatForestTest, ShortCircuitStopsAtDecidingVote) {
+  // 10 unanimous "match" trees: 2*pos >= 10 first holds at the 5th vote
+  // (the tie-break bound). 10 unanimous "no" trees: a match needs 5 of the
+  // remaining votes, impossible only after the 6th "no".
+  int voted = -1;
+  EXPECT_TRUE(FlatForest::Compile(ConstantForest(10, 0)).Predict({}, &voted));
+  EXPECT_EQ(voted, 5);
+  EXPECT_FALSE(FlatForest::Compile(ConstantForest(0, 10)).Predict({}, &voted));
+  EXPECT_EQ(voted, 6);
+  // Odd count: majority of 11 needs 6 matches; 6 "no" votes decide a "no".
+  EXPECT_TRUE(FlatForest::Compile(ConstantForest(11, 0)).Predict({}, &voted));
+  EXPECT_EQ(voted, 6);
+  EXPECT_FALSE(FlatForest::Compile(ConstantForest(0, 11)).Predict({}, &voted));
+  EXPECT_EQ(voted, 6);
+}
+
+TEST(FlatForestTest, EmptyForestVotesZeroTreesAndPredictsNo) {
+  FlatForest flat = FlatForest::Compile(RandomForest());
+  int voted = -1;
+  EXPECT_FALSE(flat.Predict({}, &voted));
+  EXPECT_EQ(voted, 0);
+  EXPECT_TRUE(flat.used_features().empty());
+}
+
+TEST(FlatForestTest, NeverReadsUnusedFeatures) {
+  Rng rng(37);
+  std::vector<FeatureVec> x;
+  std::vector<char> y;
+  // Feature 1 carries the signal; features 0 and 2 are constant, so no
+  // split can use them.
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.NextDouble();
+    x.push_back({7.0, v, 7.0});
+    y.push_back(v > 0.5 ? 1 : 0);
+  }
+  auto forest = RandomForest::Train(x, y, ForestOptions{}, &rng);
+  FlatForest flat = FlatForest::Compile(forest);
+  ASSERT_EQ(flat.used_features(), std::vector<int>{1});
+  for (int i = 0; i < 100; ++i) {
+    double v = rng.NextDouble();
+    bool expect = forest.Predict({7.0, v, 7.0});
+    // The accessor traps any read outside the used-feature set.
+    bool got = flat.PredictWith([&](int pos) -> double {
+      EXPECT_EQ(pos, 1);
+      return v;
+    });
+    EXPECT_EQ(got, expect);
+  }
 }
 
 }  // namespace
