@@ -43,4 +43,15 @@ void Bitmap::Reset() {
   for (auto& w : words_) w = 0;
 }
 
+Bitmap Bitmap::FromWords(size_t nbits, std::vector<uint64_t> words) {
+  assert(words.size() == (nbits + 63) / 64);
+  Bitmap b;
+  b.nbits_ = nbits;
+  b.words_ = std::move(words);
+  if (nbits % 64 != 0 && !b.words_.empty()) {
+    b.words_.back() &= (uint64_t{1} << (nbits % 64)) - 1;
+  }
+  return b;
+}
+
 }  // namespace falcon

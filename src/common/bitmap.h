@@ -50,6 +50,13 @@ class Bitmap {
   /// Approximate heap footprint in bytes.
   size_t MemoryUsage() const { return words_.capacity() * sizeof(uint64_t); }
 
+  /// Backing words, low bit first (for serialization).
+  const std::vector<uint64_t>& words() const { return words_; }
+
+  /// Rebuilds a bitmap from serialized words. Word count must match
+  /// (nbits + 63) / 64; excess high bits in the last word are cleared.
+  static Bitmap FromWords(size_t nbits, std::vector<uint64_t> words);
+
  private:
   size_t nbits_ = 0;
   std::vector<uint64_t> words_;

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320).
+//
+// Used by the session snapshot format to detect corrupted sections before
+// deserialization. Table-driven, byte-at-a-time; plenty fast for snapshot
+// sizes (megabytes at most).
+#ifndef FALCON_COMMON_CRC32_H_
+#define FALCON_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace falcon {
+
+/// CRC-32 of `len` bytes. Pass a previous CRC as `seed` to chain blocks
+/// (standard init/finalize is handled internally; seed 0 starts fresh).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_CRC32_H_

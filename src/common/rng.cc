@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numbers>
 
+#include "common/serde.h"
+
 namespace falcon {
 namespace {
 
@@ -104,5 +106,33 @@ std::vector<size_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
 }
 
 Rng Rng::Fork() { return Rng(Next64() ^ 0xA0761D6478BD642FULL); }
+
+RngState Rng::SaveState() const {
+  RngState st;
+  for (int i = 0; i < 4; ++i) st.s[i] = s_[i];
+  st.has_cached_gaussian = has_cached_gaussian_;
+  st.cached_gaussian = cached_gaussian_;
+  return st;
+}
+
+void Rng::RestoreState(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_gaussian_ = state.has_cached_gaussian;
+  cached_gaussian_ = state.cached_gaussian;
+}
+
+void WriteRngState(const RngState& state, BinaryWriter* w) {
+  for (uint64_t word : state.s) w->U64(word);
+  w->U8(state.has_cached_gaussian ? 1 : 0);
+  w->F64(state.cached_gaussian);
+}
+
+RngState ReadRngState(BinaryReader* r) {
+  RngState st;
+  for (auto& word : st.s) word = r->U64();
+  st.has_cached_gaussian = r->U8() != 0;
+  st.cached_gaussian = r->F64();
+  return st;
+}
 
 }  // namespace falcon

@@ -14,6 +14,22 @@
 
 namespace falcon {
 
+/// Complete engine state of an Rng: the xoshiro256** word state plus the
+/// Box-Muller gaussian cache. Restoring this replays the exact stream from
+/// the save point — seeds alone cannot, because a seed restarts the stream
+/// from the beginning. Used by the session snapshot format.
+struct RngState {
+  uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_gaussian = false;
+  double cached_gaussian = 0.0;
+
+  bool operator==(const RngState& o) const {
+    return s[0] == o.s[0] && s[1] == o.s[1] && s[2] == o.s[2] &&
+           s[3] == o.s[3] && has_cached_gaussian == o.has_cached_gaussian &&
+           cached_gaussian == o.cached_gaussian;
+  }
+};
+
 /// A small, fast, deterministic PRNG (xoshiro256** seeded via SplitMix64).
 ///
 /// Not cryptographically secure; intended for simulation reproducibility.
@@ -61,11 +77,26 @@ class Rng {
   /// must not share a stream).
   Rng Fork();
 
+  /// Captures the full engine state (word state + gaussian cache).
+  RngState SaveState() const;
+
+  /// Restores a previously saved state; subsequent draws replay the exact
+  /// stream that followed the SaveState() call.
+  void RestoreState(const RngState& state);
+
  private:
   uint64_t s_[4];
   bool has_cached_gaussian_ = false;
   double cached_gaussian_ = 0.0;
 };
+
+class BinaryWriter;
+class BinaryReader;
+
+/// Binary round-trip of an RngState (bit-exact, including the gaussian
+/// cache); used by crowd-state blobs and session snapshots.
+void WriteRngState(const RngState& state, BinaryWriter* w);
+RngState ReadRngState(BinaryReader* r);
 
 }  // namespace falcon
 

@@ -1,0 +1,64 @@
+// Little-endian binary encoding primitives.
+//
+// The session snapshot format (src/session/snapshot.h) and the crowd-state
+// blobs (src/crowd/crowd.h) need a platform-stable byte encoding: fixed-width
+// little-endian integers and IEEE-754 bit patterns for doubles, so a snapshot
+// written on one machine restores byte-identically on another. BinaryWriter
+// appends to a std::string; BinaryReader consumes a string_view and latches
+// the first failure (short read) so callers can check once at the end.
+#ifndef FALCON_COMMON_SERDE_H_
+#define FALCON_COMMON_SERDE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace falcon {
+
+class BinaryWriter {
+ public:
+  void U8(uint8_t v) { out_.push_back(static_cast<char>(v)); }
+  void U32(uint32_t v);
+  void U64(uint64_t v);
+  /// IEEE-754 bit pattern; NaN round-trips bit-exactly.
+  void F64(double v);
+  /// Length-prefixed (u64) byte string.
+  void Str(std::string_view s);
+  /// Raw bytes, no length prefix.
+  void Raw(const void* data, size_t len);
+
+  const std::string& data() const { return out_; }
+  std::string Take() { return std::move(out_); }
+
+ private:
+  std::string out_;
+};
+
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::string_view data) : data_(data) {}
+
+  uint8_t U8();
+  uint32_t U32();
+  uint64_t U64();
+  double F64();
+  std::string Str();
+
+  /// False once any read ran past the end (reads after that return zeros).
+  bool ok() const { return ok_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  /// True if every byte was consumed and no read failed.
+  bool exhausted() const { return ok_ && pos_ == data_.size(); }
+
+ private:
+  bool Take(size_t n, const char** p);
+
+  std::string_view data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_COMMON_SERDE_H_

@@ -59,6 +59,12 @@ struct FalconConfig {
   /// Rules whose sample coverage is below this fraction of |S| are not
   /// worth evaluating ("high precision AND coverage").
   double min_rule_coverage_fraction = 0.005;
+  /// Score candidate rules with a deterministic per-pair cost proxy instead
+  /// of measured CPU time. Measured times vary run to run, so select_opt_seq
+  /// may pick different (equally valid) sequences on identical inputs; a
+  /// resumable session that promises byte-identical resume turns this on so
+  /// the plan itself is reproducible.
+  bool deterministic_rule_cost = false;
 
   // --- select_opt_seq (Section 6) ---
   double score_alpha = 1.0;   ///< weight of precision

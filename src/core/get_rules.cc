@@ -63,10 +63,17 @@ RuleCandidates GetBlockingRules(const RandomForest& forest,
     rule.selectivity =
         1.0 - static_cast<double>(rule.coverage) / sample_fvs.size();
     // Per-pair time: job map-time over sample size, in per-pair seconds on
-    // one core.
-    double measured =
-        job.stats.map_time.seconds * cluster->total_map_slots();
-    rule.time_per_pair = measured / static_cast<double>(sample_fvs.size());
+    // one core. With deterministic_time, a predicate-count proxy replaces
+    // the measurement so the downstream sequence choice is reproducible.
+    if (options.deterministic_time) {
+      rule.time_per_pair =
+          options.deterministic_seconds_per_predicate *
+          static_cast<double>(std::max<size_t>(rule.predicates.size(), 1));
+    } else {
+      double measured =
+          job.stats.map_time.seconds * cluster->total_map_slots();
+      rule.time_per_pair = measured / static_cast<double>(sample_fvs.size());
+    }
     // Known positives this rule would drop.
     for (size_t j = 0; j < labeled_indices.size(); ++j) {
       if (labels[j] && s.cov.Get(labeled_indices[j])) ++s.pos_dropped;

@@ -19,6 +19,14 @@ struct GetRulesOptions {
   int max_rules = 20;
   /// Minimum |cov(R,S)| / |S| for a rule to be worth evaluating.
   double min_coverage_fraction = 0.005;
+  /// Replace the measured per-pair rule time with a deterministic proxy
+  /// proportional to predicate count. Measured times make select_opt_seq's
+  /// cost term — and hence the chosen sequence — vary run to run; resumable
+  /// sessions need reproducible plans (see FalconConfig).
+  bool deterministic_time = false;
+  /// Per-predicate per-pair seconds used by the proxy (the order of
+  /// magnitude of a measured predicate evaluation).
+  double deterministic_seconds_per_predicate = 2.5e-7;
 };
 
 struct RuleCandidates {

@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "blocking/index_builder.h"
 #include "core/al_matcher.h"
 #include "core/apply_matcher.h"
 #include "core/eval_rules.h"
@@ -16,11 +15,6 @@
 namespace falcon {
 namespace {
 
-/// Compiles the learned matcher for the fused apply phase and verifies the
-/// compiled form is structurally identical to the node-pool trees. Returns
-/// the real driver-side compile seconds through `compile_time` so the
-/// operator accounting stays honest (like training_time, this runs on the
-/// driver, not the cluster).
 /// Folds the fused apply_matcher work counters into the run metrics.
 void RecordMatcherWork(const FusedMatcherWork& work, RunMetrics* m) {
   double pairs = static_cast<double>(work.pairs);
@@ -33,6 +27,11 @@ void RecordMatcherWork(const FusedMatcherWork& work, RunMetrics* m) {
   m->matcher_num_trees = work.num_trees;
 }
 
+/// Compiles the learned matcher for the fused apply phase and verifies the
+/// compiled form is structurally identical to the node-pool trees. Returns
+/// the real driver-side compile seconds through `compile_time` so the
+/// operator accounting stays honest (like training_time, this runs on the
+/// driver, not the cluster).
 Result<FlatForest> CompileMatcher(const RandomForest& matcher,
                                   VDuration* compile_time) {
   FlatForest flat;
@@ -46,29 +45,6 @@ Result<FlatForest> CompileMatcher(const RandomForest& matcher,
   }
   return flat;
 }
-
-/// Crowd-time bank for masking: crowd latency deposits credit; masked
-/// machine work withdraws it and returns only the unmasked remainder.
-class MaskBank {
- public:
-  explicit MaskBank(bool enabled) : enabled_(enabled) {}
-
-  void Deposit(VDuration d) { credit_ += d; }
-
-  /// Charges a maskable task of duration `d`; returns its unmasked part.
-  VDuration Run(VDuration d) {
-    if (!enabled_) return d;
-    VDuration used = Min(d, credit_);
-    credit_ -= used;
-    return d - used;
-  }
-
-  VDuration credit() const { return credit_; }
-
- private:
-  bool enabled_;
-  VDuration credit_;
-};
 
 struct FilterOut {
   std::vector<CandidatePair> pairs;
@@ -125,15 +101,52 @@ Result<ApplyResult> ApplyWithFallback(const Table& a, const Table& b,
   return last;
 }
 
+/// AlMatcherOptions shared by the blocker and matcher AL stages.
+AlMatcherOptions BaseAlOptions(const FalconConfig& config) {
+  AlMatcherOptions opts;
+  opts.max_iterations = config.al_max_iterations;
+  opts.pairs_per_iteration = config.pairs_per_iteration;
+  opts.convergence_patience = config.al_convergence_patience;
+  opts.convergence_threshold = config.al_convergence_threshold;
+  opts.forest = config.forest;
+  opts.mask_pair_selection = false;
+  return opts;
+}
+
 }  // namespace
+
+const char* PipelineStageName(PipelineStage stage) {
+  switch (stage) {
+    case PipelineStage::kInit: return "init";
+    case PipelineStage::kSamplePairs: return "sample_pairs";
+    case PipelineStage::kGenFvsSample: return "gen_fvs(S)";
+    case PipelineStage::kBlockerAl: return "al_matcher(blocker)";
+    case PipelineStage::kGetRules: return "get_block_rules";
+    case PipelineStage::kEvalRules: return "eval_rules";
+    case PipelineStage::kSelectSeq: return "sel_opt_seq";
+    case PipelineStage::kApplyRules: return "apply_block_rules";
+    case PipelineStage::kGenFvsCand: return "gen_fvs(C)";
+    case PipelineStage::kMatcherAl: return "al_matcher(matcher)";
+    case PipelineStage::kApplyMatcher: return "apply_matcher";
+    case PipelineStage::kEstimateAccuracy: return "estimate_accuracy";
+    case PipelineStage::kDone: return "done";
+  }
+  return "unknown";
+}
 
 FalconPipeline::FalconPipeline(const Table* a, const Table* b,
                                CrowdPlatform* crowd, Cluster* cluster,
                                FalconConfig config)
     : a_(a), b_(b), crowd_(crowd), cluster_(cluster),
-      config_(std::move(config)) {
+      config_(std::move(config)), builder_(a, cluster) {
   features_ = FeatureSet::Generate(*a_, *b_);
   features_ready_ = true;
+}
+
+FalconPipeline::~FalconPipeline() {
+  // The feature set may be bound to catalog_'s token stores (O1); clear the
+  // binding so no dangling pointers survive member destruction.
+  features_.BindTokenStores(nullptr, nullptr);
 }
 
 bool FalconPipeline::NeedsBlocking() const {
@@ -146,6 +159,13 @@ bool FalconPipeline::NeedsBlocking() const {
 }
 
 Result<MatchResult> FalconPipeline::Run() {
+  FALCON_RETURN_NOT_OK(Start());
+  while (!done()) FALCON_RETURN_NOT_OK(Step());
+  return TakeResult();
+}
+
+Status FalconPipeline::Start() {
+  if (started()) return Status::OK();
   if (a_->num_rows() == 0 || b_->num_rows() == 0) {
     return Status::InvalidArgument("empty input table");
   }
@@ -153,61 +173,104 @@ Result<MatchResult> FalconPipeline::Run() {
     return Status::InvalidArgument(
         "no features generated: schemas share no compatible attributes");
   }
-  return NeedsBlocking() ? RunBlockingPlan() : RunMatcherOnlyPlan();
+  state_.rng.Seed(config_.seed);
+  if (NeedsBlocking()) {
+    state_.out.metrics.used_blocking = true;
+    state_.next = PipelineStage::kSamplePairs;
+  } else {
+    state_.out.metrics.used_blocking = false;
+    state_.next = PipelineStage::kGenFvsCand;
+  }
+  return Status::OK();
 }
 
-Result<MatchResult> FalconPipeline::RunBlockingPlan() {
-  MatchResult out;
-  RunMetrics& m = out.metrics;
-  m.used_blocking = true;
-  MaskBank bank(config_.enable_masking);
-  Rng rng(config_.seed);
-  IndexCatalog catalog;
-  IndexBuilder builder(a_, cluster_);
-  // The feature set may be bound to the catalog's token stores below for the
-  // dictionary-encoded fast path; the catalog is local to this plan, so the
-  // binding must be cleared before the catalog is destroyed (guard declared
-  // after `catalog` -> destroyed first).
-  struct StoreBindingGuard {
-    FeatureSet* fs;
-    ~StoreBindingGuard() { fs->BindTokenStores(nullptr, nullptr); }
-  } store_guard{&features_};
+Status FalconPipeline::Step() {
+  if (!started()) {
+    return Status::Internal("Step() before Start()");
+  }
+  Status st;
+  switch (state_.next) {
+    case PipelineStage::kSamplePairs: st = StageSamplePairs(); break;
+    case PipelineStage::kGenFvsSample: st = StageGenFvsSample(); break;
+    case PipelineStage::kBlockerAl: st = StageBlockerAl(); break;
+    case PipelineStage::kGetRules: st = StageGetRules(); break;
+    case PipelineStage::kEvalRules: st = StageEvalRules(); break;
+    case PipelineStage::kSelectSeq: st = StageSelectSeq(); break;
+    case PipelineStage::kApplyRules: st = StageApplyRules(); break;
+    case PipelineStage::kGenFvsCand: st = StageGenFvsCand(); break;
+    case PipelineStage::kMatcherAl: st = StageMatcherAl(); break;
+    case PipelineStage::kApplyMatcher: st = StageApplyMatcher(); break;
+    case PipelineStage::kEstimateAccuracy: st = StageEstimateAccuracy(); break;
+    case PipelineStage::kInit:
+    case PipelineStage::kDone:
+      return Status::Internal("Step() with no stage to run");
+  }
+  RefreshTotalTime();
+  return st;
+}
 
-  auto add_machine = [&](const std::string& name, VDuration raw,
-                         VDuration unmasked) {
-    m.machine_time += raw;
-    m.machine_unmasked += unmasked;
-    m.operators.push_back({name, raw, unmasked, false});
-  };
+Result<MatchResult> FalconPipeline::TakeResult() {
+  if (!done()) return Status::Internal("TakeResult() before the run finished");
+  return std::move(state_.out);
+}
 
-  // --- (1) sample_pairs -----------------------------------------------------
+void FalconPipeline::AddMachine(const std::string& name, VDuration raw,
+                                VDuration unmasked) {
+  RunMetrics& m = state_.out.metrics;
+  m.machine_time += raw;
+  m.machine_unmasked += unmasked;
+  m.operators.push_back({name, raw, unmasked, false});
+}
+
+VDuration FalconPipeline::MaskRun(VDuration d) {
+  if (!config_.enable_masking) return d;
+  VDuration used = Min(d, state_.bank_credit);
+  state_.bank_credit -= used;
+  return d - used;
+}
+
+void FalconPipeline::RefreshTotalTime() {
+  RunMetrics& m = state_.out.metrics;
+  m.total_time = m.crowd_time + m.machine_unmasked;
+}
+
+// --- (1) sample_pairs -------------------------------------------------------
+Status FalconPipeline::StageSamplePairs() {
   FALCON_ASSIGN_OR_RETURN(
       SampleResult sample,
       SamplePairs(*a_, *b_, config_.sample_size, config_.sample_y, cluster_,
-                  &rng, config_.sample_strategy));
-  add_machine("sample_pairs", sample.time, sample.time);
+                  &state_.rng, config_.sample_strategy));
+  state_.sample = std::move(sample.pairs);
+  AddMachine("sample_pairs", sample.time, sample.time);
+  state_.next = PipelineStage::kGenFvsSample;
+  return Status::OK();
+}
 
-  // --- (2) gen_fvs over S (blocking features) -------------------------------
-  GenFvsResult sfvs = GenFvs(*a_, *b_, sample.pairs, features_,
+// --- (2) gen_fvs over S (blocking features) ---------------------------------
+Status FalconPipeline::StageGenFvsSample() {
+  GenFvsResult sfvs = GenFvs(*a_, *b_, state_.sample, features_,
                              features_.blocking_ids(), cluster_,
                              "gen_fvs(S)");
-  add_machine("gen_fvs", sfvs.time, sfvs.time);
+  state_.sample_fvs = std::move(sfvs.fvs);
+  state_.sample_fvs_ready = true;
+  AddMachine("gen_fvs", sfvs.time, sfvs.time);
+  state_.next = PipelineStage::kBlockerAl;
+  return Status::OK();
+}
 
-  // --- (3) al_matcher: learn blocker model M --------------------------------
-  AlMatcherOptions al_opts;
-  al_opts.max_iterations = config_.al_max_iterations;
-  al_opts.pairs_per_iteration = config_.pairs_per_iteration;
-  al_opts.convergence_patience = config_.al_convergence_patience;
-  al_opts.convergence_threshold = config_.al_convergence_threshold;
-  al_opts.forest = config_.forest;
+// --- (3) al_matcher: learn blocker model M ----------------------------------
+Status FalconPipeline::StageBlockerAl() {
+  RunMetrics& m = state_.out.metrics;
+  AlMatcherOptions al_opts = BaseAlOptions(config_);
   al_opts.mask_pair_selection = false;  // S is small; not worth it (Sec 10.2)
   FALCON_ASSIGN_OR_RETURN(
       AlMatcherResult blocker,
-      AlMatcher(sfvs.fvs, sample.pairs, crowd_, al_opts, cluster_, &rng));
+      AlMatcher(state_.sample_fvs, state_.sample, crowd_, al_opts, cluster_,
+                &state_.rng));
   m.crowd_time += blocker.crowd_time;
   m.questions += blocker.questions;
   m.cost += blocker.cost;
-  bank.Deposit(blocker.crowd_time);
+  state_.bank_credit += blocker.crowd_time;
   {
     VDuration mach = blocker.selection_time + blocker.training_time;
     VDuration unmask = blocker.selection_unmasked + blocker.training_time;
@@ -216,37 +279,54 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
     m.operators.push_back(
         {"al_matcher(blocker)", blocker.crowd_time + mach, unmask, true});
   }
+  state_.blocker = std::move(blocker.matcher);
+  state_.blocker_labeled_indices = std::move(blocker.labeled_indices);
+  state_.blocker_labels = std::move(blocker.labels);
 
   // O1a: while the blocker crowdsources, build rule-independent indexes.
   // Token stores come first: tokenizing/interning both tables inside the
   // mask window makes every later probe and feature computation run on
   // integer ids.
   if (config_.enable_masking && config_.mask_index_building) {
-    VDuration dur = builder.EnsureTokenStores(*b_, features_, &catalog);
-    dur += builder.Ensure(IndexBuilder::GenericNeeds(features_), &catalog);
-    VDuration unmasked = bank.Run(dur);
-    add_machine("index_build(generic,masked)", dur, unmasked);
-    features_.BindTokenStores(catalog.store(a_), catalog.store(b_));
+    VDuration dur = builder_.EnsureTokenStores(*b_, features_, &catalog_);
+    dur += builder_.Ensure(IndexBuilder::GenericNeeds(features_), &catalog_);
+    VDuration unmasked = MaskRun(dur);
+    AddMachine("index_build(generic,masked)", dur, unmasked);
+    features_.BindTokenStores(catalog_.store(a_), catalog_.store(b_));
   }
+  state_.next = PipelineStage::kGetRules;
+  return Status::OK();
+}
 
-  // --- (4) get_blocking_rules ------------------------------------------------
+// --- (4) get_blocking_rules -------------------------------------------------
+Status FalconPipeline::StageGetRules() {
+  RunMetrics& m = state_.out.metrics;
   // Rule predicates index into the blocking feature vector; map positions to
   // global ids.
   GetRulesOptions gr_opts;
   gr_opts.max_rules = config_.max_rules_to_eval;
   gr_opts.min_coverage_fraction = config_.min_rule_coverage_fraction;
+  gr_opts.deterministic_time = config_.deterministic_rule_cost;
   RuleCandidates candidates = GetBlockingRules(
-      blocker.matcher, features_.blocking_ids(), features_, sfvs.fvs,
-      blocker.labeled_indices, blocker.labels, gr_opts, cluster_);
+      state_.blocker, features_.blocking_ids(), features_, state_.sample_fvs,
+      state_.blocker_labeled_indices, state_.blocker_labels, gr_opts,
+      cluster_);
   m.num_candidate_rules = candidates.rules.size();
-  add_machine("get_block_rules", candidates.time, candidates.time);
+  AddMachine("get_block_rules", candidates.time, candidates.time);
   if (candidates.rules.empty()) {
     return Status::Internal(
         "blocker learned no usable blocking rules; consider the matcher-only "
         "plan (tables may be too clean or the sample too small)");
   }
+  state_.candidate_rules = std::move(candidates.rules);
+  state_.candidate_coverage = std::move(candidates.coverage);
+  state_.next = PipelineStage::kEvalRules;
+  return Status::OK();
+}
 
-  // --- (5) eval_rules ----------------------------------------------------------
+// --- (5) eval_rules ---------------------------------------------------------
+Status FalconPipeline::StageEvalRules() {
+  RunMetrics& m = state_.out.metrics;
   EvalRulesOptions ev_opts;
   ev_opts.max_iterations_per_rule = config_.eval_max_iterations_per_rule;
   ev_opts.pairs_per_iteration = config_.eval_pairs_per_iteration;
@@ -255,79 +335,80 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   ev_opts.delta = config_.eval_delta;
   FALCON_ASSIGN_OR_RETURN(
       EvalRulesResult evaluated,
-      EvalRules(candidates.rules, candidates.coverage, sample.pairs, crowd_,
-                ev_opts, &rng));
+      EvalRules(state_.candidate_rules, state_.candidate_coverage,
+                state_.sample, crowd_, ev_opts, &state_.rng));
   m.crowd_time += evaluated.crowd_time;
   m.questions += evaluated.questions;
   m.cost += evaluated.cost;
   m.num_retained_rules = evaluated.retained.size();
-  bank.Deposit(evaluated.crowd_time);
+  state_.bank_credit += evaluated.crowd_time;
   m.operators.push_back(
       {"eval_rules", evaluated.crowd_time, VDuration::Zero(), true});
   if (evaluated.retained.empty()) {
     return Status::Internal(
         "eval_rules retained no blocking rule with sufficient precision");
   }
+  state_.retained_rules = std::move(evaluated.retained);
+  state_.retained_coverage = std::move(evaluated.retained_coverage);
 
   // O1b: while eval_rules crowdsources, build the indexes of ALL candidate
   // rules (some may go unused — that is the nature of masking).
   if (config_.enable_masking && config_.mask_index_building) {
     std::vector<IndexNeed> all_needs;
-    for (const auto& r : candidates.rules) {
+    for (const auto& r : state_.candidate_rules) {
       auto needs = IndexBuilder::NeedsOfRule(r, features_);
       all_needs.insert(all_needs.end(), needs.begin(), needs.end());
     }
-    VDuration dur = builder.Ensure(all_needs, &catalog);
-    VDuration unmasked = bank.Run(dur);
-    add_machine("index_build(rules,masked)", dur, unmasked);
+    VDuration dur = builder_.Ensure(all_needs, &catalog_);
+    VDuration unmasked = MaskRun(dur);
+    AddMachine("index_build(rules,masked)", dur, unmasked);
   }
 
   // O2a: speculatively execute candidate rules inside the remaining mask
   // window, most promising first (the eval_rules crowdsourcing order).
-  struct SpecJob {
-    std::string key;
-    ApplyResult result;
-    bool completed = false;
-    VDuration remaining;  ///< > 0 only for the in-flight job at the barrier
-  };
-  std::vector<SpecJob> spec;
+  // Speculation state is transient: a resumed run simply re-applies the
+  // selected sequence fresh, and the candidate SET is path-independent.
   if (config_.enable_masking && config_.mask_speculative_execution) {
-    for (const auto& rule : candidates.rules) {
-      if (bank.credit().seconds <= 0.0) break;  // job would never start
+    for (const auto& rule : state_.candidate_rules) {
+      if (state_.bank_credit.seconds <= 0.0) break;  // job would never start
       RuleSequence single;
       single.rules.push_back(rule);
       single.selectivity = rule.selectivity;
       // Indexes for this rule (already present if O1 ran; otherwise their
       // build is part of the speculative work).
       VDuration idx_dur =
-          builder.Ensure(IndexBuilder::NeedsOfRule(rule, features_),
-                         &catalog);
+          builder_.Ensure(IndexBuilder::NeedsOfRule(rule, features_),
+                          &catalog_);
       if (idx_dur.seconds > 0.0) {
-        VDuration unmasked = bank.Run(idx_dur);
-        add_machine("index_build(spec)", idx_dur, unmasked);
-        if (bank.credit().seconds <= 0.0 && unmasked.seconds > 0.0) break;
+        VDuration unmasked = MaskRun(idx_dur);
+        AddMachine("index_build(spec)", idx_dur, unmasked);
+        if (state_.bank_credit.seconds <= 0.0 && unmasked.seconds > 0.0) break;
       }
       ApplyMethod method =
-          SelectApplyMethod(*a_, *b_, single, features_, catalog, *cluster_);
+          SelectApplyMethod(*a_, *b_, single, features_, catalog_, *cluster_);
       ApplyMethod used = method;
-      auto res = ApplyWithFallback(*a_, *b_, single, features_, catalog,
+      auto res = ApplyWithFallback(*a_, *b_, single, features_, catalog_,
                                    cluster_, method, config_.apply, &used);
       if (!res.ok()) break;  // e.g. nothing filterable; stop speculating
       SpecJob job;
       job.key = CanonicalKey(rule);
       job.result = std::move(res).value();
       m.machine_time += job.result.time;
-      VDuration leftover = bank.Run(job.result.time);
+      VDuration leftover = MaskRun(job.result.time);
       job.completed = leftover.seconds <= 0.0;
       job.remaining = leftover;
       if (job.completed) ++m.speculated_rules;
       bool in_flight = !job.completed;
-      spec.push_back(std::move(job));
+      spec_.push_back(std::move(job));
       if (in_flight) break;  // the window closed mid-job
     }
   }
+  state_.next = PipelineStage::kSelectSeq;
+  return Status::OK();
+}
 
-  // --- (6) select_opt_seq ---------------------------------------------------------
+// --- (6) select_opt_seq -----------------------------------------------------
+Status FalconPipeline::StageSelectSeq() {
   SelectSeqOptions ss_opts;
   ss_opts.alpha = config_.score_alpha;
   ss_opts.beta = config_.score_beta;
@@ -335,31 +416,38 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   ss_opts.max_rules_exhaustive = config_.max_rules_exhaustive;
   FALCON_ASSIGN_OR_RETURN(
       SelectSeqResult selected,
-      SelectOptSeq(evaluated.retained, evaluated.retained_coverage,
-                   sample.pairs.size(), ss_opts));
-  out.sequence = selected.sequence;
-  add_machine("sel_opt_seq", selected.time, selected.time);
+      SelectOptSeq(state_.retained_rules, state_.retained_coverage,
+                   state_.sample.size(), ss_opts));
+  state_.out.sequence = selected.sequence;
+  AddMachine("sel_opt_seq", selected.time, selected.time);
+  state_.next = PipelineStage::kApplyRules;
+  return Status::OK();
+}
 
-  // --- (7) apply_blocking_rules with Algorithm 2 reuse -----------------------------
+// --- (7) apply_blocking_rules with Algorithm 2 reuse ------------------------
+Status FalconPipeline::StageApplyRules() {
+  RunMetrics& m = state_.out.metrics;
+  MatchResult& out = state_.out;
+  const RuleSequence& sequence = out.sequence;
   // Any index the selected sequence still needs is built now, unmasked.
   {
-    CnfRule q = ToCnf(SimplifySequence(selected.sequence));
-    VDuration dur = builder.EnsureTokenStores(*b_, features_, &catalog);
-    dur += builder.Ensure(IndexBuilder::NeedsOfCnf(q, features_), &catalog);
-    if (dur.seconds > 0.0) add_machine("index_build(unmasked)", dur, dur);
-    features_.BindTokenStores(catalog.store(a_), catalog.store(b_));
+    CnfRule q = ToCnf(SimplifySequence(sequence));
+    VDuration dur = builder_.EnsureTokenStores(*b_, features_, &catalog_);
+    dur += builder_.Ensure(IndexBuilder::NeedsOfCnf(q, features_), &catalog_);
+    if (dur.seconds > 0.0) AddMachine("index_build(unmasked)", dur, dur);
+    features_.BindTokenStores(catalog_.store(a_), catalog_.store(b_));
   }
-  ApplyMethod preferred = SelectApplyMethod(*a_, *b_, selected.sequence,
-                                            features_, catalog, *cluster_);
+  ApplyMethod preferred = SelectApplyMethod(*a_, *b_, sequence, features_,
+                                            catalog_, *cluster_);
   std::unordered_map<std::string, size_t> spec_by_key;
-  for (size_t i = 0; i < spec.size(); ++i) spec_by_key[spec[i].key] = i;
+  for (size_t i = 0; i < spec_.size(); ++i) spec_by_key[spec_[i].key] = i;
 
   // Completed speculative outputs whose rule is in the selected sequence.
   const SpecJob* best_completed = nullptr;
-  for (const auto& rule : selected.sequence.rules) {
+  for (const auto& rule : sequence.rules) {
     auto it = spec_by_key.find(CanonicalKey(rule));
     if (it == spec_by_key.end()) continue;
-    const SpecJob& job = spec[it->second];
+    const SpecJob& job = spec_[it->second];
     if (!job.completed) continue;
     if (best_completed == nullptr ||
         job.result.pairs.size() < best_completed->result.pairs.size()) {
@@ -367,10 +455,10 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
     }
   }
   const SpecJob* in_flight =
-      !spec.empty() && !spec.back().completed ? &spec.back() : nullptr;
+      !spec_.empty() && !spec_.back().completed ? &spec_.back() : nullptr;
   bool in_flight_selected = false;
   if (in_flight != nullptr) {
-    for (const auto& rule : selected.sequence.rules) {
+    for (const auto& rule : sequence.rules) {
       if (CanonicalKey(rule) == in_flight->key) in_flight_selected = true;
     }
   }
@@ -380,7 +468,7 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   if (best_completed != nullptr) {
     // Algorithm 2, lines 8-11: reuse the smallest completed output.
     FilterOut filtered =
-        FilterPairs(best_completed->result.pairs, selected.sequence,
+        FilterPairs(best_completed->result.pairs, sequence,
                     features_, *a_, *b_, cluster_, "apply-remaining-rules");
     out.candidates = std::move(filtered.pairs);
     apply_raw = filtered.time;
@@ -394,7 +482,7 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
     JobStats::Phase phase = stats.PhaseAt(offset);
     bool greedy_ok =
         preferred == ApplyMethod::kApplyGreedy &&
-        CanonicalKey(selected.sequence.rules.front()) == in_flight->key;
+        CanonicalKey(sequence.rules.front()) == in_flight->key;
     if (phase == JobStats::Phase::kReduce) {
       // Output produced so far (X) gets the remaining rules via a map-only
       // job; the rest (Y) is filtered inside the still-running reducers.
@@ -406,9 +494,9 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
       std::vector<CandidatePair> y_src(
           in_flight->result.pairs.begin() + cut,
           in_flight->result.pairs.end());
-      FilterOut zx = FilterPairs(x, selected.sequence, features_, *a_, *b_,
+      FilterOut zx = FilterPairs(x, sequence, features_, *a_, *b_,
                                  cluster_, "apply-remaining-to-X");
-      FilterOut zy = FilterPairs(y_src, selected.sequence, features_, *a_,
+      FilterOut zy = FilterPairs(y_src, sequence, features_, *a_,
                                  *b_, cluster_, "reducer-applies-seq");
       out.candidates = std::move(zy.pairs);
       out.candidates.insert(out.candidates.end(), zx.pairs.begin(),
@@ -421,7 +509,7 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
       // Map phase + apply_greedy: let the job finish; its reducers evaluate
       // the full sequence.
       FilterOut filtered =
-          FilterPairs(in_flight->result.pairs, selected.sequence, features_,
+          FilterPairs(in_flight->result.pairs, sequence, features_,
                       *a_, *b_, cluster_, "greedy-reducers-apply-seq");
       out.candidates = std::move(filtered.pairs);
       apply_raw = in_flight->remaining + filtered.time;
@@ -433,7 +521,7 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
       ApplyMethod used = preferred;
       FALCON_ASSIGN_OR_RETURN(
           ApplyResult applied,
-          ApplyWithFallback(*a_, *b_, selected.sequence, features_, catalog,
+          ApplyWithFallback(*a_, *b_, sequence, features_, catalog_,
                             cluster_, preferred, config_.apply, &used));
       out.candidates = std::move(applied.pairs);
       apply_raw = applied.time;
@@ -444,14 +532,14 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
     ApplyMethod used = preferred;
     FALCON_ASSIGN_OR_RETURN(
         ApplyResult applied,
-        ApplyWithFallback(*a_, *b_, selected.sequence, features_, catalog,
+        ApplyWithFallback(*a_, *b_, sequence, features_, catalog_,
                           cluster_, preferred, config_.apply, &used));
     out.candidates = std::move(applied.pairs);
     apply_raw = applied.time;
     apply_unmasked = applied.time;
     m.apply_method = used;
   }
-  add_machine("apply_block_rules", apply_raw, apply_unmasked);
+  AddMachine("apply_block_rules", apply_raw, apply_unmasked);
   // Canonical order: which Algorithm-2 reuse path ran depends on measured
   // wall time, but the candidate SET is path-independent; sorting makes the
   // rest of the pipeline (and the final matches) seed-deterministic.
@@ -460,25 +548,48 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
   if (out.candidates.empty()) {
     return Status::Internal("blocking dropped every pair (rules too strict)");
   }
+  state_.next = PipelineStage::kGenFvsCand;
+  return Status::OK();
+}
 
-  // --- (8) gen_fvs over C (all features) ------------------------------------------
+// --- (8) gen_fvs over C (all features) --------------------------------------
+// In the matcher-only plan this stage also forms C = A x B first (guarded by
+// NeedsBlocking()'s memory estimate).
+Status FalconPipeline::StageGenFvsCand() {
+  MatchResult& out = state_.out;
+  if (!out.metrics.used_blocking && out.candidates.empty()) {
+    out.candidates.reserve(a_->num_rows() * b_->num_rows());
+    for (RowId ar = 0; ar < a_->num_rows(); ++ar) {
+      for (RowId br = 0; br < b_->num_rows(); ++br) {
+        out.candidates.emplace_back(ar, br);
+      }
+    }
+    out.metrics.candidate_size = out.candidates.size();
+  }
   GenFvsResult cfvs = GenFvs(*a_, *b_, out.candidates, features_,
                              features_.all_ids(), cluster_, "gen_fvs(C)");
-  add_machine("gen_fvs(C)", cfvs.time, cfvs.time);
+  state_.cand_fvs = std::move(cfvs.fvs);
+  state_.cand_fvs_ready = true;
+  AddMachine("gen_fvs(C)", cfvs.time, cfvs.time);
+  state_.next = PipelineStage::kMatcherAl;
+  return Status::OK();
+}
 
-  // --- (9) al_matcher: learn matcher N over C' -------------------------------------
-  AlMatcherOptions match_opts = al_opts;
+// --- (9) al_matcher: learn matcher N over C' --------------------------------
+Status FalconPipeline::StageMatcherAl() {
+  RunMetrics& m = state_.out.metrics;
+  AlMatcherOptions match_opts = BaseAlOptions(config_);
   match_opts.mask_pair_selection =
       config_.enable_masking && config_.mask_pair_selection &&
-      cfvs.fvs.size() >= config_.pair_selection_mask_threshold;
+      state_.cand_fvs.size() >= config_.pair_selection_mask_threshold;
   FALCON_ASSIGN_OR_RETURN(
       AlMatcherResult matcher,
-      AlMatcher(cfvs.fvs, out.candidates, crowd_, match_opts, cluster_,
-                &rng));
+      AlMatcher(state_.cand_fvs, state_.out.candidates, crowd_, match_opts,
+                cluster_, &state_.rng));
   m.crowd_time += matcher.crowd_time;
   m.questions += matcher.questions;
   m.cost += matcher.cost;
-  bank.Deposit(matcher.crowd_time);
+  state_.bank_credit += matcher.crowd_time;
   {
     VDuration mach = matcher.selection_time + matcher.training_time;
     VDuration unmask = matcher.selection_unmasked + matcher.training_time;
@@ -487,15 +598,23 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
     m.operators.push_back(
         {"al_matcher(matcher)", matcher.crowd_time + mach, unmask, true});
   }
+  state_.out.matcher = std::move(matcher.matcher);
+  state_.matcher_converged = matcher.converged;
+  state_.next = PipelineStage::kApplyMatcher;
+  return Status::OK();
+}
 
-  // --- (10) apply_matcher, fused with feature generation (speculated during
-  // the matcher's crowd windows). The fused job re-derives features lazily
-  // per pair instead of reading cfvs, touching only the features the forest
-  // traversals actually test; al_matcher above keeps the materialized
-  // vectors because pair selection scans full vectors every iteration.
+// --- (10) apply_matcher, fused with feature generation (speculated during
+// the matcher's crowd windows). The fused job re-derives features lazily
+// per pair instead of reading cand_fvs, touching only the features the
+// forest traversals actually test; al_matcher above keeps the materialized
+// vectors because pair selection scans full vectors every iteration.
+Status FalconPipeline::StageApplyMatcher() {
+  RunMetrics& m = state_.out.metrics;
+  MatchResult& out = state_.out;
   VDuration compile_time;
   FALCON_ASSIGN_OR_RETURN(FlatForest flat,
-                          CompileMatcher(matcher.matcher, &compile_time));
+                          CompileMatcher(out.matcher, &compile_time));
   ApplyMatcherFusedResult predictions = ApplyMatcherFused(
       *a_, *b_, out.candidates, features_, features_.all_ids(), flat,
       cluster_);
@@ -503,119 +622,33 @@ Result<MatchResult> FalconPipeline::RunBlockingPlan() {
     VDuration raw = compile_time + predictions.time;
     VDuration unmasked = raw;
     if (config_.enable_masking && config_.mask_speculative_execution &&
-        matcher.converged) {
+        state_.matcher_converged) {
       // The model stopped changing, so the speculative run with the
       // best-so-far matcher is the final run; its time hides in the last
       // crowd windows.
-      unmasked = bank.Run(raw);
+      unmasked = MaskRun(raw);
       m.spec_matcher_reused = unmasked.seconds <= 0.0;
     }
-    add_machine("apply_matcher", raw, unmasked);
+    AddMachine("apply_matcher", raw, unmasked);
   }
   RecordMatcherWork(predictions.work, &m);
+  state_.predictions = std::move(predictions.predictions);
+  out.matches.clear();
   for (size_t i = 0; i < out.candidates.size(); ++i) {
-    if (predictions.predictions[i]) out.matches.push_back(out.candidates[i]);
+    if (state_.predictions[i]) out.matches.push_back(out.candidates[i]);
   }
-
-  // --- (11, optional) estimate_accuracy --------------------------------------------
-  if (config_.estimate_accuracy) {
-    FALCON_ASSIGN_OR_RETURN(
-        m.accuracy,
-        EstimateAccuracy(out.candidates, predictions.predictions, crowd_,
-                         config_.accuracy, &rng));
-    m.has_accuracy_estimate = true;
-    m.crowd_time += m.accuracy.crowd_time;
-    m.questions += m.accuracy.questions;
-    m.cost += m.accuracy.cost;
-    m.operators.push_back({"estimate_accuracy", m.accuracy.crowd_time,
-                           VDuration::Zero(), true});
-  }
-
-  m.total_time = m.crowd_time + m.machine_unmasked;
-  out.matcher = std::move(matcher.matcher);
-  return out;
+  state_.next = PipelineStage::kEstimateAccuracy;
+  return Status::OK();
 }
 
-Result<MatchResult> FalconPipeline::RunMatcherOnlyPlan() {
-  MatchResult out;
-  RunMetrics& m = out.metrics;
-  m.used_blocking = false;
-  MaskBank bank(config_.enable_masking);
-  Rng rng(config_.seed);
-
-  auto add_machine = [&](const std::string& name, VDuration raw,
-                         VDuration unmasked) {
-    m.machine_time += raw;
-    m.machine_unmasked += unmasked;
-    m.operators.push_back({name, raw, unmasked, false});
-  };
-
-  // C = A x B (guarded by NeedsBlocking()'s memory estimate).
-  out.candidates.reserve(a_->num_rows() * b_->num_rows());
-  for (RowId ar = 0; ar < a_->num_rows(); ++ar) {
-    for (RowId br = 0; br < b_->num_rows(); ++br) {
-      out.candidates.emplace_back(ar, br);
-    }
-  }
-  m.candidate_size = out.candidates.size();
-
-  GenFvsResult cfvs = GenFvs(*a_, *b_, out.candidates, features_,
-                             features_.all_ids(), cluster_, "gen_fvs(C)");
-  add_machine("gen_fvs(C)", cfvs.time, cfvs.time);
-
-  AlMatcherOptions al_opts;
-  al_opts.max_iterations = config_.al_max_iterations;
-  al_opts.pairs_per_iteration = config_.pairs_per_iteration;
-  al_opts.convergence_patience = config_.al_convergence_patience;
-  al_opts.convergence_threshold = config_.al_convergence_threshold;
-  al_opts.forest = config_.forest;
-  al_opts.mask_pair_selection =
-      config_.enable_masking && config_.mask_pair_selection &&
-      cfvs.fvs.size() >= config_.pair_selection_mask_threshold;
-  FALCON_ASSIGN_OR_RETURN(
-      AlMatcherResult matcher,
-      AlMatcher(cfvs.fvs, out.candidates, crowd_, al_opts, cluster_, &rng));
-  m.crowd_time += matcher.crowd_time;
-  m.questions += matcher.questions;
-  m.cost += matcher.cost;
-  bank.Deposit(matcher.crowd_time);
-  {
-    VDuration mach = matcher.selection_time + matcher.training_time;
-    VDuration unmask = matcher.selection_unmasked + matcher.training_time;
-    m.machine_time += mach;
-    m.machine_unmasked += unmask;
-    m.operators.push_back(
-        {"al_matcher(matcher)", matcher.crowd_time + mach, unmask, true});
-  }
-
-  // Fused apply phase, as in the blocking plan: predictions never read the
-  // materialized cfvs (kept above solely for al_matcher).
-  VDuration compile_time;
-  FALCON_ASSIGN_OR_RETURN(FlatForest flat,
-                          CompileMatcher(matcher.matcher, &compile_time));
-  ApplyMatcherFusedResult predictions = ApplyMatcherFused(
-      *a_, *b_, out.candidates, features_, features_.all_ids(), flat,
-      cluster_);
-  {
-    VDuration raw = compile_time + predictions.time;
-    VDuration unmasked = raw;
-    if (config_.enable_masking && config_.mask_speculative_execution &&
-        matcher.converged) {
-      unmasked = bank.Run(raw);
-      m.spec_matcher_reused = unmasked.seconds <= 0.0;
-    }
-    add_machine("apply_matcher", raw, unmasked);
-  }
-  RecordMatcherWork(predictions.work, &m);
-  for (size_t i = 0; i < out.candidates.size(); ++i) {
-    if (predictions.predictions[i]) out.matches.push_back(out.candidates[i]);
-  }
-
+// --- (11, optional) estimate_accuracy ---------------------------------------
+Status FalconPipeline::StageEstimateAccuracy() {
+  RunMetrics& m = state_.out.metrics;
   if (config_.estimate_accuracy) {
     FALCON_ASSIGN_OR_RETURN(
         m.accuracy,
-        EstimateAccuracy(out.candidates, predictions.predictions, crowd_,
-                         config_.accuracy, &rng));
+        EstimateAccuracy(state_.out.candidates, state_.predictions, crowd_,
+                         config_.accuracy, &state_.rng));
     m.has_accuracy_estimate = true;
     m.crowd_time += m.accuracy.crowd_time;
     m.questions += m.accuracy.questions;
@@ -623,10 +656,112 @@ Result<MatchResult> FalconPipeline::RunMatcherOnlyPlan() {
     m.operators.push_back({"estimate_accuracy", m.accuracy.crowd_time,
                            VDuration::Zero(), true});
   }
+  state_.next = PipelineStage::kDone;
+  return Status::OK();
+}
 
-  m.total_time = m.crowd_time + m.machine_unmasked;
-  out.matcher = std::move(matcher.matcher);
-  return out;
+Status FalconPipeline::Rehydrate(VDuration* rebuild_time) {
+  VDuration total;
+  if (started() && !done()) {
+    const bool blocking = state_.out.metrics.used_blocking;
+    const PipelineStage next = state_.next;
+    auto at_least = [&](PipelineStage s) {
+      return static_cast<uint32_t>(next) >= static_cast<uint32_t>(s);
+    };
+
+    // Durable-state invariants the next stage depends on. The snapshot
+    // loader validates structure; this validates stage preconditions.
+    if (blocking) {
+      if (at_least(PipelineStage::kGenFvsSample) &&
+          next <= PipelineStage::kEvalRules && state_.sample.empty()) {
+        return Status::InvalidArgument(
+            "resumable state has no sample S before rule evaluation ended");
+      }
+      if (next == PipelineStage::kGetRules &&
+          state_.blocker.num_trees() == 0) {
+        return Status::InvalidArgument(
+            "resumable state is missing the blocker forest");
+      }
+      if (next == PipelineStage::kEvalRules &&
+          state_.candidate_rules.empty()) {
+        return Status::InvalidArgument(
+            "resumable state is missing the candidate rules");
+      }
+      if (next == PipelineStage::kSelectSeq && state_.retained_rules.empty()) {
+        return Status::InvalidArgument(
+            "resumable state is missing the retained rules");
+      }
+      if (next == PipelineStage::kApplyRules &&
+          state_.out.sequence.rules.empty()) {
+        return Status::InvalidArgument(
+            "resumable state is missing the selected rule sequence");
+      }
+    }
+    if (at_least(PipelineStage::kMatcherAl) && state_.out.candidates.empty() &&
+        blocking) {
+      return Status::InvalidArgument(
+          "resumable state is missing the candidate set");
+    }
+    if (at_least(PipelineStage::kApplyMatcher) &&
+        state_.out.matcher.num_trees() == 0) {
+      return Status::InvalidArgument(
+          "resumable state is missing the matcher forest");
+    }
+    if (next == PipelineStage::kEstimateAccuracy &&
+        state_.predictions.size() != state_.out.candidates.size()) {
+      return Status::InvalidArgument(
+          "resumable state predictions do not match its candidates");
+    }
+
+    // gen_fvs caches.
+    if (blocking &&
+        (next == PipelineStage::kBlockerAl ||
+         next == PipelineStage::kGetRules) &&
+        !state_.sample_fvs_ready) {
+      GenFvsResult sfvs = GenFvs(*a_, *b_, state_.sample, features_,
+                                 features_.blocking_ids(), cluster_,
+                                 "gen_fvs(S,rehydrate)");
+      state_.sample_fvs = std::move(sfvs.fvs);
+      state_.sample_fvs_ready = true;
+      total += sfvs.time;
+    }
+    if (next == PipelineStage::kMatcherAl && !state_.cand_fvs_ready) {
+      GenFvsResult cfvs = GenFvs(*a_, *b_, state_.out.candidates, features_,
+                                 features_.all_ids(), cluster_,
+                                 "gen_fvs(C,rehydrate)");
+      state_.cand_fvs = std::move(cfvs.fvs);
+      state_.cand_fvs_ready = true;
+      total += cfvs.time;
+    }
+
+    // Token stores and indexes: the original run built these inside the O1
+    // masking windows; a resumed run rebuilds them deterministically on
+    // load instead of persisting them (they are pure functions of the
+    // tables and the learned rules).
+    if (blocking && config_.enable_masking && config_.mask_index_building &&
+        at_least(PipelineStage::kGetRules)) {
+      total += builder_.EnsureTokenStores(*b_, features_, &catalog_);
+      total += builder_.Ensure(IndexBuilder::GenericNeeds(features_),
+                               &catalog_);
+      if (at_least(PipelineStage::kSelectSeq)) {
+        std::vector<IndexNeed> all_needs;
+        for (const auto& r : state_.candidate_rules) {
+          auto needs = IndexBuilder::NeedsOfRule(r, features_);
+          all_needs.insert(all_needs.end(), needs.begin(), needs.end());
+        }
+        total += builder_.Ensure(all_needs, &catalog_);
+      }
+      if (at_least(PipelineStage::kApplyRules) &&
+          !state_.out.sequence.rules.empty()) {
+        CnfRule q = ToCnf(SimplifySequence(state_.out.sequence));
+        total += builder_.Ensure(IndexBuilder::NeedsOfCnf(q, features_),
+                                 &catalog_);
+      }
+      features_.BindTokenStores(catalog_.store(a_), catalog_.store(b_));
+    }
+  }
+  if (rebuild_time != nullptr) *rebuild_time = total;
+  return Status::OK();
 }
 
 }  // namespace falcon

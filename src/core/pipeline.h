@@ -20,6 +20,10 @@
 #include <vector>
 
 #include "blocking/apply.h"
+#include "blocking/filters.h"
+#include "blocking/index_builder.h"
+#include "common/bitmap.h"
+#include "common/rng.h"
 #include "core/config.h"
 #include "crowd/crowd.h"
 #include "learn/random_forest.h"
@@ -93,25 +97,158 @@ struct MatchResult {
   RunMetrics metrics;
 };
 
+/// Operator boundaries of the two plan templates. Each stage is one
+/// operator of Figure 3; Step() runs exactly one stage, so `next` names the
+/// checkpoint a session snapshot was taken at. The Blocker+Matcher plan
+/// visits every stage; the Matcher-only plan jumps from kInit to
+/// kGenFvsCand (which there enumerates A x B as the candidate set).
+enum class PipelineStage : uint32_t {
+  kInit = 0,
+  kSamplePairs = 1,
+  kGenFvsSample = 2,
+  kBlockerAl = 3,
+  kGetRules = 4,
+  kEvalRules = 5,
+  kSelectSeq = 6,
+  kApplyRules = 7,
+  kGenFvsCand = 8,
+  kMatcherAl = 9,
+  kApplyMatcher = 10,
+  kEstimateAccuracy = 11,
+  kDone = 12,
+};
+
+/// Stable operator name ("sample_pairs", "al_matcher(blocker)", ...).
+const char* PipelineStageName(PipelineStage stage);
+
+/// Every cross-stage value of a run, split into durable state (what a
+/// snapshot persists) and transient caches (deterministically rebuilt on
+/// resume — see FalconPipeline::Rehydrate). Owning this state explicitly,
+/// rather than in RunBlockingPlan locals, is what makes the pipeline
+/// checkpointable at operator boundaries.
+struct PipelineState {
+  // --- durable -----------------------------------------------------------
+  PipelineStage next = PipelineStage::kInit;
+  /// Accumulating result: metrics (incl. used_blocking = plan template),
+  /// candidates, sequence, matcher, matches.
+  MatchResult out;
+  /// The run's single RNG stream (sampling, AL batches, crowd-side draws
+  /// all advance it; byte-identical resume needs its full engine state).
+  Rng rng;
+  /// MaskBank credit: banked crowd latency not yet spent masking machine
+  /// work (Section 10.2).
+  VDuration bank_credit;
+  /// Sample S, in sampling order (order is semantic: feature vectors,
+  /// labels, and coverage bitmaps index into it).
+  std::vector<PairQuestion> sample;
+  /// Blocker forest M and its accumulated crowd labels (kGetRules input).
+  RandomForest blocker;
+  std::vector<uint32_t> blocker_labeled_indices;
+  std::vector<char> blocker_labels;
+  /// get_blocking_rules output (rank order) with coverage over S.
+  std::vector<Rule> candidate_rules;
+  std::vector<Bitmap> candidate_coverage;
+  /// eval_rules survivors (input rank order).
+  std::vector<Rule> retained_rules;
+  std::vector<Bitmap> retained_coverage;
+  /// Whether the matcher's active learning converged (gates the speculative
+  /// apply_matcher reuse in kApplyMatcher).
+  bool matcher_converged = false;
+  /// apply_matcher predictions, parallel to out.candidates.
+  std::vector<char> predictions;
+
+  // --- transient (rebuilt, never serialized) -----------------------------
+  /// Blocking-feature vectors of S (gen_fvs(S) output).
+  std::vector<FeatureVec> sample_fvs;
+  bool sample_fvs_ready = false;
+  /// All-feature vectors of the candidates (gen_fvs(C) output).
+  std::vector<FeatureVec> cand_fvs;
+  bool cand_fvs_ready = false;
+};
+
 /// End-to-end hands-off crowdsourced EM.
+///
+/// Two driving modes:
+///   Run()          — the original single-shot batch call.
+///   Start()/Step() — explicit operator-boundary stepping; between Step()
+///                    calls the full state of the run is in state() and can
+///                    be serialized (src/session/). Run() is exactly
+///                    Start() + Step() until done(), so both modes execute
+///                    identical work.
 class FalconPipeline {
  public:
   /// `a`, `b`, `crowd`, and `cluster` must outlive the pipeline.
   FalconPipeline(const Table* a, const Table* b, CrowdPlatform* crowd,
                  Cluster* cluster, FalconConfig config);
+  ~FalconPipeline();
 
   /// Generates and executes the plan.
   Result<MatchResult> Run();
 
-  /// The auto-generated feature set (valid after Run()).
+  /// Validates inputs and chooses the plan template; state().next becomes
+  /// the first operator. No-op if already started.
+  Status Start();
+
+  /// Executes exactly one operator and advances state().next.
+  /// Precondition: started and not done().
+  Status Step();
+
+  bool done() const { return state_.next == PipelineStage::kDone; }
+  bool started() const { return state_.next != PipelineStage::kInit; }
+
+  /// Moves the finished result out. Precondition: done().
+  Result<MatchResult> TakeResult();
+
+  /// The live cross-stage state (mutable so a snapshot loader can install
+  /// imported state; call Rehydrate() afterwards).
+  PipelineState& state() { return state_; }
+  const PipelineState& state() const { return state_; }
+
+  /// Rebuilds the transient caches an imported state needs before its next
+  /// stage can run: feature vectors via gen_fvs, and — mirroring masking
+  /// optimization O1, whose index builds the original run hid inside crowd
+  /// windows — token stores and indexes. The rebuild work is deliberately
+  /// NOT charged to the run's metrics (the original run already accounted
+  /// it); it is reported through `rebuild_time` as session-level recovery
+  /// cost instead.
+  Status Rehydrate(VDuration* rebuild_time);
+
+  /// The auto-generated feature set (valid after construction).
   const FeatureSet& features() const { return features_; }
+
+  const FalconConfig& config() const { return config_; }
 
   /// True if the Blocker+Matcher template (Figure 3.a) was/would be chosen.
   bool NeedsBlocking() const;
 
  private:
-  Result<MatchResult> RunBlockingPlan();
-  Result<MatchResult> RunMatcherOnlyPlan();
+  /// A speculatively executed candidate blocking rule (optimization O2a).
+  /// Transient by design: losing it on resume only costs masked time.
+  struct SpecJob {
+    std::string key;
+    ApplyResult result;
+    bool completed = false;
+    VDuration remaining;  ///< > 0 only for the in-flight job at the barrier
+  };
+
+  Status StageSamplePairs();
+  Status StageGenFvsSample();
+  Status StageBlockerAl();
+  Status StageGetRules();
+  Status StageEvalRules();
+  Status StageSelectSeq();
+  Status StageApplyRules();
+  Status StageGenFvsCand();
+  Status StageMatcherAl();
+  Status StageApplyMatcher();
+  Status StageEstimateAccuracy();
+
+  /// Appends a machine-operator timing row and accumulates t_m / t_u.
+  void AddMachine(const std::string& name, VDuration raw, VDuration unmasked);
+  /// MaskBank withdrawal: charges a maskable task, returns its unmasked part.
+  VDuration MaskRun(VDuration d);
+  /// Recomputes total_time after each stage (t_c + t_u).
+  void RefreshTotalTime();
 
   const Table* a_;
   const Table* b_;
@@ -120,6 +257,11 @@ class FalconPipeline {
   FalconConfig config_;
   FeatureSet features_;
   bool features_ready_ = false;
+
+  PipelineState state_;
+  IndexCatalog catalog_;
+  IndexBuilder builder_;
+  std::vector<SpecJob> spec_;
 };
 
 }  // namespace falcon

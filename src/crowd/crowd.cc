@@ -34,6 +34,43 @@ void CrowdPlatform::ResetAccounting() {
   total_crowd_time_ = VDuration::Zero();
 }
 
+std::string CrowdPlatform::SaveState() const {
+  BinaryWriter w;
+  w.U32(StateKind());
+  w.U64(total_questions_);
+  w.U64(total_answers_);
+  w.F64(total_cost_);
+  w.F64(total_crowd_time_.seconds);
+  w.F64(ledger_.cap());
+  w.F64(ledger_.spent());
+  SaveDerivedState(&w);
+  return w.Take();
+}
+
+Status CrowdPlatform::RestoreState(const std::string& blob) {
+  BinaryReader r(blob);
+  uint32_t kind = r.U32();
+  if (!r.ok() || kind != StateKind()) {
+    return Status::InvalidArgument(
+        "crowd state blob of kind " + std::to_string(kind) +
+        " does not match this platform (kind " +
+        std::to_string(StateKind()) + ")");
+  }
+  total_questions_ = static_cast<size_t>(r.U64());
+  total_answers_ = static_cast<size_t>(r.U64());
+  total_cost_ = r.F64();
+  total_crowd_time_ = VDuration::Seconds(r.F64());
+  double cap = r.F64();
+  double spent = r.F64();
+  ledger_ = BudgetLedger(cap);
+  ledger_.RestoreSpent(spent);
+  FALCON_RETURN_NOT_OK(RestoreDerivedState(&r));
+  if (!r.exhausted()) {
+    return Status::IoError("crowd state blob has trailing or missing bytes");
+  }
+  return Status::OK();
+}
+
 SimulatedCrowd::SimulatedCrowd(SimulatedCrowdConfig config, TruthOracle oracle)
     : config_(config), oracle_(std::move(oracle)), rng_(config.seed) {
   ledger_ = BudgetLedger(config.budget_cap);
@@ -41,6 +78,15 @@ SimulatedCrowd::SimulatedCrowd(SimulatedCrowdConfig config, TruthOracle oracle)
 
 bool SimulatedCrowd::OneAnswer(bool truth) {
   return rng_.Bernoulli(config_.error_rate) ? !truth : truth;
+}
+
+void SimulatedCrowd::SaveDerivedState(BinaryWriter* w) const {
+  WriteRngState(rng_.SaveState(), w);
+}
+
+Status SimulatedCrowd::RestoreDerivedState(BinaryReader* r) {
+  rng_.RestoreState(ReadRngState(r));
+  return Status::OK();
 }
 
 Result<LabelResult> SimulatedCrowd::LabelPairs(
@@ -92,6 +138,15 @@ Result<LabelResult> SimulatedCrowd::LabelPairs(
   }
   Record(result);
   return result;
+}
+
+void OracleCrowd::SaveDerivedState(BinaryWriter* w) const {
+  WriteRngState(rng_.SaveState(), w);
+}
+
+Status OracleCrowd::RestoreDerivedState(BinaryReader* r) {
+  rng_.RestoreState(ReadRngState(r));
+  return Status::OK();
 }
 
 OracleCrowd::OracleCrowd(OracleCrowdConfig config, TruthOracle oracle)

@@ -20,6 +20,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/status.h"
 #include "common/vtime.h"
 #include "table/table.h"
@@ -53,6 +54,10 @@ class BudgetLedger {
   double spent() const { return spent_; }
   double cap() const { return cap_; }
   double remaining() const { return cap_ - spent_; }
+
+  /// Reinstates a previously recorded spend (session snapshot restore); not
+  /// subject to the cap check because the amount was already charged once.
+  void RestoreSpent(double spent) { spent_ = spent; }
 
  private:
   double cap_;
@@ -104,7 +109,24 @@ class CrowdPlatform {
 
   void ResetAccounting();
 
+  /// Serializes the platform's resumable state — accounting, budget spend,
+  /// and (for stochastic platforms) the RNG engine state — to an opaque
+  /// blob. RestoreState on a freshly constructed platform of the same type
+  /// replays the exact answer/latency stream from the save point. Blobs are
+  /// type-tagged: restoring into a different platform type fails cleanly.
+  std::string SaveState() const;
+  Status RestoreState(const std::string& blob);
+
  protected:
+  /// Type tag written into state blobs (0 = accounting-only base state).
+  virtual uint32_t StateKind() const { return 0; }
+  /// Hooks for platform-specific state, appended after the base state.
+  virtual void SaveDerivedState(BinaryWriter* w) const { (void)w; }
+  virtual Status RestoreDerivedState(BinaryReader* r) {
+    (void)r;
+    return Status::OK();
+  }
+
   void Record(const LabelResult& r);
 
   BudgetLedger ledger_;
@@ -139,6 +161,11 @@ class SimulatedCrowd : public CrowdPlatform {
 
   const SimulatedCrowdConfig& config() const { return config_; }
 
+ protected:
+  uint32_t StateKind() const override { return 1; }
+  void SaveDerivedState(BinaryWriter* w) const override;
+  Status RestoreDerivedState(BinaryReader* r) override;
+
  private:
   bool OneAnswer(bool truth);
 
@@ -163,6 +190,11 @@ class OracleCrowd : public CrowdPlatform {
 
   Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
                                  VoteScheme scheme) override;
+
+ protected:
+  uint32_t StateKind() const override { return 2; }
+  void SaveDerivedState(BinaryWriter* w) const override;
+  Status RestoreDerivedState(BinaryReader* r) override;
 
  private:
   OracleCrowdConfig config_;

@@ -1,6 +1,8 @@
 #include "rules/serialize.h"
 
+#include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <sstream>
 
@@ -12,10 +14,33 @@ namespace {
 constexpr char kRulesHeader[] = "falcon-rules v1";
 constexpr char kForestHeader[] = "falcon-forest v1";
 
+/// Non-finite values are written as fixed tokens (snprintf's "nan"/"-nan"
+/// spelling varies by platform): split thresholds learned on missing-value
+/// data can legitimately be NaN, and such forests must round-trip.
 std::string EncodeDouble(double v) {
+  if (std::isnan(v)) return "nan";
+  if (std::isinf(v)) return v > 0 ? "inf" : "-inf";
   char buf[48];
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   return buf;
+}
+
+/// ParseDouble (common/strings.h) accepts only finite values; serialized
+/// model values may also be the EncodeDouble non-finite tokens.
+bool ParseValueDouble(std::string_view s, double* out) {
+  if (s == "nan" || s == "-nan") {
+    *out = std::numeric_limits<double>::quiet_NaN();
+    return true;
+  }
+  if (s == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (s == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  return ParseDouble(s, out);
 }
 
 /// Feature names are single tokens already (no spaces), but guard anyway.
@@ -99,17 +124,17 @@ Result<RuleSequence> ParseRuleSequence(const std::string& text,
     if (parts[0] == "end") return seq;
     if (parts[0] == "seq") {
       if (parts.size() != 3 || parts[1] != "selectivity" ||
-          !ParseDouble(parts[2], &seq.selectivity)) {
+          !ParseValueDouble(parts[2], &seq.selectivity)) {
         return Status::IoError("bad seq line: " + line);
       }
     } else if (parts[0] == "rule") {
       if (parts.size() != 9) return Status::IoError("bad rule line: " + line);
       Rule r;
       double cov;
-      if (!ParseDouble(parts[2], &r.precision) ||
+      if (!ParseValueDouble(parts[2], &r.precision) ||
           !ParseDouble(parts[4], &cov) ||
-          !ParseDouble(parts[6], &r.selectivity) ||
-          !ParseDouble(parts[8], &r.time_per_pair)) {
+          !ParseValueDouble(parts[6], &r.selectivity) ||
+          !ParseValueDouble(parts[8], &r.time_per_pair)) {
         return Status::IoError("bad rule numerics: " + line);
       }
       r.coverage = static_cast<size_t>(cov);
@@ -126,8 +151,8 @@ Result<RuleSequence> ParseRuleSequence(const std::string& text,
       }
       double op_raw;
       double value;
-      if (!ParseDouble(parts[2], &op_raw) || !ParseDouble(parts[3], &value) ||
-          op_raw < 0 || op_raw > 3) {
+      if (!ParseDouble(parts[2], &op_raw) ||
+          !ParseValueDouble(parts[3], &value) || op_raw < 0 || op_raw > 3) {
         return Status::IoError("bad pred numerics: " + line);
       }
       Predicate p;
@@ -227,7 +252,7 @@ Result<RandomForest> ParseForest(const std::string& text,
         double purity;
         double support;
         if (!ParseDouble(parts[1], &pred) ||
-            !ParseDouble(parts[2], &purity) ||
+            !ParseValueDouble(parts[2], &purity) ||
             !ParseDouble(parts[3], &support)) {
           return Status::IoError("bad leaf: " + line);
         }
@@ -241,7 +266,7 @@ Result<RandomForest> ParseForest(const std::string& text,
         double left;
         double right;
         if (!ParseDouble(parts[1], &feature) ||
-            !ParseDouble(parts[2], &node.threshold) ||
+            !ParseValueDouble(parts[2], &node.threshold) ||
             !ParseDouble(parts[3], &nan_left) ||
             !ParseDouble(parts[4], &left) ||
             !ParseDouble(parts[5], &right)) {

@@ -1,0 +1,94 @@
+#include "session/session_manager.h"
+
+#include <thread>
+#include <utility>
+
+namespace falcon {
+
+Status SessionManager::Register(std::unique_ptr<WorkflowSession> session,
+                                WorkflowSession** out) {
+  if (Get(session->id()) != nullptr) {
+    return Status::InvalidArgument("duplicate session id: " + session->id());
+  }
+  sessions_.push_back(std::move(session));
+  *out = sessions_.back().get();
+  return Status::OK();
+}
+
+Result<WorkflowSession*> SessionManager::Create(std::string id,
+                                                const Table* a,
+                                                const Table* b,
+                                                CrowdPlatform* crowd,
+                                                FalconConfig config) {
+  auto session = std::make_unique<WorkflowSession>(
+      std::move(id), a, b, crowd, cluster_, std::move(config));
+  WorkflowSession* out = nullptr;
+  FALCON_RETURN_NOT_OK(Register(std::move(session), &out));
+  return out;
+}
+
+Result<WorkflowSession*> SessionManager::Resume(std::string_view snapshot,
+                                                const Table* a,
+                                                const Table* b,
+                                                CrowdPlatform* crowd,
+                                                FalconConfig config) {
+  FALCON_ASSIGN_OR_RETURN(
+      std::unique_ptr<WorkflowSession> session,
+      WorkflowSession::Resume(snapshot, a, b, crowd, cluster_,
+                              std::move(config)));
+  WorkflowSession* out = nullptr;
+  FALCON_RETURN_NOT_OK(Register(std::move(session), &out));
+  return out;
+}
+
+WorkflowSession* SessionManager::Get(const std::string& id) {
+  for (auto& s : sessions_) {
+    if (s->id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> SessionManager::ids() const {
+  std::vector<std::string> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s->id());
+  return out;
+}
+
+size_t SessionManager::active() const {
+  size_t n = 0;
+  for (const auto& s : sessions_) {
+    if (!s->done()) ++n;
+  }
+  return n;
+}
+
+Status SessionManager::StepAll() {
+  for (auto& s : sessions_) {
+    if (!s->done()) FALCON_RETURN_NOT_OK(s->Step());
+  }
+  return Status::OK();
+}
+
+Status SessionManager::RunAll() {
+  while (active() > 0) FALCON_RETURN_NOT_OK(StepAll());
+  return Status::OK();
+}
+
+Status SessionManager::RunAllThreaded() {
+  std::vector<std::thread> threads;
+  std::vector<Status> results(sessions_.size(), Status::OK());
+  for (size_t i = 0; i < sessions_.size(); ++i) {
+    if (sessions_[i]->done()) continue;
+    threads.emplace_back([this, i, &results] {
+      results[i] = sessions_[i]->RunToCompletion();
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& st : results) {
+    if (!st.ok()) return st;
+  }
+  return Status::OK();
+}
+
+}  // namespace falcon

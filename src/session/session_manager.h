@@ -1,0 +1,66 @@
+// Multi-session orchestration for the cloud-service setting.
+//
+// A SessionManager owns any number of WorkflowSessions that share one
+// simulated Cluster (and its real ThreadPool). Sessions are isolated by
+// construction — each has its own pipeline state, RNG stream, crowd platform
+// and journal — so interleaving or running them from concurrent driver
+// threads must produce exactly the outputs each would produce alone; the
+// session tests pin that property.
+#ifndef FALCON_SESSION_SESSION_MANAGER_H_
+#define FALCON_SESSION_SESSION_MANAGER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "session/workflow_session.h"
+
+namespace falcon {
+
+class SessionManager {
+ public:
+  /// `cluster` is shared by every session and must outlive the manager.
+  explicit SessionManager(Cluster* cluster) : cluster_(cluster) {}
+
+  /// Creates and registers a fresh session. Fails on duplicate id. The
+  /// returned pointer is owned by the manager.
+  Result<WorkflowSession*> Create(std::string id, const Table* a,
+                                  const Table* b, CrowdPlatform* crowd,
+                                  FalconConfig config);
+
+  /// Registers a session resumed from a snapshot (see WorkflowSession::
+  /// Resume). Fails on duplicate id.
+  Result<WorkflowSession*> Resume(std::string_view snapshot, const Table* a,
+                                  const Table* b, CrowdPlatform* crowd,
+                                  FalconConfig config);
+
+  /// Looks up a session by id (nullptr if absent).
+  WorkflowSession* Get(const std::string& id);
+
+  std::vector<std::string> ids() const;
+  size_t size() const { return sessions_.size(); }
+  /// Sessions not yet done.
+  size_t active() const;
+
+  /// One Step() on every unfinished session, in registration order (round-
+  /// robin interleaving). Returns the first error.
+  Status StepAll();
+
+  /// StepAll() until every session is done.
+  Status RunAll();
+
+  /// Drives every unfinished session to completion from its own thread, all
+  /// sharing the cluster's ThreadPool. Returns the first error.
+  Status RunAllThreaded();
+
+ private:
+  Status Register(std::unique_ptr<WorkflowSession> session,
+                  WorkflowSession** out);
+
+  Cluster* cluster_;
+  std::vector<std::unique_ptr<WorkflowSession>> sessions_;
+};
+
+}  // namespace falcon
+
+#endif  // FALCON_SESSION_SESSION_MANAGER_H_

@@ -42,6 +42,33 @@ size_t Table::MemoryUsage() const {
   return bytes;
 }
 
+uint64_t Table::ContentHash() const {
+  // FNV-1a over schema attribute names and every cell, with length prefixes
+  // so ("ab","c") and ("a","bc") hash differently.
+  uint64_t h = 0xcbf29ce484222325ULL;
+  auto mix = [&h](const void* data, size_t len) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 0x100000001b3ULL;
+    }
+  };
+  auto mix_str = [&](std::string_view s) {
+    uint64_t len = s.size();
+    mix(&len, sizeof(len));
+    mix(s.data(), s.size());
+  };
+  for (size_t c = 0; c < schema_.num_attrs(); ++c) {
+    mix_str(schema_.attr(c).name);
+  }
+  uint64_t rows = num_rows_;
+  mix(&rows, sizeof(rows));
+  for (size_t c = 0; c < cols_.size(); ++c) {
+    for (const auto& v : cols_[c]) mix_str(v);
+  }
+  return h;
+}
+
 Table Table::Project(const std::vector<RowId>& rows) const {
   Table out(schema_);
   std::vector<std::string> row(schema_.num_attrs());

@@ -60,6 +60,12 @@ class Table {
   /// Returns a new table with the same schema containing the given rows.
   Table Project(const std::vector<RowId>& rows) const;
 
+  /// Stable FNV-1a hash over the schema and every cell, independent of
+  /// platform and load path. Session snapshots store it as the table's
+  /// identity so a resume against different data is refused instead of
+  /// producing silently divergent results.
+  uint64_t ContentHash() const;
+
  private:
   Schema schema_;
   size_t num_rows_ = 0;

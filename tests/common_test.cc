@@ -1,4 +1,6 @@
 #include <atomic>
+#include <cmath>
+#include <limits>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -7,7 +9,9 @@
 #include <gtest/gtest.h>
 
 #include "common/bitmap.h"
+#include "common/crc32.h"
 #include "common/rng.h"
+#include "common/serde.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -155,6 +159,79 @@ TEST(RngTest, BernoulliEdges) {
     EXPECT_FALSE(r.Bernoulli(0.0));
     EXPECT_TRUE(r.Bernoulli(1.0));
   }
+}
+
+// Full engine state capture: a restored generator continues the EXACT
+// stream — including the Box-Muller cached-gaussian half, which is the
+// subtle part (dropping it would silently shift every later draw).
+TEST(RngTest, SaveRestoreContinuesExactStream) {
+  Rng rng(42);
+  for (int i = 0; i < 17; ++i) rng.Next64();
+  rng.NextGaussian(0.0, 1.0);  // leaves a cached gaussian pending
+  RngState state = rng.SaveState();
+
+  // Drain a reference continuation.
+  std::vector<double> expect;
+  for (int i = 0; i < 50; ++i) expect.push_back(rng.NextGaussian(0.0, 1.0));
+  std::vector<uint64_t> expect_ints;
+  for (int i = 0; i < 50; ++i) expect_ints.push_back(rng.Next64());
+
+  // A fresh generator with the restored state produces the same stream.
+  Rng other(999);
+  other.RestoreState(state);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(other.NextGaussian(0.0, 1.0), expect[i]) << i;
+  }
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(other.Next64(), expect_ints[i]) << i;
+}
+
+TEST(RngTest, StateSerdeRoundTrip) {
+  Rng rng(7);
+  for (int i = 0; i < 5; ++i) rng.NextDouble();
+  rng.NextGaussian(2.0, 3.0);
+  RngState state = rng.SaveState();
+
+  BinaryWriter w;
+  WriteRngState(state, &w);
+  BinaryReader r(w.data());
+  RngState back = ReadRngState(&r);
+  EXPECT_TRUE(r.exhausted());
+  EXPECT_TRUE(back == state);
+
+  Rng resumed(0);
+  resumed.RestoreState(back);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(resumed.Next64(), rng.Next64());
+}
+
+TEST(SerdeTest, PrimitivesRoundTripAndLatchShortReads) {
+  BinaryWriter w;
+  w.U8(0xAB);
+  w.U32(0xDEADBEEFu);
+  w.U64(0x0123456789ABCDEFull);
+  w.F64(-0.15625);
+  w.F64(std::numeric_limits<double>::quiet_NaN());
+  w.Str(std::string_view("hello\0world", 11));
+  BinaryReader r(w.data());
+  EXPECT_EQ(r.U8(), 0xAB);
+  EXPECT_EQ(r.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(r.U64(), 0x0123456789ABCDEFull);
+  EXPECT_EQ(r.F64(), -0.15625);
+  EXPECT_TRUE(std::isnan(r.F64()));  // NaN survives bit-exactly
+  EXPECT_EQ(r.Str(), std::string("hello\0world", 11));
+  EXPECT_TRUE(r.exhausted());
+
+  BinaryReader short_r(std::string_view("\x01\x02", 2));
+  short_r.U32();  // short read
+  EXPECT_FALSE(short_r.ok());
+  EXPECT_EQ(short_r.U64(), 0u);  // latched: further reads return zeros
+  EXPECT_FALSE(short_r.exhausted());
+}
+
+TEST(Crc32Test, KnownVectorAndSensitivity) {
+  // IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_NE(Crc32("abc"), Crc32("abd"));
 }
 
 TEST(RngTest, SampleWithoutReplacementDistinct) {

@@ -1,7 +1,9 @@
 #include <cmath>
+#include <limits>
 
 #include <gtest/gtest.h>
 
+#include "learn/flat_forest.h"
 #include "rules/serialize.h"
 #include "workload/generator.h"
 
@@ -151,6 +153,124 @@ TEST(SerializeForestTest, RejectsCorruptForests) {
       "\ntrees 1\ntree 1\nsplit 0 0.5 1 3 4\nend\n";
   auto r = ParseForest(bad, fx.fs, &layout);
   ASSERT_FALSE(r.ok());
+}
+
+// Missing-value splits are real in this codebase (set-similarity features
+// are NaN when either side has no tokens), and a trained tree can place a
+// non-finite threshold. "%.17g" of NaN is platform-dependent, so the format
+// normalizes non-finite values to fixed tokens; round-trip must be exact.
+TEST(SerializeForestTest, NonFiniteThresholdsRoundTrip) {
+  SerializeFixture fx;
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  TreeNode split;  // NaN threshold: every comparison is false -> NaN path
+  split.is_leaf = false;
+  split.feature = 0;
+  split.threshold = kNan;
+  split.nan_goes_left = false;
+  split.left = 1;
+  split.right = 2;
+  TreeNode yes, no;
+  yes.prediction = true;
+  yes.purity = 0.875;
+  yes.support = 7;
+  no.prediction = false;
+  no.purity = 1.0;
+  no.support = 3;
+  TreeNode inf_split = split;
+  inf_split.threshold = kInf;
+  TreeNode ninf_split = split;
+  ninf_split.threshold = -kInf;
+  RandomForest forest({DecisionTree::FromNodes({split, yes, no}),
+                       DecisionTree::FromNodes({inf_split, yes, no}),
+                       DecisionTree::FromNodes({ninf_split, yes, no})});
+
+  std::vector<int> ids = {fx.fs.blocking_ids()[0]};
+  std::string text = SerializeForest(forest, ids, fx.fs);
+  std::vector<int> layout;
+  auto back = ParseForest(text, fx.fs, &layout);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_trees(), 3u);
+  const auto& n0 = back->trees()[0].nodes()[0];
+  EXPECT_TRUE(std::isnan(n0.threshold));
+  EXPECT_FALSE(n0.nan_goes_left);
+  EXPECT_EQ(back->trees()[1].nodes()[0].threshold, kInf);
+  EXPECT_EQ(back->trees()[2].nodes()[0].threshold, -kInf);
+  // Behavior is preserved on missing and present values alike.
+  for (double v : {kNan, 0.0, 1.0, -5.0}) {
+    FeatureVec fv = {v};
+    EXPECT_EQ(back->Predict(fv), forest.Predict(fv)) << v;
+  }
+}
+
+TEST(SerializeRulesTest, NonFinitePredicateValuesRoundTrip) {
+  SerializeFixture fx;
+  RuleSequence seq;
+  Rule r;
+  r.predicates = {{0, fx.fs.blocking_ids()[0], PredOp::kLe,
+                   std::numeric_limits<double>::quiet_NaN()},
+                  {1, fx.fs.blocking_ids()[1], PredOp::kGt,
+                   -std::numeric_limits<double>::infinity()}};
+  r.precision = 0.96;
+  seq.rules = {r};
+  std::string text = SerializeRuleSequence(seq, fx.fs);
+  auto back = ParseRuleSequence(text, fx.fs);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->rules.size(), 1u);
+  EXPECT_TRUE(std::isnan(back->rules[0].predicates[0].value));
+  EXPECT_EQ(back->rules[0].predicates[1].value,
+            -std::numeric_limits<double>::infinity());
+}
+
+TEST(SerializeForestTest, EmptyForestRoundTrips) {
+  SerializeFixture fx;
+  RandomForest empty;
+  std::string text = SerializeForest(empty, {}, fx.fs);
+  std::vector<int> layout;
+  auto back = ParseForest(text, fx.fs, &layout);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_trees(), 0u);
+  EXPECT_TRUE(layout.empty());
+}
+
+TEST(SerializeRulesTest, ZeroRuleSequenceRoundTrips) {
+  SerializeFixture fx;
+  RuleSequence seq;  // no rules (e.g. a matcher-only run)
+  seq.selectivity = 1.0;
+  std::string text = SerializeRuleSequence(seq, fx.fs);
+  auto back = ParseRuleSequence(text, fx.fs);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_TRUE(back->rules.empty());
+  EXPECT_DOUBLE_EQ(back->selectivity, 1.0);
+}
+
+// The fused matching stage compiles the deserialized forest; compilation
+// must agree with the node-pool form after a round trip (it checks
+// structural equivalence internally, and predictions must match too).
+TEST(SerializeForestTest, FlatForestCompileAfterDeserializeIsEquivalent) {
+  SerializeFixture fx;
+  std::vector<FeatureVec> x;
+  std::vector<char> y;
+  Rng rng(13);
+  for (int i = 0; i < 250; ++i) {
+    RowId a = static_cast<RowId>(rng.NextBelow(fx.data.a.num_rows()));
+    RowId b = static_cast<RowId>(rng.NextBelow(fx.data.b.num_rows()));
+    x.push_back(fx.fs.ComputeVector(fx.fs.all_ids(), fx.data.a, a, fx.data.b,
+                                    b));
+    y.push_back(fx.data.truth.IsMatch(a, b) ? 1 : 0);
+  }
+  auto forest = RandomForest::Train(x, y, ForestOptions{}, &rng);
+  std::string text = SerializeForest(forest, fx.fs.all_ids(), fx.fs);
+  std::vector<int> layout;
+  auto back = ParseForest(text, fx.fs, &layout);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+
+  FlatForest flat = FlatForest::Compile(*back);
+  EXPECT_TRUE(flat.EquivalentTo(forest));
+  for (const auto& fv : x) {
+    EXPECT_EQ(flat.Predict(fv), forest.Predict(fv));
+  }
 }
 
 }  // namespace

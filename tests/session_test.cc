@@ -1,0 +1,456 @@
+// Fault-injection tests of the checkpoint/recovery subsystem: kill the
+// pipeline at every operator boundary of both plan templates, resume from
+// the snapshot in a fresh "process" (fresh tables, fresh crowd platform),
+// and require byte-identical outcomes — same matches, same candidates, same
+// rule sequence, same crowd question count and cost, and zero re-asked
+// (re-paid) crowd questions.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "session/session_manager.h"
+#include "session/snapshot.h"
+#include "workload/generator.h"
+#include "workload/quality.h"
+
+namespace falcon {
+namespace {
+
+ClusterConfig FastCluster(int threads = 1) {
+  ClusterConfig c;
+  c.job_startup = VDuration::Seconds(0.5);
+  c.task_overhead = VDuration::Seconds(0.01);
+  c.local_threads = threads;
+  return c;
+}
+
+// Byte-identical resume needs a reproducible plan, so the deterministic
+// rule-cost proxy replaces measured per-rule CPU times.
+FalconConfig BlockingConfig(uint64_t seed = 7) {
+  FalconConfig cfg;
+  cfg.sample_size = 4000;
+  cfg.sample_y = 40;
+  cfg.al_max_iterations = 8;
+  cfg.max_rules_to_eval = 8;
+  cfg.max_rules_exhaustive = 8;
+  cfg.pair_selection_mask_threshold = 1000;
+  cfg.matcher_only_max_bytes = 256 * 1024;  // force the Blocker+Matcher plan
+  cfg.deterministic_rule_cost = true;
+  cfg.seed = seed;
+  return cfg;
+}
+
+FalconConfig MatcherOnlyConfig(uint64_t seed = 7) {
+  FalconConfig cfg;
+  cfg.al_max_iterations = 8;
+  cfg.deterministic_rule_cost = true;
+  cfg.estimate_accuracy = true;  // cover the optional operator
+  cfg.accuracy.sample_per_stratum = 25;
+  cfg.seed = seed;
+  return cfg;
+}
+
+GeneratedDataset BlockingData(uint64_t seed = 7) {
+  WorkloadOptions opt;
+  opt.size_a = 200;
+  opt.size_b = 600;
+  opt.seed = seed;
+  return GenerateProducts(opt);
+}
+
+GeneratedDataset MatcherOnlyData(uint64_t seed = 7) {
+  WorkloadOptions opt;
+  opt.size_a = 80;
+  opt.size_b = 150;
+  opt.seed = seed;
+  return GenerateProducts(opt);
+}
+
+SimulatedCrowdConfig CrowdConfig(uint64_t seed = 7) {
+  SimulatedCrowdConfig c;
+  c.error_rate = 0.03;
+  c.seed = seed;
+  return c;
+}
+
+/// The reference run: execute to completion, snapshotting at EVERY operator
+/// boundary — before Start(), before each Step(), and after the last one.
+struct ReferenceRun {
+  std::vector<std::pair<PipelineStage, std::string>> snapshots;
+  MatchResult result;
+  std::string wal;              ///< full crowd journal
+  size_t platform_questions = 0;  ///< questions the real platform answered
+};
+
+ReferenceRun RunWithCheckpoints(const GeneratedDataset& data,
+                                const ClusterConfig& ccfg,
+                                const FalconConfig& cfg) {
+  ReferenceRun out;
+  Cluster cluster(ccfg);
+  SimulatedCrowd crowd(CrowdConfig(cfg.seed), data.truth.MakeOracle());
+  WorkflowSession session("ref", &data.a, &data.b, &crowd, &cluster, cfg);
+  out.snapshots.emplace_back(PipelineStage::kInit, session.SaveSnapshot());
+  Status st = session.Start();
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  while (!session.done()) {
+    out.snapshots.emplace_back(session.next_stage(), session.SaveSnapshot());
+    st = session.Step();
+    EXPECT_TRUE(st.ok()) << st.ToString();
+    if (!st.ok()) return out;
+  }
+  out.snapshots.emplace_back(PipelineStage::kDone, session.SaveSnapshot());
+  out.wal = session.ExportJournal();
+  out.platform_questions = crowd.total_questions();
+  auto r = session.TakeResult();
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (r.ok()) out.result = std::move(r).value();
+  return out;
+}
+
+/// Byte-identical-outcome comparison. Machine-time metrics are excluded on
+/// purpose: per-task seconds are measured CPU times and inherently vary
+/// between runs; determinism is promised for everything the user pays for
+/// or acts on.
+void ExpectSameOutcome(const MatchResult& ref, const MatchResult& got,
+                       const std::string& context) {
+  SCOPED_TRACE(context);
+  EXPECT_EQ(got.matches, ref.matches);
+  EXPECT_EQ(got.candidates, ref.candidates);
+  ASSERT_EQ(got.sequence.rules.size(), ref.sequence.rules.size());
+  for (size_t i = 0; i < ref.sequence.rules.size(); ++i) {
+    EXPECT_EQ(CanonicalKey(got.sequence.rules[i]),
+              CanonicalKey(ref.sequence.rules[i]));
+  }
+  EXPECT_DOUBLE_EQ(got.sequence.selectivity, ref.sequence.selectivity);
+  EXPECT_EQ(got.matcher.num_trees(), ref.matcher.num_trees());
+  EXPECT_EQ(got.metrics.questions, ref.metrics.questions);
+  EXPECT_DOUBLE_EQ(got.metrics.cost, ref.metrics.cost);
+  EXPECT_DOUBLE_EQ(got.metrics.crowd_time.seconds,
+                   ref.metrics.crowd_time.seconds);
+  EXPECT_EQ(got.metrics.candidate_size, ref.metrics.candidate_size);
+  EXPECT_EQ(got.metrics.used_blocking, ref.metrics.used_blocking);
+  EXPECT_EQ(got.metrics.has_accuracy_estimate,
+            ref.metrics.has_accuracy_estimate);
+  if (ref.metrics.has_accuracy_estimate) {
+    EXPECT_DOUBLE_EQ(got.metrics.accuracy.precision,
+                     ref.metrics.accuracy.precision);
+    EXPECT_DOUBLE_EQ(got.metrics.accuracy.recall, ref.metrics.accuracy.recall);
+  }
+}
+
+/// Kills-and-resumes at every boundary: each snapshot is loaded into a fresh
+/// world (fresh copies of the tables regenerated from the workload seed,
+/// fresh crowd platform whose state comes from the snapshot) and run to
+/// completion.
+void SweepAllBoundaries(const FalconConfig& cfg, const ClusterConfig& ccfg,
+                        GeneratedDataset (*make_data)(uint64_t),
+                        uint64_t data_seed, size_t expect_boundaries) {
+  GeneratedDataset data = make_data(data_seed);
+  ReferenceRun ref = RunWithCheckpoints(data, ccfg, cfg);
+  // kInit + one per executed operator + kDone; a mismatch means the run
+  // took the wrong plan template.
+  ASSERT_EQ(ref.snapshots.size(), expect_boundaries);
+
+  for (const auto& [stage, blob] : ref.snapshots) {
+    SCOPED_TRACE(std::string("boundary=") + PipelineStageName(stage));
+    GeneratedDataset fresh = make_data(data_seed);
+    Cluster cluster(ccfg);
+    SimulatedCrowd crowd(CrowdConfig(cfg.seed), fresh.truth.MakeOracle());
+    auto resumed = WorkflowSession::Resume(blob, &fresh.a, &fresh.b, &crowd,
+                                           &cluster, cfg);
+    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+    WorkflowSession& session = **resumed;
+    EXPECT_EQ(session.id(), "ref");
+    Status st = session.RunToCompletion();
+    ASSERT_TRUE(st.ok()) << st.ToString();
+    auto r = session.TakeResult();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ExpectSameOutcome(ref.result, r.value(),
+                      std::string("resumed at ") + PipelineStageName(stage));
+    // The resumed platform's total question count equals the uninterrupted
+    // run's: nothing was re-asked, nothing was skipped.
+    EXPECT_EQ(crowd.total_questions(), ref.platform_questions);
+  }
+}
+
+// The Blocker+Matcher plan visits all 11 operators: kInit + 11 + kDone.
+TEST(SessionResumeTest, BlockingPlanByteIdenticalAtEveryBoundary) {
+  SweepAllBoundaries(BlockingConfig(), FastCluster(1), &BlockingData, 7, 13);
+}
+
+TEST(SessionResumeTest, BlockingPlanByteIdenticalWithFourLocalThreads) {
+  SweepAllBoundaries(BlockingConfig(), FastCluster(4), &BlockingData, 7, 13);
+}
+
+// The Matcher-only plan: kInit + {gen_fvs(C), al_matcher, apply_matcher,
+// estimate_accuracy} + kDone.
+TEST(SessionResumeTest, MatcherOnlyPlanByteIdenticalAtEveryBoundary) {
+  SweepAllBoundaries(MatcherOnlyConfig(), FastCluster(1), &MatcherOnlyData,
+                     11, 6);
+}
+
+TEST(SessionResumeTest, ResumeRebuildTimeIsReportedNotCharged) {
+  GeneratedDataset data = BlockingData(7);
+  FalconConfig cfg = BlockingConfig();
+  ReferenceRun ref = RunWithCheckpoints(data, FastCluster(1), cfg);
+  // Pick the apply_block_rules boundary: indexes + token stores must be
+  // rebuilt there.
+  const std::string* blob = nullptr;
+  for (const auto& [stage, snap] : ref.snapshots) {
+    if (stage == PipelineStage::kApplyRules) blob = &snap;
+  }
+  ASSERT_NE(blob, nullptr);
+  GeneratedDataset fresh = BlockingData(7);
+  Cluster cluster{FastCluster(1)};
+  SimulatedCrowd crowd(CrowdConfig(cfg.seed), fresh.truth.MakeOracle());
+  auto resumed = WorkflowSession::Resume(*blob, &fresh.a, &fresh.b, &crowd,
+                                         &cluster, cfg);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_GT((*resumed)->resume_rebuild_time().seconds, 0.0);
+  ASSERT_TRUE((*resumed)->RunToCompletion().ok());
+  auto r = (*resumed)->TakeResult();
+  ASSERT_TRUE(r.ok());
+  ExpectSameOutcome(ref.result, r.value(), "apply boundary");
+}
+
+TEST(SessionSnapshotTest, MetaReadbackAndIdentityChecks) {
+  GeneratedDataset data = MatcherOnlyData(11);
+  FalconConfig cfg = MatcherOnlyConfig();
+  Cluster cluster{FastCluster(1)};
+  SimulatedCrowd crowd(CrowdConfig(cfg.seed), data.truth.MakeOracle());
+  WorkflowSession session("meta-test", &data.a, &data.b, &crowd, &cluster,
+                          cfg);
+  ASSERT_TRUE(session.Start().ok());
+  ASSERT_TRUE(session.Step().ok());
+  std::string blob = session.SaveSnapshot();
+
+  auto meta = ReadSnapshotMeta(blob);
+  ASSERT_TRUE(meta.ok()) << meta.status().ToString();
+  EXPECT_EQ(meta->session_id, "meta-test");
+  EXPECT_EQ(meta->next, PipelineStage::kMatcherAl);
+  EXPECT_FALSE(meta->used_blocking);
+  EXPECT_EQ(meta->seed, cfg.seed);
+  EXPECT_EQ(meta->table_a_rows, data.a.num_rows());
+  EXPECT_EQ(meta->table_a_hash, data.a.ContentHash());
+
+  // Config drift is refused.
+  FalconConfig drifted = cfg;
+  drifted.eval_precision_min = 0.5;
+  SimulatedCrowd crowd2(CrowdConfig(cfg.seed), data.truth.MakeOracle());
+  auto r1 = WorkflowSession::Resume(blob, &data.a, &data.b, &crowd2, &cluster,
+                                    drifted);
+  ASSERT_FALSE(r1.ok());
+  EXPECT_EQ(r1.status().code(), StatusCode::kInvalidArgument);
+
+  // Table drift (different content hash) is refused.
+  GeneratedDataset other = MatcherOnlyData(12);
+  SimulatedCrowd crowd3(CrowdConfig(cfg.seed), other.truth.MakeOracle());
+  auto r2 = WorkflowSession::Resume(blob, &other.a, &other.b, &crowd3,
+                                    &cluster, cfg);
+  ASSERT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(SessionSnapshotTest, RejectsCorruptionTruncationAndFutureVersions) {
+  GeneratedDataset data = MatcherOnlyData(11);
+  FalconConfig cfg = MatcherOnlyConfig();
+  Cluster cluster{FastCluster(1)};
+  SimulatedCrowd crowd(CrowdConfig(cfg.seed), data.truth.MakeOracle());
+  WorkflowSession session("sess", &data.a, &data.b, &crowd, &cluster, cfg);
+  ASSERT_TRUE(session.Start().ok());
+  ASSERT_TRUE(session.Step().ok());
+  std::string blob = session.SaveSnapshot();
+
+  auto try_load = [&](const std::string& bytes) {
+    GeneratedDataset fresh = MatcherOnlyData(11);
+    Cluster c2{FastCluster(1)};
+    SimulatedCrowd cr(CrowdConfig(cfg.seed), fresh.truth.MakeOracle());
+    return WorkflowSession::Resume(bytes, &fresh.a, &fresh.b, &cr, &c2, cfg)
+        .status();
+  };
+
+  // Pristine blob loads.
+  EXPECT_TRUE(try_load(blob).ok()) << try_load(blob).ToString();
+
+  // A flipped byte inside a section payload fails its CRC.
+  std::string corrupt = blob;
+  corrupt[corrupt.size() / 2] ^= 0x5A;
+  Status st = try_load(corrupt);
+  ASSERT_FALSE(st.ok());
+
+  std::string tail_corrupt = blob;
+  tail_corrupt[tail_corrupt.size() - 5] ^= 0x01;
+  st = try_load(tail_corrupt);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.ToString().find("CRC"), std::string::npos) << st.ToString();
+
+  // Truncation is refused.
+  st = try_load(blob.substr(0, blob.size() - 16));
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+
+  // A future format version is refused with a clean error.
+  std::string future = blob;
+  future[4] = 0x63;  // version u32 (little-endian) -> 99
+  st = try_load(future);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(st.ToString().find("newer"), std::string::npos) << st.ToString();
+
+  // Garbage is not a snapshot.
+  EXPECT_FALSE(try_load("definitely not a snapshot").ok());
+  EXPECT_FALSE(try_load("").ok());
+}
+
+// The crowd journal as a write-ahead log: resume from an EARLY snapshot but
+// replay the full journal of the reference run — every crowd question after
+// the boundary is answered from the journal, so the real platform (counted
+// via its truth oracle) is never contacted and nothing is re-paid.
+TEST(SessionJournalTest, FullJournalReplayAsksThePlatformNothing) {
+  GeneratedDataset data = BlockingData(7);
+  FalconConfig cfg = BlockingConfig();
+  ReferenceRun ref = RunWithCheckpoints(data, FastCluster(1), cfg);
+
+  auto journal = CrowdJournal::Parse(ref.wal);
+  ASSERT_TRUE(journal.ok()) << journal.status().ToString();
+  ASSERT_FALSE(journal->entries.empty());
+
+  // Resume right before the blocker's active learning — nearly all crowd
+  // work happens after this boundary.
+  const std::string* blob = nullptr;
+  for (const auto& [stage, snap] : ref.snapshots) {
+    if (stage == PipelineStage::kBlockerAl) blob = &snap;
+  }
+  ASSERT_NE(blob, nullptr);
+
+  GeneratedDataset fresh = BlockingData(7);
+  size_t oracle_calls = 0;
+  TruthOracle counting = [&](RowId a, RowId b) {
+    ++oracle_calls;
+    return fresh.truth.IsMatch(a, b);
+  };
+  Cluster cluster{FastCluster(1)};
+  SimulatedCrowd crowd(CrowdConfig(cfg.seed), counting);
+  auto resumed = WorkflowSession::Resume(*blob, &fresh.a, &fresh.b, &crowd,
+                                         &cluster, cfg);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  WorkflowSession& session = **resumed;
+  ASSERT_TRUE(session.ImportJournalTail(std::move(journal).value()).ok());
+
+  Status st = session.RunToCompletion();
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(oracle_calls, 0u) << "a journaled question was re-asked";
+  EXPECT_GT(session.replayed_questions(), 0u);
+  auto r = session.TakeResult();
+  ASSERT_TRUE(r.ok());
+  ExpectSameOutcome(ref.result, r.value(), "full-WAL replay");
+}
+
+TEST(SessionJournalTest, SerializedJournalRejectsCorruption) {
+  GeneratedDataset data = MatcherOnlyData(11);
+  FalconConfig cfg = MatcherOnlyConfig();
+  Cluster cluster{FastCluster(1)};
+  SimulatedCrowd crowd(CrowdConfig(cfg.seed), data.truth.MakeOracle());
+  WorkflowSession session("j", &data.a, &data.b, &crowd, &cluster, cfg);
+  ASSERT_TRUE(session.RunToCompletion().ok());
+  std::string wal = session.ExportJournal();
+
+  auto parsed = CrowdJournal::Parse(wal);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_FALSE(parsed->entries.empty());
+  // Round-trip is stable.
+  EXPECT_EQ(parsed->Serialize(), wal);
+
+  std::string corrupt = wal;
+  corrupt[corrupt.size() / 2] ^= 0x7;
+  EXPECT_FALSE(CrowdJournal::Parse(corrupt).ok());
+  EXPECT_FALSE(CrowdJournal::Parse(wal.substr(0, wal.size() - 3)).ok());
+  std::string future = wal;
+  future[4] = 0x40;  // version field
+  auto st = CrowdJournal::Parse(future).status();
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.ToString().find("newer"), std::string::npos);
+}
+
+// Two sessions sharing one cluster (and its thread pool) must each produce
+// exactly what they produce alone — no cross-session leakage through the
+// shared execution substrate, whether interleaved step-by-step or driven
+// from concurrent threads.
+TEST(SessionManagerTest, ConcurrentSessionsMatchSoloRuns) {
+  FalconConfig cfg1 = MatcherOnlyConfig(3);
+  FalconConfig cfg2 = MatcherOnlyConfig(19);
+
+  auto solo = [](uint64_t data_seed, const FalconConfig& cfg) {
+    GeneratedDataset data = MatcherOnlyData(data_seed);
+    Cluster cluster{FastCluster(2)};
+    SimulatedCrowd crowd(CrowdConfig(cfg.seed), data.truth.MakeOracle());
+    WorkflowSession session("solo", &data.a, &data.b, &crowd, &cluster, cfg);
+    EXPECT_TRUE(session.RunToCompletion().ok());
+    auto r = session.TakeResult();
+    EXPECT_TRUE(r.ok());
+    return r.ok() ? std::move(r).value() : MatchResult{};
+  };
+  MatchResult ref1 = solo(5, cfg1);
+  MatchResult ref2 = solo(6, cfg2);
+
+  {  // Interleaved, one operator at a time, shared cluster.
+    GeneratedDataset d1 = MatcherOnlyData(5), d2 = MatcherOnlyData(6);
+    Cluster cluster{FastCluster(2)};
+    SimulatedCrowd c1(CrowdConfig(cfg1.seed), d1.truth.MakeOracle());
+    SimulatedCrowd c2(CrowdConfig(cfg2.seed), d2.truth.MakeOracle());
+    SessionManager manager(&cluster);
+    auto s1 = manager.Create("one", &d1.a, &d1.b, &c1, cfg1);
+    auto s2 = manager.Create("two", &d2.a, &d2.b, &c2, cfg2);
+    ASSERT_TRUE(s1.ok() && s2.ok());
+    EXPECT_FALSE(manager.Create("one", &d1.a, &d1.b, &c1, cfg1).ok());
+    EXPECT_EQ(manager.size(), 2u);
+    ASSERT_TRUE(manager.RunAll().ok());
+    EXPECT_EQ(manager.active(), 0u);
+    auto r1 = manager.Get("one")->TakeResult();
+    auto r2 = manager.Get("two")->TakeResult();
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    ExpectSameOutcome(ref1, r1.value(), "interleaved session one");
+    ExpectSameOutcome(ref2, r2.value(), "interleaved session two");
+  }
+  {  // Concurrent driver threads, shared cluster.
+    GeneratedDataset d1 = MatcherOnlyData(5), d2 = MatcherOnlyData(6);
+    Cluster cluster{FastCluster(2)};
+    SimulatedCrowd c1(CrowdConfig(cfg1.seed), d1.truth.MakeOracle());
+    SimulatedCrowd c2(CrowdConfig(cfg2.seed), d2.truth.MakeOracle());
+    SessionManager manager(&cluster);
+    ASSERT_TRUE(manager.Create("one", &d1.a, &d1.b, &c1, cfg1).ok());
+    ASSERT_TRUE(manager.Create("two", &d2.a, &d2.b, &c2, cfg2).ok());
+    ASSERT_TRUE(manager.RunAllThreaded().ok());
+    auto r1 = manager.Get("one")->TakeResult();
+    auto r2 = manager.Get("two")->TakeResult();
+    ASSERT_TRUE(r1.ok() && r2.ok());
+    ExpectSameOutcome(ref1, r1.value(), "threaded session one");
+    ExpectSameOutcome(ref2, r2.value(), "threaded session two");
+  }
+}
+
+// A snapshotted session can also re-enter through the manager.
+TEST(SessionManagerTest, ResumeThroughManager) {
+  GeneratedDataset data = MatcherOnlyData(11);
+  FalconConfig cfg = MatcherOnlyConfig();
+  ReferenceRun ref = RunWithCheckpoints(data, FastCluster(1), cfg);
+
+  GeneratedDataset fresh = MatcherOnlyData(11);
+  Cluster cluster{FastCluster(1)};
+  SimulatedCrowd crowd(CrowdConfig(cfg.seed), fresh.truth.MakeOracle());
+  SessionManager manager(&cluster);
+  auto resumed = manager.Resume(ref.snapshots[2].second, &fresh.a, &fresh.b,
+                                &crowd, cfg);
+  ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
+  EXPECT_EQ(manager.Get("ref"), *resumed);
+  ASSERT_TRUE(manager.RunAll().ok());
+  auto r = (*resumed)->TakeResult();
+  ASSERT_TRUE(r.ok());
+  ExpectSameOutcome(ref.result, r.value(), "manager resume");
+}
+
+}  // namespace
+}  // namespace falcon
