@@ -55,14 +55,32 @@ Result<AccuracyEstimate> EstimateAccuracy(
       *true_matches = 0;
       return Status::OK();
     }
-    FALCON_ASSIGN_OR_RETURN(LabelResult lr,
-                            crowd->LabelPairs(qs, VoteScheme::kMajority3));
+    auto labeled_result = crowd->LabelPairs(qs, VoteScheme::kMajority3);
+    if (!labeled_result.ok()) {
+      if (labeled_result.status().code() == StatusCode::kBudgetExhausted) {
+        // The cap rejected the stratum's batch outright: report zero labels
+        // for this stratum (Margin() then yields the maximal half-width).
+        est.budget_exhausted = true;
+        *labeled = 0;
+        *true_matches = 0;
+        return Status::OK();
+      }
+      return labeled_result.status();
+    }
+    const LabelResult& lr = *labeled_result;
     est.questions += lr.num_questions;
     est.cost += lr.cost;
     est.crowd_time += lr.latency;
-    *labeled = take;
+    // Count only questions the crowd actually answered; a truncated batch's
+    // tail was never paid for.
+    *labeled = 0;
     *true_matches = 0;
-    for (bool l : lr.labels) *true_matches += l ? 1 : 0;
+    for (size_t i = 0; i < lr.labels.size(); ++i) {
+      if (!lr.Answered(i)) continue;
+      ++*labeled;
+      *true_matches += lr.labels[i] ? 1 : 0;
+    }
+    if (lr.truncated) est.budget_exhausted = true;
     return Status::OK();
   };
 

@@ -42,6 +42,9 @@ struct AccuracyEstimate {
   size_t questions = 0;
   double cost = 0.0;
   VDuration crowd_time;
+  /// True if the crowd budget cap cut the stratified sample short (C_max):
+  /// estimates cover whatever labels were paid for; margins widen to match.
+  bool budget_exhausted = false;
 };
 
 /// Estimates the accuracy of `predictions` (parallel to `candidates`,

@@ -84,13 +84,26 @@ Result<AlMatcherResult> AlMatcher(const std::vector<FeatureVec>& fvs,
     std::vector<PairQuestion> qs;
     qs.reserve(selected.size());
     for (uint32_t i : selected) qs.push_back(pairs[i]);
-    FALCON_ASSIGN_OR_RETURN(
-        LabelResult lr, crowd->LabelPairs(qs, VoteScheme::kMajority3));
+    auto labeled = crowd->LabelPairs(qs, VoteScheme::kMajority3);
+    if (!labeled.ok()) {
+      if (labeled.status().code() == StatusCode::kBudgetExhausted) {
+        // C_max: the cap rejected the whole batch; keep the labels already
+        // paid for and end the loop cleanly.
+        result.budget_exhausted = true;
+        return VDuration::Zero();
+      }
+      return labeled.status();
+    }
+    const LabelResult& lr = *labeled;
     for (size_t j = 0; j < selected.size(); ++j) {
+      // A truncated batch's unanswered questions were never paid for; they
+      // stay unlabeled (and eligible for future selection).
+      if (!lr.Answered(j)) continue;
       result.labeled_indices.push_back(selected[j]);
       result.labels.push_back(lr.labels[j] ? 1 : 0);
       is_labeled[selected[j]] = 1;
     }
+    if (lr.truncated) result.budget_exhausted = true;
     result.questions += lr.num_questions;
     result.cost += lr.cost;
     result.crowd_time += lr.latency;
@@ -129,6 +142,15 @@ Result<AlMatcherResult> AlMatcher(const std::vector<FeatureVec>& fvs,
     (void)unused;
     result.iterations = 1;
   }
+  if (result.labeled_indices.empty()) {
+    // Nothing to train on. When the cap fired before the seed batch bought
+    // a single label, surface the exhaustion as a clean status.
+    return result.budget_exhausted
+               ? Status::BudgetExhausted(
+                     "crowd budget exhausted before al_matcher obtained "
+                     "any label")
+               : Status::Internal("al_matcher: seed batch yielded no labels");
+  }
 
   // --- active-learning iterations -------------------------------------------
   Rng train_rng = rng->Fork();
@@ -159,7 +181,10 @@ Result<AlMatcherResult> AlMatcher(const std::vector<FeatureVec>& fvs,
     return std::make_tuple(selected, sel_time, batch_mean);
   };
 
-  if (options.mask_pair_selection) {
+  if (result.budget_exhausted) {
+    // The cap fired during the seed batch: train on what was paid for and
+    // skip active learning entirely.
+  } else if (options.mask_pair_selection) {
     // First post-seed selection picks a double batch; the extra half is sent
     // first and the other half becomes pending.
     auto [sel, sel_time, mean_dis] = select_batch(batch * 2);
@@ -173,6 +198,7 @@ Result<AlMatcherResult> AlMatcher(const std::vector<FeatureVec>& fvs,
     while (result.iterations < options.max_iterations && !to_send.empty()) {
       FALCON_ASSIGN_OR_RETURN(VDuration window, label_batch(to_send));
       ++result.iterations;
+      if (result.budget_exhausted) break;  // C_max: stop asking, keep labels
       // During the crowd window: retrain on labels received so far and
       // select the NEXT batch (masked up to the window length).
       result.training_time += VDuration::Seconds(
@@ -214,6 +240,7 @@ Result<AlMatcherResult> AlMatcher(const std::vector<FeatureVec>& fvs,
       FALCON_ASSIGN_OR_RETURN(VDuration unused, label_batch(sel));
       (void)unused;
       ++result.iterations;
+      if (result.budget_exhausted) break;  // C_max: stop asking, keep labels
       result.training_time += VDuration::Seconds(
           MeasureTrain(&result.matcher, fvs, result.labeled_indices,
                        result.labels, options.forest, &train_rng));

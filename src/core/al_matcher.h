@@ -43,6 +43,10 @@ struct AlMatcherResult {
   /// True if stopped by the convergence criterion (not the cap). The
   /// speculative apply_matcher optimization reuses its result only then.
   bool converged = false;
+  /// True if the crowd budget cap ended labeling early (the paper's C_max
+  /// contract): the matcher was trained on the labels already paid for and
+  /// the active-learning loop stopped cleanly.
+  bool budget_exhausted = false;
 
   // --- time accounting ---
   /// Sum of per-iteration crowd latencies.

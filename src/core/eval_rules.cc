@@ -56,6 +56,9 @@ Result<EvalRulesResult> EvalRules(const std::vector<Rule>& rules,
   const double z = ZValue(options.delta);
 
   for (size_t ri = 0; ri < rules.size(); ++ri) {
+    // C_max: once the cap fires no further rule can buy labels; dropping the
+    // remaining candidates is the conservative (recall-preserving) choice.
+    if (result.budget_exhausted) break;
     // Pool: indices of sample pairs the rule drops.
     std::vector<uint32_t> pool;
     pool.reserve(rules[ri].coverage);
@@ -72,7 +75,8 @@ Result<EvalRulesResult> EvalRules(const std::vector<Rule>& rules,
     bool retained = false;
     bool decided = false;
     double precision = 0.0;
-    for (int iter = 0; iter < options.max_iterations_per_rule && !decided;
+    for (int iter = 0; iter < options.max_iterations_per_rule && !decided &&
+                       !result.budget_exhausted;
          ++iter) {
       size_t take = std::min<size_t>(
           static_cast<size_t>(options.pairs_per_iteration),
@@ -84,17 +88,37 @@ Result<EvalRulesResult> EvalRules(const std::vector<Rule>& rules,
         qs.push_back(sample_pairs[pool[cursor + i]]);
       }
       cursor += take;
-      FALCON_ASSIGN_OR_RETURN(
-          LabelResult lr,
-          crowd->LabelPairs(qs, VoteScheme::kStrongMajority7));
+      auto labeled = crowd->LabelPairs(qs, VoteScheme::kStrongMajority7);
+      if (!labeled.ok()) {
+        if (labeled.status().code() == StatusCode::kBudgetExhausted) {
+          // Whole batch rejected by the cap; decide the rule on the labels
+          // already paid for and stop asking.
+          result.budget_exhausted = true;
+          break;
+        }
+        return labeled.status();
+      }
+      const LabelResult& lr = *labeled;
       result.questions += lr.num_questions;
       result.cost += lr.cost;
       result.crowd_time += lr.latency;
       result.crowd_windows.push_back(lr.latency);
-      for (bool label : lr.labels) n_neg += label ? 0 : 1;
-      n += take;
+      // A truncated batch's unanswered questions were never paid for; only
+      // answered questions enter the estimate.
+      size_t answered = 0;
+      for (size_t i = 0; i < lr.labels.size(); ++i) {
+        if (!lr.Answered(i)) continue;
+        ++answered;
+        n_neg += lr.labels[i] ? 0 : 1;
+      }
+      n += answered;
+      if (lr.truncated) result.budget_exhausted = true;
+      if (n == 0) {
+        if (result.budget_exhausted) break;
+        continue;  // no usable label yet; draw the next batch
+      }
 
-      precision = static_cast<double>(n_neg) / n;
+      precision = static_cast<double>(n_neg) / static_cast<double>(n);
       double fpc = m <= 1.0 ? 0.0 : (m - n) / (m - 1.0);
       double eps = z * std::sqrt(precision * (1.0 - precision) /
                                      static_cast<double>(n) * fpc);

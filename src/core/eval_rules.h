@@ -38,6 +38,10 @@ struct EvalRulesResult {
   std::vector<VDuration> crowd_windows;
   size_t questions = 0;
   double cost = 0.0;
+  /// True if the crowd budget cap ended rule evaluation early (C_max):
+  /// rules already decided were decided on fully paid-for labels; rules not
+  /// yet evaluated were dropped conservatively.
+  bool budget_exhausted = false;
 };
 
 /// `coverage[i]` marks which of `sample_pairs` rule `rules[i]` drops.

@@ -279,6 +279,7 @@ Status FalconPipeline::StageBlockerAl() {
     m.operators.push_back(
         {"al_matcher(blocker)", blocker.crowd_time + mach, unmask, true});
   }
+  if (blocker.budget_exhausted) m.budget_exhausted = true;
   state_.blocker = std::move(blocker.matcher);
   state_.blocker_labeled_indices = std::move(blocker.labeled_indices);
   state_.blocker_labels = std::move(blocker.labels);
@@ -344,7 +345,13 @@ Status FalconPipeline::StageEvalRules() {
   state_.bank_credit += evaluated.crowd_time;
   m.operators.push_back(
       {"eval_rules", evaluated.crowd_time, VDuration::Zero(), true});
+  if (evaluated.budget_exhausted) m.budget_exhausted = true;
   if (evaluated.retained.empty()) {
+    if (evaluated.budget_exhausted) {
+      return Status::BudgetExhausted(
+          "crowd budget exhausted before eval_rules retained any blocking "
+          "rule");
+    }
     return Status::Internal(
         "eval_rules retained no blocking rule with sufficient precision");
   }
@@ -598,6 +605,7 @@ Status FalconPipeline::StageMatcherAl() {
     m.operators.push_back(
         {"al_matcher(matcher)", matcher.crowd_time + mach, unmask, true});
   }
+  if (matcher.budget_exhausted) m.budget_exhausted = true;
   state_.out.matcher = std::move(matcher.matcher);
   state_.matcher_converged = matcher.converged;
   state_.next = PipelineStage::kApplyMatcher;
@@ -650,6 +658,7 @@ Status FalconPipeline::StageEstimateAccuracy() {
         EstimateAccuracy(state_.out.candidates, state_.predictions, crowd_,
                          config_.accuracy, &state_.rng));
     m.has_accuracy_estimate = true;
+    if (m.accuracy.budget_exhausted) m.budget_exhausted = true;
     m.crowd_time += m.accuracy.crowd_time;
     m.questions += m.accuracy.questions;
     m.cost += m.accuracy.cost;

@@ -80,6 +80,11 @@ struct RunMetrics {
   /// what the user sees).
   bool has_accuracy_estimate = false;
   AccuracyEstimate accuracy;
+
+  /// True if any crowd operator hit the budget cap and degraded (the
+  /// paper's C_max contract): the run completed with the labels already
+  /// paid for, so downstream quality may be reduced.
+  bool budget_exhausted = false;
 };
 
 struct MatchResult {

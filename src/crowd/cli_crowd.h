@@ -24,9 +24,21 @@ class CliCrowd : public CrowdPlatform {
 
   /// Accepts answers per pair: "y"/"yes"/"1" = match, "n"/"no"/"0" =
   /// non-match (case-insensitive); anything else reprompts, EOF fails with
-  /// kIoError. The vote scheme is ignored (one human, one answer).
-  Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
-                                 VoteScheme scheme) override;
+  /// kIoError. The vote scheme is ignored (one human, one answer); questions
+  /// already decided by prior votes, or capped at zero new answers, are not
+  /// asked.
+  Result<LabelResult> LabelBatch(const LabelRequest& request) override;
+
+  /// One human, one answer: a vote leader decides.
+  bool QuorumReached(VoteScheme scheme, uint32_t yes,
+                     uint32_t no) const override {
+    (void)scheme;
+    return yes != no;
+  }
+  uint32_t MinAnswersToQuorum(VoteScheme scheme, uint32_t yes,
+                              uint32_t no) const override {
+    return QuorumReached(scheme, yes, no) ? 0 : 1;
+  }
 
  private:
   void Render(RowId a_row, RowId b_row);

@@ -20,6 +20,30 @@ double ComputeCostCap(const CostCapParams& p) {
          p.h * p.q * p.c;
 }
 
+bool CrowdPlatform::QuorumReached(VoteScheme scheme, uint32_t yes,
+                                  uint32_t no) const {
+  uint32_t total = yes + no;
+  if (scheme == VoteScheme::kMajority3) {
+    // Three answers decide; merged re-ask totals can exceed three, in which
+    // case a tie keeps the question open (one more answer breaks it).
+    return total >= 3 && yes != no;
+  }
+  // Strong majority: one side holds 4 votes, or 7+ answers with a leader.
+  return yes >= 4 || no >= 4 || (total >= 7 && yes != no);
+}
+
+uint32_t CrowdPlatform::MinAnswersToQuorum(VoteScheme scheme, uint32_t yes,
+                                           uint32_t no) const {
+  if (QuorumReached(scheme, yes, no)) return 0;
+  uint32_t total = yes + no;
+  if (scheme == VoteScheme::kMajority3) {
+    return total >= 3 ? 1 : 3 - total;  // >= 3 and open means tied
+  }
+  uint32_t to_four = 4 - std::max(yes, no);  // leader < 4 when still open
+  uint32_t to_seven = total >= 7 ? 1 : 7 - total;
+  return std::min(to_four, to_seven);
+}
+
 void CrowdPlatform::Record(const LabelResult& r) {
   total_questions_ += r.num_questions;
   total_answers_ += r.num_answers;
@@ -71,8 +95,36 @@ Status CrowdPlatform::RestoreState(const std::string& blob) {
   return Status::OK();
 }
 
+Status ValidateSimulatedCrowdConfig(const SimulatedCrowdConfig& config) {
+  if (config.questions_per_hit <= 0) {
+    return Status::InvalidArgument(
+        "simulated crowd: questions_per_hit must be positive (batches are "
+        "divided into HITs of that size)");
+  }
+  if (!(config.error_rate >= 0.0 && config.error_rate <= 1.0)) {
+    return Status::InvalidArgument(
+        "simulated crowd: error_rate must lie in [0, 1]");
+  }
+  if (!(config.hit_latency_mean.seconds > 0.0)) {
+    return Status::InvalidArgument(
+        "simulated crowd: hit_latency_mean must be positive");
+  }
+  if (config.latency_sigma < 0.0) {
+    return Status::InvalidArgument(
+        "simulated crowd: latency_sigma must be non-negative");
+  }
+  if (config.cost_per_answer < 0.0) {
+    return Status::InvalidArgument(
+        "simulated crowd: cost_per_answer must be non-negative");
+  }
+  return Status::OK();
+}
+
 SimulatedCrowd::SimulatedCrowd(SimulatedCrowdConfig config, TruthOracle oracle)
-    : config_(config), oracle_(std::move(oracle)), rng_(config.seed) {
+    : config_(config),
+      init_status_(ValidateSimulatedCrowdConfig(config)),
+      oracle_(std::move(oracle)),
+      rng_(config.seed) {
   ledger_ = BudgetLedger(config.budget_cap);
 }
 
@@ -89,44 +141,71 @@ Status SimulatedCrowd::RestoreDerivedState(BinaryReader* r) {
   return Status::OK();
 }
 
-Result<LabelResult> SimulatedCrowd::LabelPairs(
-    const std::vector<PairQuestion>& pairs, VoteScheme scheme) {
+Result<LabelResult> SimulatedCrowd::LabelBatch(const LabelRequest& request) {
+  FALCON_RETURN_NOT_OK(init_status_);
+  const size_t n = request.pairs.size();
+  if (!request.prior.empty() && request.prior.size() != n) {
+    return Status::InvalidArgument("simulated crowd: prior/pairs mismatch");
+  }
+  if (!request.max_new_answers.empty() &&
+      request.max_new_answers.size() != n) {
+    return Status::InvalidArgument("simulated crowd: caps/pairs mismatch");
+  }
+
+  // A rejected batch must be side-effect-free: capture the RNG engine state
+  // so the budget-failure path below can undo the answer draws (otherwise a
+  // caller that retries a smaller batch would see a perturbed stream and
+  // break the byte-identical resume guarantee).
+  const RngState rng_at_entry = rng_.SaveState();
+
   LabelResult result;
-  result.num_questions = pairs.size();
-  result.labels.reserve(pairs.size());
+  result.labels.reserve(n);
+  result.answers_per_question.reserve(n);
+  result.yes_votes.reserve(n);
 
   size_t answers = 0;
-  for (const auto& [a, b] : pairs) {
-    bool truth = oracle_(a, b);
-    int yes = 0;
-    int no = 0;
-    if (scheme == VoteScheme::kMajority3) {
-      for (int i = 0; i < 3; ++i) {
-        (OneAnswer(truth) ? yes : no)++;
-      }
-      answers += 3;
-    } else {
-      // Strong majority: stop as soon as one side holds 4 votes; at most 7.
-      while (yes < 4 && no < 4 && yes + no < 7) {
-        (OneAnswer(truth) ? yes : no)++;
-        ++answers;
-      }
+  size_t answered_questions = 0;
+  for (size_t i = 0; i < n; ++i) {
+    bool truth = oracle_(request.pairs[i].first, request.pairs[i].second);
+    uint32_t yes = request.prior.empty() ? 0 : request.prior[i].yes;
+    uint32_t no = request.prior.empty() ? 0 : request.prior[i].no;
+    uint32_t cap =
+        request.max_new_answers.empty() ? kNoAnswerCap
+                                        : request.max_new_answers[i];
+    // Collect answers until the scheme's quorum decides the question (for a
+    // fresh question this reproduces the legacy majority-of-3 /
+    // strong-majority-of-7 draws exactly) or the fault-injected cap ends
+    // collection early.
+    uint32_t drawn = 0;
+    while (drawn < cap && !QuorumReached(request.scheme, yes, no)) {
+      (OneAnswer(truth) ? yes : no)++;
+      ++drawn;
     }
+    answers += drawn;
+    if (drawn > 0) ++answered_questions;
     result.labels.push_back(yes > no);
+    result.answers_per_question.push_back(yes + no);
+    result.yes_votes.push_back(yes);
   }
+  result.num_questions = answered_questions;
   result.num_answers = answers;
   result.cost = static_cast<double>(answers) * config_.cost_per_answer;
-  FALCON_RETURN_NOT_OK(ledger_.Charge(result.cost));
+  if (Status charged = ledger_.Charge(result.cost); !charged.ok()) {
+    rng_.RestoreState(rng_at_entry);
+    return charged;
+  }
 
   // Latency: HITs of `questions_per_hit` posted in parallel; the batch waits
   // for the slowest HIT. Extra strong-majority answers lengthen a HIT
-  // proportionally (more assignments must come back).
-  if (!pairs.empty()) {
-    size_t num_hits = (pairs.size() + config_.questions_per_hit - 1) /
+  // proportionally (more assignments must come back); the strong-majority
+  // baseline is 4 answers — the minimum that reaches a 4-vote majority — so
+  // a unanimous batch is not stretched.
+  if (n > 0) {
+    size_t num_hits = (n + static_cast<size_t>(config_.questions_per_hit) -
+                       1) /
                       static_cast<size_t>(config_.questions_per_hit);
-    double answers_per_question =
-        static_cast<double>(answers) / pairs.size();
-    double base_votes = scheme == VoteScheme::kMajority3 ? 3.0 : 3.0;
+    double answers_per_question = static_cast<double>(answers) / n;
+    double base_votes = request.scheme == VoteScheme::kMajority3 ? 3.0 : 4.0;
     double stretch = std::max(1.0, answers_per_question / base_votes);
     double slowest = 0.0;
     for (size_t h = 0; h < num_hits; ++h) {
@@ -154,22 +233,57 @@ OracleCrowd::OracleCrowd(OracleCrowdConfig config, TruthOracle oracle)
   ledger_ = BudgetLedger(std::numeric_limits<double>::infinity());
 }
 
-Result<LabelResult> OracleCrowd::LabelPairs(
-    const std::vector<PairQuestion>& pairs, VoteScheme scheme) {
-  (void)scheme;  // one expert answers once regardless of scheme
-  LabelResult result;
-  result.num_questions = pairs.size();
-  result.num_answers = pairs.size();
-  result.cost = 0.0;
-  result.labels.reserve(pairs.size());
-  for (const auto& [a, b] : pairs) {
-    bool truth = oracle_(a, b);
-    result.labels.push_back(rng_.Bernoulli(config_.error_rate) ? !truth
-                                                               : truth);
+bool OracleCrowd::QuorumReached(VoteScheme scheme, uint32_t yes,
+                                uint32_t no) const {
+  (void)scheme;  // one expert, one answer: a leader decides
+  return yes != no;
+}
+
+uint32_t OracleCrowd::MinAnswersToQuorum(VoteScheme scheme, uint32_t yes,
+                                         uint32_t no) const {
+  return QuorumReached(scheme, yes, no) ? 0 : 1;
+}
+
+Result<LabelResult> OracleCrowd::LabelBatch(const LabelRequest& request) {
+  const size_t n = request.pairs.size();
+  if (!request.prior.empty() && request.prior.size() != n) {
+    return Status::InvalidArgument("oracle crowd: prior/pairs mismatch");
   }
+  if (!request.max_new_answers.empty() &&
+      request.max_new_answers.size() != n) {
+    return Status::InvalidArgument("oracle crowd: caps/pairs mismatch");
+  }
+  LabelResult result;
+  result.labels.reserve(n);
+  result.answers_per_question.reserve(n);
+  result.yes_votes.reserve(n);
+  size_t answers = 0;
+  size_t answered_questions = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t yes = request.prior.empty() ? 0 : request.prior[i].yes;
+    uint32_t no = request.prior.empty() ? 0 : request.prior[i].no;
+    uint32_t cap =
+        request.max_new_answers.empty() ? kNoAnswerCap
+                                        : request.max_new_answers[i];
+    uint32_t drawn = 0;
+    while (drawn < cap && !QuorumReached(request.scheme, yes, no)) {
+      bool truth = oracle_(request.pairs[i].first, request.pairs[i].second);
+      bool answer = rng_.Bernoulli(config_.error_rate) ? !truth : truth;
+      (answer ? yes : no)++;
+      ++drawn;
+    }
+    answers += drawn;
+    if (drawn > 0) ++answered_questions;
+    result.labels.push_back(yes > no);
+    result.answers_per_question.push_back(yes + no);
+    result.yes_votes.push_back(yes);
+  }
+  result.num_questions = answered_questions;
+  result.num_answers = answers;
+  result.cost = 0.0;
   // Sequential labeling: the expert works through the batch pair by pair.
   result.latency = VDuration::Seconds(config_.seconds_per_pair.seconds *
-                                      static_cast<double>(pairs.size()));
+                                      static_cast<double>(answers));
   Record(result);
   return result;
 }

@@ -79,16 +79,79 @@ struct CostCapParams {
 };
 double ComputeCostCap(const CostCapParams& params = {});
 
-/// Result of labeling one batch of pairs.
+/// Votes a question already holds when it is (re-)posted. ResilientCrowd
+/// requeues under-quorum questions with their accumulated counts so the
+/// platform only collects the answers still missing, keeping merged totals
+/// decisive (never an even split a fresh quorum could produce).
+struct PriorVotes {
+  uint32_t yes = 0;
+  uint32_t no = 0;
+  uint32_t total() const { return yes + no; }
+  bool operator==(const PriorVotes& o) const {
+    return yes == o.yes && no == o.no;
+  }
+};
+
+/// Sentinel answer cap: the platform collects as many answers as the vote
+/// scheme requires.
+inline constexpr uint32_t kNoAnswerCap = 0xFFFFFFFFu;
+
+/// One labeling request. The vectors beyond `pairs` are optional refinements
+/// used by the robustness decorators; when empty the request is a plain
+/// fresh batch (the common case, what LabelPairs() builds).
+struct LabelRequest {
+  std::vector<PairQuestion> pairs;
+  VoteScheme scheme = VoteScheme::kMajority3;
+  /// Per-question votes carried in from earlier attempts (parallel to
+  /// `pairs`, or empty = no priors). Platforms resume collection from these
+  /// counts instead of starting over.
+  std::vector<PriorVotes> prior;
+  /// Per-question cap on NEW answers the platform may collect (parallel to
+  /// `pairs`, or empty = no caps). FaultyCrowd lowers caps to model worker
+  /// abandonment and spam-rejected assignments; a cap of 0 means the
+  /// question was posted but no valid answer came back.
+  std::vector<uint32_t> max_new_answers;
+
+  bool operator==(const LabelRequest& o) const {
+    return pairs == o.pairs && scheme == o.scheme && prior == o.prior &&
+           max_new_answers == o.max_new_answers;
+  }
+};
+
+/// Result of labeling one batch of pairs. `labels` is ALWAYS parallel to the
+/// request's pairs: questions that ended without any answer carry a
+/// provisional label (prior majority, or false) and are flagged by a zero in
+/// `answers_per_question`.
 struct LabelResult {
   /// Aggregated label per input pair (true = match).
   std::vector<bool> labels;
+  /// Questions that received at least one new answer in this call.
   size_t num_questions = 0;
-  /// Total worker answers consumed (cost unit).
+  /// Total NEW worker answers consumed (cost unit; excludes prior votes).
   size_t num_answers = 0;
   double cost = 0.0;
   /// Virtual wall-clock latency of the batch.
   VDuration latency;
+  /// Cumulative valid answers per question, prior votes included (parallel
+  /// to `labels`; may be empty from legacy/simple platforms, meaning every
+  /// question reached its quorum).
+  std::vector<uint32_t> answers_per_question;
+  /// Cumulative "match" votes per question (parallel; includes priors).
+  std::vector<uint32_t> yes_votes;
+  /// True when the platform stopped mid-batch at the budget cap: labels of
+  /// unanswered questions were never posted or charged. Callers should end
+  /// their crowd loops cleanly (the paper's C_max contract) instead of
+  /// treating the batch as complete.
+  bool truncated = false;
+
+  /// Valid answer count of question `i` (quorum-or-better when the platform
+  /// does not report counts).
+  uint32_t AnswersFor(size_t i) const {
+    return answers_per_question.empty() ? kNoAnswerCap
+                                        : answers_per_question[i];
+  }
+  /// True if question `i` received at least one valid answer.
+  bool Answered(size_t i) const { return AnswersFor(i) > 0; }
 };
 
 /// Abstract crowd platform.
@@ -96,10 +159,35 @@ class CrowdPlatform {
  public:
   virtual ~CrowdPlatform() = default;
 
-  /// Posts `pairs` to the crowd and returns aggregated labels. Accounting
-  /// (questions, answers, cost, crowd time) accumulates on the platform.
-  virtual Result<LabelResult> LabelPairs(
-      const std::vector<PairQuestion>& pairs, VoteScheme scheme) = 0;
+  /// Posts a labeling request to the crowd and returns aggregated labels.
+  /// Accounting (questions, answers, cost, crowd time) accumulates on the
+  /// platform.
+  virtual Result<LabelResult> LabelBatch(const LabelRequest& request) = 0;
+
+  /// Convenience entry point: a fresh batch with no priors or caps. This is
+  /// what the EM operators call.
+  Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
+                                 VoteScheme scheme) {
+    LabelRequest req;
+    req.pairs = pairs;
+    req.scheme = scheme;
+    return LabelBatch(req);
+  }
+
+  /// Whether `yes`/`no` accumulated votes decide a question under `scheme`
+  /// on THIS platform. The default implements the multi-worker schemes
+  /// (majority-of-3, strong-majority-of-7); single-labeler platforms
+  /// (OracleCrowd, CliCrowd) override to one-answer-decides. Decorators
+  /// forward to the wrapped platform so requeue logic matches the platform
+  /// actually answering.
+  virtual bool QuorumReached(VoteScheme scheme, uint32_t yes,
+                             uint32_t no) const;
+
+  /// Minimum further answers that could decide the question (0 when the
+  /// quorum is already reached). FaultyCrowd uses it as the posted
+  /// assignment quota when drawing abandonment/spam faults.
+  virtual uint32_t MinAnswersToQuorum(VoteScheme scheme, uint32_t yes,
+                                      uint32_t no) const;
 
   size_t total_questions() const { return total_questions_; }
   size_t total_answers() const { return total_answers_; }
@@ -151,13 +239,18 @@ struct SimulatedCrowdConfig {
   uint64_t seed = 1;
 };
 
+/// Validates a SimulatedCrowdConfig: positive questions_per_hit (it divides
+/// the batch into HITs), error_rate in [0, 1], positive latency mean, and
+/// non-negative cost/jitter. Called by the SimulatedCrowd constructor path;
+/// an invalid config makes every LabelBatch call fail with this status.
+Status ValidateSimulatedCrowdConfig(const SimulatedCrowdConfig& config);
+
 /// Simulated crowd of random workers over a ground-truth oracle.
 class SimulatedCrowd : public CrowdPlatform {
  public:
   SimulatedCrowd(SimulatedCrowdConfig config, TruthOracle oracle);
 
-  Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
-                                 VoteScheme scheme) override;
+  Result<LabelResult> LabelBatch(const LabelRequest& request) override;
 
   const SimulatedCrowdConfig& config() const { return config_; }
 
@@ -170,6 +263,7 @@ class SimulatedCrowd : public CrowdPlatform {
   bool OneAnswer(bool truth);
 
   SimulatedCrowdConfig config_;
+  Status init_status_;
   TruthOracle oracle_;
   Rng rng_;
 };
@@ -188,8 +282,13 @@ class OracleCrowd : public CrowdPlatform {
  public:
   OracleCrowd(OracleCrowdConfig config, TruthOracle oracle);
 
-  Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
-                                 VoteScheme scheme) override;
+  Result<LabelResult> LabelBatch(const LabelRequest& request) override;
+
+  /// One expert, one answer: any answered question is decided.
+  bool QuorumReached(VoteScheme scheme, uint32_t yes,
+                     uint32_t no) const override;
+  uint32_t MinAnswersToQuorum(VoteScheme scheme, uint32_t yes,
+                              uint32_t no) const override;
 
  protected:
   uint32_t StateKind() const override { return 2; }

@@ -1,0 +1,180 @@
+#include "crowd/faulty_crowd.h"
+
+#include <algorithm>
+
+namespace falcon {
+
+Status ValidateFaultyCrowdConfig(const FaultyCrowdConfig& config) {
+  auto rate_ok = [](double r) { return r >= 0.0 && r <= 1.0; };
+  if (!rate_ok(config.transient_error_rate) ||
+      !rate_ok(config.hit_expiry_rate) || !rate_ok(config.abandon_rate) ||
+      !rate_ok(config.spammer_rate) || !rate_ok(config.straggler_rate)) {
+    return Status::InvalidArgument(
+        "faulty crowd: every fault rate must lie in [0, 1]");
+  }
+  if (config.questions_per_hit <= 0) {
+    return Status::InvalidArgument(
+        "faulty crowd: questions_per_hit must be positive");
+  }
+  if (!(config.straggler_multiplier >= 1.0)) {
+    return Status::InvalidArgument(
+        "faulty crowd: straggler_multiplier must be >= 1");
+  }
+  return Status::OK();
+}
+
+FaultyCrowd::FaultyCrowd(FaultyCrowdConfig config, CrowdPlatform* inner)
+    : config_(config),
+      init_status_(ValidateFaultyCrowdConfig(config)),
+      inner_(inner),
+      rng_(config.seed) {}
+
+Result<LabelResult> FaultyCrowd::LabelBatch(const LabelRequest& request) {
+  FALCON_RETURN_NOT_OK(init_status_);
+  const size_t n = request.pairs.size();
+  if (!request.prior.empty() && request.prior.size() != n) {
+    return Status::InvalidArgument("faulty crowd: prior/pairs mismatch");
+  }
+  if (!request.max_new_answers.empty() &&
+      request.max_new_answers.size() != n) {
+    return Status::InvalidArgument("faulty crowd: caps/pairs mismatch");
+  }
+
+  // Transient platform failure: fail before touching the wrapped platform,
+  // so the call is side-effect-free below this decorator and a retry simply
+  // redraws the faults.
+  if (rng_.Bernoulli(config_.transient_error_rate)) {
+    ++counters_.transient_errors;
+    return Status::IoError("injected fault: transient crowd platform error");
+  }
+
+  // Per-HIT faults, drawn in HIT order (consecutive question groups).
+  const size_t qph = static_cast<size_t>(config_.questions_per_hit);
+  const size_t num_hits = n == 0 ? 0 : (n + qph - 1) / qph;
+  std::vector<char> hit_expired(num_hits, 0);
+  bool any_straggler = false;
+  for (size_t h = 0; h < num_hits; ++h) {
+    if (rng_.Bernoulli(config_.hit_expiry_rate)) {
+      hit_expired[h] = 1;
+      ++counters_.expired_hits;
+    }
+    if (rng_.Bernoulli(config_.straggler_rate)) {
+      any_straggler = true;
+      ++counters_.straggler_hits;
+    }
+  }
+
+  // Per-question faults lower the delivered-answer cap; expired HITs drop
+  // the question from the forwarded request entirely. Faulted answers are
+  // therefore never drawn by (or charged to) the wrapped platform.
+  LabelRequest fwd;
+  fwd.scheme = request.scheme;
+  std::vector<size_t> fwd_index;
+  bool any_cap = false;
+  for (size_t i = 0; i < n; ++i) {
+    PriorVotes prior = request.prior.empty() ? PriorVotes{} : request.prior[i];
+    if (hit_expired[i / qph]) continue;
+    uint32_t cap = request.max_new_answers.empty()
+                       ? kNoAnswerCap
+                       : request.max_new_answers[i];
+    // Posted-assignment quota: the fewest answers that could decide the
+    // question. Abandonment ends the question strictly below it; each
+    // spam-rejected assignment lowers the valid-answer yield by one.
+    uint32_t quota =
+        inner_->MinAnswersToQuorum(request.scheme, prior.yes, prior.no);
+    if (quota > 0 && rng_.Bernoulli(config_.abandon_rate)) {
+      cap = std::min(cap, static_cast<uint32_t>(rng_.NextBelow(quota)));
+      ++counters_.abandoned_questions;
+    } else if (quota > 0) {
+      uint32_t spam = 0;
+      for (uint32_t s = 0; s < quota; ++s) {
+        if (rng_.Bernoulli(config_.spammer_rate)) ++spam;
+      }
+      if (spam > 0) {
+        counters_.spam_answers += spam;
+        cap = std::min(cap, quota - spam);
+      }
+    }
+    if (cap != kNoAnswerCap) any_cap = true;
+    fwd.pairs.push_back(request.pairs[i]);
+    fwd.prior.push_back(prior);
+    fwd.max_new_answers.push_back(cap);
+    fwd_index.push_back(i);
+  }
+  if (!any_cap) fwd.max_new_answers.clear();
+  bool any_prior = false;
+  for (const PriorVotes& p : fwd.prior) {
+    if (p.total() > 0) any_prior = true;
+  }
+  if (!any_prior) fwd.prior.clear();
+
+  // Skipped (expired) questions fall back to their prior votes.
+  LabelResult result;
+  result.labels.resize(n);
+  result.answers_per_question.resize(n);
+  result.yes_votes.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    PriorVotes prior = request.prior.empty() ? PriorVotes{} : request.prior[i];
+    result.labels[i] = prior.yes > prior.no;
+    result.answers_per_question[i] = prior.total();
+    result.yes_votes[i] = prior.yes;
+  }
+
+  if (!fwd.pairs.empty()) {
+    // Errors (notably BudgetExhausted) propagate unchanged; the wrapped
+    // platform's failure path is side-effect-free, so retrying is safe.
+    FALCON_ASSIGN_OR_RETURN(LabelResult inner_result,
+                            inner_->LabelBatch(fwd));
+    for (size_t k = 0; k < fwd_index.size(); ++k) {
+      size_t i = fwd_index[k];
+      result.labels[i] = inner_result.labels[k];
+      if (!inner_result.answers_per_question.empty()) {
+        result.answers_per_question[i] = inner_result.answers_per_question[k];
+        result.yes_votes[i] = inner_result.yes_votes[k];
+      } else {
+        // Count-less platform: conservatively report one answer beyond the
+        // priors so callers see the question as answered.
+        result.answers_per_question[i] =
+            (fwd.prior.empty() ? 0 : fwd.prior[k].total()) + 1;
+        result.yes_votes[i] =
+            inner_result.labels[k] ? result.answers_per_question[i] : 0;
+      }
+    }
+    result.num_questions = inner_result.num_questions;
+    result.num_answers = inner_result.num_answers;
+    result.cost = inner_result.cost;
+    result.latency = inner_result.latency;
+    result.truncated = inner_result.truncated;
+  }
+
+  if (any_straggler) {
+    result.latency = result.latency * config_.straggler_multiplier;
+  }
+  Record(result);
+  return result;
+}
+
+void FaultyCrowd::SaveDerivedState(BinaryWriter* w) const {
+  w->Str(inner_->SaveState());
+  WriteRngState(rng_.SaveState(), w);
+  w->U64(counters_.transient_errors);
+  w->U64(counters_.expired_hits);
+  w->U64(counters_.abandoned_questions);
+  w->U64(counters_.spam_answers);
+  w->U64(counters_.straggler_hits);
+}
+
+Status FaultyCrowd::RestoreDerivedState(BinaryReader* r) {
+  std::string inner_blob = r->Str();
+  if (!r->ok()) return Status::IoError("truncated faulty-crowd state");
+  FALCON_RETURN_NOT_OK(inner_->RestoreState(inner_blob));
+  rng_.RestoreState(ReadRngState(r));
+  counters_.transient_errors = r->U64();
+  counters_.expired_hits = r->U64();
+  counters_.abandoned_questions = r->U64();
+  counters_.spam_answers = r->U64();
+  counters_.straggler_hits = r->U64();
+  return Status::OK();
+}
+
+}  // namespace falcon

@@ -6,21 +6,36 @@ namespace falcon {
 namespace {
 
 constexpr uint32_t kJournalMagic = 0x464A524Eu;  // "FJRN"
-constexpr uint32_t kJournalVersion = 1;
+// Version 2: entries journal the full LabelRequest (priors, answer caps)
+// and the extended LabelResult (per-question answer counts, yes votes,
+// truncation marker) introduced by the crowd robustness layer.
+constexpr uint32_t kJournalVersion = 2;
 
 void WriteEntry(const CrowdJournalEntry& e, BinaryWriter* w) {
-  w->U64(e.pairs.size());
-  for (const auto& [a, b] : e.pairs) {
+  w->U64(e.request.pairs.size());
+  for (const auto& [a, b] : e.request.pairs) {
     w->U32(a);
     w->U32(b);
   }
-  w->U8(static_cast<uint8_t>(e.scheme));
+  w->U8(static_cast<uint8_t>(e.request.scheme));
+  w->U64(e.request.prior.size());
+  for (const PriorVotes& p : e.request.prior) {
+    w->U32(p.yes);
+    w->U32(p.no);
+  }
+  w->U64(e.request.max_new_answers.size());
+  for (uint32_t cap : e.request.max_new_answers) w->U32(cap);
   w->U64(e.result.labels.size());
   for (bool label : e.result.labels) w->U8(label ? 1 : 0);
   w->U64(e.result.num_questions);
   w->U64(e.result.num_answers);
   w->F64(e.result.cost);
   w->F64(e.result.latency.seconds);
+  w->U64(e.result.answers_per_question.size());
+  for (uint32_t c : e.result.answers_per_question) w->U32(c);
+  w->U64(e.result.yes_votes.size());
+  for (uint32_t c : e.result.yes_votes) w->U32(c);
+  w->U8(e.result.truncated ? 1 : 0);
   w->Str(e.inner_state_after);
 }
 
@@ -30,17 +45,36 @@ Result<CrowdJournalEntry> ReadEntry(BinaryReader* r) {
   if (!r->ok() || npairs > r->remaining()) {
     return Status::IoError("journal entry pair count out of range");
   }
-  e.pairs.reserve(static_cast<size_t>(npairs));
+  e.request.pairs.reserve(static_cast<size_t>(npairs));
   for (uint64_t i = 0; i < npairs; ++i) {
     uint32_t a = r->U32();
     uint32_t b = r->U32();
-    e.pairs.emplace_back(a, b);
+    e.request.pairs.emplace_back(a, b);
   }
   uint8_t scheme = r->U8();
   if (scheme > static_cast<uint8_t>(VoteScheme::kStrongMajority7)) {
     return Status::IoError("journal entry has unknown vote scheme");
   }
-  e.scheme = static_cast<VoteScheme>(scheme);
+  e.request.scheme = static_cast<VoteScheme>(scheme);
+  uint64_t nprior = r->U64();
+  if (!r->ok() || nprior > r->remaining()) {
+    return Status::IoError("journal entry prior count out of range");
+  }
+  e.request.prior.reserve(static_cast<size_t>(nprior));
+  for (uint64_t i = 0; i < nprior; ++i) {
+    PriorVotes p;
+    p.yes = r->U32();
+    p.no = r->U32();
+    e.request.prior.push_back(p);
+  }
+  uint64_t ncaps = r->U64();
+  if (!r->ok() || ncaps > r->remaining()) {
+    return Status::IoError("journal entry cap count out of range");
+  }
+  e.request.max_new_answers.reserve(static_cast<size_t>(ncaps));
+  for (uint64_t i = 0; i < ncaps; ++i) {
+    e.request.max_new_answers.push_back(r->U32());
+  }
   uint64_t nlabels = r->U64();
   if (!r->ok() || nlabels > r->remaining()) {
     return Status::IoError("journal entry label count out of range");
@@ -51,9 +85,24 @@ Result<CrowdJournalEntry> ReadEntry(BinaryReader* r) {
   e.result.num_answers = static_cast<size_t>(r->U64());
   e.result.cost = r->F64();
   e.result.latency = VDuration::Seconds(r->F64());
+  uint64_t ncounts = r->U64();
+  if (!r->ok() || ncounts > r->remaining()) {
+    return Status::IoError("journal entry answer-count size out of range");
+  }
+  e.result.answers_per_question.reserve(static_cast<size_t>(ncounts));
+  for (uint64_t i = 0; i < ncounts; ++i) {
+    e.result.answers_per_question.push_back(r->U32());
+  }
+  uint64_t nyes = r->U64();
+  if (!r->ok() || nyes > r->remaining()) {
+    return Status::IoError("journal entry yes-vote size out of range");
+  }
+  e.result.yes_votes.reserve(static_cast<size_t>(nyes));
+  for (uint64_t i = 0; i < nyes; ++i) e.result.yes_votes.push_back(r->U32());
+  e.result.truncated = r->U8() != 0;
   e.inner_state_after = r->Str();
   if (!r->ok()) return Status::IoError("truncated journal entry");
-  if (e.result.labels.size() != e.pairs.size()) {
+  if (e.result.labels.size() != e.request.pairs.size()) {
     return Status::IoError("journal entry labels do not match its pairs");
   }
   return e;
@@ -123,11 +172,10 @@ Result<CrowdJournal> CrowdJournal::Parse(std::string_view data) {
   return journal;
 }
 
-Result<LabelResult> JournalingCrowd::LabelPairs(
-    const std::vector<PairQuestion>& pairs, VoteScheme scheme) {
+Result<LabelResult> JournalingCrowd::LabelBatch(const LabelRequest& request) {
   if (cursor_ < journal_.entries.size()) {
     const CrowdJournalEntry& e = journal_.entries[cursor_];
-    if (e.scheme != scheme || e.pairs != pairs) {
+    if (!(e.request == request)) {
       return Status::Internal(
           "crowd journal divergence: the resumed run asked a different "
           "question than the recorded one at entry " +
@@ -138,18 +186,18 @@ Result<LabelResult> JournalingCrowd::LabelPairs(
     ++replayed_;
     // Leave the wrapped platform exactly where the recording left it, so
     // the first passthrough call after replay continues the original
-    // answer/latency stream.
+    // answer/latency stream. With retrying decorators below, the journaled
+    // result already merged their retries: a replayed entry re-asks (and
+    // re-pays for) nothing.
     if (!e.inner_state_after.empty()) {
       FALCON_RETURN_NOT_OK(inner_->RestoreState(e.inner_state_after));
     }
     Record(e.result);
     return e.result;
   }
-  FALCON_ASSIGN_OR_RETURN(LabelResult result,
-                          inner_->LabelPairs(pairs, scheme));
+  FALCON_ASSIGN_OR_RETURN(LabelResult result, inner_->LabelBatch(request));
   CrowdJournalEntry e;
-  e.pairs = pairs;
-  e.scheme = scheme;
+  e.request = request;
   e.result = result;
   e.inner_state_after = inner_->SaveState();
   journal_.entries.push_back(std::move(e));

@@ -26,11 +26,15 @@
 
 namespace falcon {
 
-/// One recorded LabelPairs call.
+/// One recorded LabelBatch call. The full request (pairs, scheme, priors,
+/// caps) is journaled so replay can verify the resumed run issues the exact
+/// same call; the result is the MERGED result the caller saw — when the
+/// wrapped platform is a retrying decorator, its internal retries and
+/// requeues happened below this record, so replay never repeats them.
 struct CrowdJournalEntry {
-  std::vector<PairQuestion> pairs;
-  VoteScheme scheme = VoteScheme::kMajority3;
-  /// The aggregated result the caller saw (labels parallel to `pairs`).
+  LabelRequest request;
+  /// The aggregated result the caller saw (labels parallel to the request's
+  /// pairs).
   LabelResult result;
   /// Wrapped-platform state immediately after this call (its RNG and
   /// accounting), so replay leaves the platform where the recording did.
@@ -56,8 +60,17 @@ class JournalingCrowd : public CrowdPlatform {
   /// Replays the next journal entry if one is pending (verifying the caller
   /// asked the recorded question), otherwise forwards to the wrapped
   /// platform and appends a new entry.
-  Result<LabelResult> LabelPairs(const std::vector<PairQuestion>& pairs,
-                                 VoteScheme scheme) override;
+  Result<LabelResult> LabelBatch(const LabelRequest& request) override;
+
+  /// Quorum semantics are the wrapped platform's.
+  bool QuorumReached(VoteScheme scheme, uint32_t yes,
+                     uint32_t no) const override {
+    return inner_->QuorumReached(scheme, yes, no);
+  }
+  uint32_t MinAnswersToQuorum(VoteScheme scheme, uint32_t yes,
+                              uint32_t no) const override {
+    return inner_->MinAnswersToQuorum(scheme, yes, no);
+  }
 
   const CrowdJournal& journal() const { return journal_; }
   CrowdPlatform* inner() const { return inner_; }

@@ -284,6 +284,9 @@ std::string WriteSnapshot(const std::string& session_id,
     w.U64(m.accuracy.questions);
     w.F64(m.accuracy.cost);
     w.F64(m.accuracy.crowd_time.seconds);
+    // Appended in format version 2 (C_max budget-exhaustion flags).
+    w.U8(m.budget_exhausted ? 1 : 0);
+    w.U8(m.accuracy.budget_exhausted ? 1 : 0);
     WriteSection(kSecMetrics, w.data(), &out);
   }
   {  // SAMPLE (ordered: fvs/labels/coverage index into it)
@@ -476,6 +479,14 @@ Status LoadSnapshot(std::string_view blob, const Table& a, const Table& b,
     m.accuracy.questions = static_cast<size_t>(pr.U64());
     m.accuracy.cost = pr.F64();
     m.accuracy.crowd_time = VDuration::Seconds(pr.F64());
+    // Format v2 appended the budget-exhaustion flags; a v1 payload ends
+    // here and the flags keep their default (false).
+    m.budget_exhausted = false;
+    m.accuracy.budget_exhausted = false;
+    if (!pr.exhausted()) {
+      m.budget_exhausted = pr.U8() != 0;
+      m.accuracy.budget_exhausted = pr.U8() != 0;
+    }
     if (!pr.exhausted()) return Status::IoError(BadSection(kSecMetrics));
   }
   {  // SAMPLE

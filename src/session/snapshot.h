@@ -29,7 +29,11 @@
 namespace falcon {
 
 inline constexpr uint32_t kSnapshotMagic = 0x46534E50u;  // "FSNP"
-inline constexpr uint32_t kSnapshotVersion = 1;
+/// Version 2 appended the budget-exhaustion flags to the METRICS section
+/// (and shipped alongside crowd journal format v2, which records full label
+/// requests). Version-1 snapshots remain loadable: the appended fields
+/// default to false.
+inline constexpr uint32_t kSnapshotVersion = 2;
 
 /// Fingerprint of every FalconConfig field that influences the run's
 /// behavior. A snapshot can only resume under the exact configuration that

@@ -145,6 +145,134 @@ TEST(SimulatedCrowdTest, DeterministicForSeed) {
   EXPECT_EQ(r1->latency.seconds, r2->latency.seconds);
 }
 
+TEST(SimulatedCrowdTest, StrongMajorityPerQuestionCountsBoundedAndTieFree) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.35;  // force long 4-3 style races
+  cfg.seed = 21;
+  SimulatedCrowd crowd(cfg, ParityOracle());
+  auto pairs = MakePairs(400);
+  auto r = crowd.LabelPairs(pairs, VoteScheme::kStrongMajority7);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->answers_per_question.size(), pairs.size());
+  ASSERT_EQ(r->yes_votes.size(), pairs.size());
+  size_t total_answers = 0;
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    uint32_t total = r->answers_per_question[i];
+    uint32_t yes = r->yes_votes[i];
+    uint32_t no = total - yes;
+    // Strong majority collects between 4 (unanimous sweep) and 7 answers...
+    EXPECT_GE(total, 4u);
+    EXPECT_LE(total, 7u);
+    // ...and can never end tied: either one side holds 4 votes, or all 7
+    // (an odd count) were drawn.
+    EXPECT_NE(yes, no);
+    EXPECT_TRUE(yes >= 4 || no >= 4 || total == 7);
+    EXPECT_EQ(r->labels[i], yes > no);
+    total_answers += total;
+  }
+  EXPECT_EQ(r->num_answers, total_answers);  // fresh batch: no priors
+}
+
+// The latency stretch compares collected answers to the scheme's baseline.
+// For strong majority that baseline is 4 — the minimum that reaches a
+// 4-vote majority — so a unanimous (zero-error) batch is NOT stretched.
+TEST(SimulatedCrowdTest, StrongMajorityLatencyBaselineIsFourAnswers) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.0;
+  cfg.latency_sigma = 0.0;  // deterministic latency
+  SimulatedCrowd crowd(cfg, AllMatch());
+  auto r = crowd.LabelPairs(MakePairs(10), VoteScheme::kStrongMajority7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_answers, 40u);  // 4 unanimous answers per question
+  // One HIT, no jitter, no stretch: exactly the 90 s mean (a 3-answer
+  // baseline would wrongly report 120 s).
+  EXPECT_NEAR(r->latency.seconds, 90.0, 1e-6);
+}
+
+TEST(SimulatedCrowdTest, RejectedBatchIsSideEffectFree) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.2;
+  cfg.seed = 33;
+  cfg.budget_cap = 1.0;  // 50 answers at 2 cents
+
+  // Crowd A attempts an over-budget batch first; crowd B never does.
+  SimulatedCrowd a(cfg, ParityOracle());
+  SimulatedCrowd b(cfg, ParityOracle());
+  auto rejected = a.LabelPairs(MakePairs(20), VoteScheme::kMajority3);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kBudgetExhausted);
+  EXPECT_DOUBLE_EQ(a.ledger().spent(), 0.0);
+  EXPECT_EQ(a.total_answers(), 0u);
+
+  // The rejected attempt must not have advanced the RNG: both crowds now
+  // produce the identical answer/latency stream.
+  auto ra = a.LabelPairs(MakePairs(10), VoteScheme::kMajority3);
+  auto rb = b.LabelPairs(MakePairs(10), VoteScheme::kMajority3);
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->labels, rb->labels);
+  EXPECT_EQ(ra->yes_votes, rb->yes_votes);
+  EXPECT_DOUBLE_EQ(ra->latency.seconds, rb->latency.seconds);
+}
+
+TEST(SimulatedCrowdTest, SaveRestoreRoundTripsAcrossFailedBatch) {
+  SimulatedCrowdConfig cfg;
+  cfg.error_rate = 0.1;
+  cfg.seed = 55;
+  cfg.budget_cap = 2.0;
+  SimulatedCrowd crowd(cfg, ParityOracle());
+  ASSERT_TRUE(crowd.LabelPairs(MakePairs(15), VoteScheme::kMajority3).ok());
+
+  std::string state = crowd.SaveState();
+  // A failed (over-budget) batch leaves the platform exactly at the saved
+  // state...
+  ASSERT_FALSE(crowd.LabelPairs(MakePairs(60), VoteScheme::kMajority3).ok());
+  EXPECT_EQ(crowd.SaveState(), state);
+
+  // ...and a fresh platform restored from the blob continues the identical
+  // stream the original produces.
+  SimulatedCrowd restored(cfg, ParityOracle());
+  ASSERT_TRUE(restored.RestoreState(state).ok());
+  EXPECT_EQ(restored.total_answers(), crowd.total_answers());
+  EXPECT_DOUBLE_EQ(restored.ledger().spent(), crowd.ledger().spent());
+  auto r1 = crowd.LabelPairs(MakePairs(10), VoteScheme::kMajority3);
+  auto r2 = restored.LabelPairs(MakePairs(10), VoteScheme::kMajority3);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r1->labels, r2->labels);
+  EXPECT_DOUBLE_EQ(r1->latency.seconds, r2->latency.seconds);
+}
+
+TEST(SimulatedCrowdTest, ConfigValidationRejectsBadValues) {
+  {
+    SimulatedCrowdConfig cfg;
+    cfg.questions_per_hit = 0;  // would divide the batch by zero
+    Status st = ValidateSimulatedCrowdConfig(cfg);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+    // The constructor path surfaces the same status on first use.
+    SimulatedCrowd crowd(cfg, AllMatch());
+    auto r = crowd.LabelPairs(MakePairs(5), VoteScheme::kMajority3);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    SimulatedCrowdConfig cfg;
+    cfg.error_rate = 1.5;  // not a probability
+    Status st = ValidateSimulatedCrowdConfig(cfg);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  {
+    SimulatedCrowdConfig cfg;
+    cfg.hit_latency_mean = VDuration::Seconds(0.0);
+    Status st = ValidateSimulatedCrowdConfig(cfg);
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  }
+  EXPECT_TRUE(ValidateSimulatedCrowdConfig(SimulatedCrowdConfig{}).ok());
+}
+
 TEST(OracleCrowdTest, SequentialLatencyAndZeroCost) {
   OracleCrowdConfig cfg;
   cfg.seconds_per_pair = VDuration::Seconds(7.0);

@@ -3,177 +3,19 @@
 // the snapshot in a fresh "process" (fresh tables, fresh crowd platform),
 // and require byte-identical outcomes — same matches, same candidates, same
 // rule sequence, same crowd question count and cost, and zero re-asked
-// (re-paid) crowd questions.
+// (re-paid) crowd questions. Shared helpers live in session_harness.h;
+// crowd_faults_test.cc re-runs the same sweeps under a fault-injecting
+// crowd decorator stack.
 #include <gtest/gtest.h>
 
 #include <string>
 #include <utility>
 #include <vector>
 
-#include "session/session_manager.h"
-#include "session/snapshot.h"
-#include "workload/generator.h"
-#include "workload/quality.h"
+#include "session_harness.h"
 
 namespace falcon {
 namespace {
-
-ClusterConfig FastCluster(int threads = 1) {
-  ClusterConfig c;
-  c.job_startup = VDuration::Seconds(0.5);
-  c.task_overhead = VDuration::Seconds(0.01);
-  c.local_threads = threads;
-  return c;
-}
-
-// Byte-identical resume needs a reproducible plan, so the deterministic
-// rule-cost proxy replaces measured per-rule CPU times.
-FalconConfig BlockingConfig(uint64_t seed = 7) {
-  FalconConfig cfg;
-  cfg.sample_size = 4000;
-  cfg.sample_y = 40;
-  cfg.al_max_iterations = 8;
-  cfg.max_rules_to_eval = 8;
-  cfg.max_rules_exhaustive = 8;
-  cfg.pair_selection_mask_threshold = 1000;
-  cfg.matcher_only_max_bytes = 256 * 1024;  // force the Blocker+Matcher plan
-  cfg.deterministic_rule_cost = true;
-  cfg.seed = seed;
-  return cfg;
-}
-
-FalconConfig MatcherOnlyConfig(uint64_t seed = 7) {
-  FalconConfig cfg;
-  cfg.al_max_iterations = 8;
-  cfg.deterministic_rule_cost = true;
-  cfg.estimate_accuracy = true;  // cover the optional operator
-  cfg.accuracy.sample_per_stratum = 25;
-  cfg.seed = seed;
-  return cfg;
-}
-
-GeneratedDataset BlockingData(uint64_t seed = 7) {
-  WorkloadOptions opt;
-  opt.size_a = 200;
-  opt.size_b = 600;
-  opt.seed = seed;
-  return GenerateProducts(opt);
-}
-
-GeneratedDataset MatcherOnlyData(uint64_t seed = 7) {
-  WorkloadOptions opt;
-  opt.size_a = 80;
-  opt.size_b = 150;
-  opt.seed = seed;
-  return GenerateProducts(opt);
-}
-
-SimulatedCrowdConfig CrowdConfig(uint64_t seed = 7) {
-  SimulatedCrowdConfig c;
-  c.error_rate = 0.03;
-  c.seed = seed;
-  return c;
-}
-
-/// The reference run: execute to completion, snapshotting at EVERY operator
-/// boundary — before Start(), before each Step(), and after the last one.
-struct ReferenceRun {
-  std::vector<std::pair<PipelineStage, std::string>> snapshots;
-  MatchResult result;
-  std::string wal;              ///< full crowd journal
-  size_t platform_questions = 0;  ///< questions the real platform answered
-};
-
-ReferenceRun RunWithCheckpoints(const GeneratedDataset& data,
-                                const ClusterConfig& ccfg,
-                                const FalconConfig& cfg) {
-  ReferenceRun out;
-  Cluster cluster(ccfg);
-  SimulatedCrowd crowd(CrowdConfig(cfg.seed), data.truth.MakeOracle());
-  WorkflowSession session("ref", &data.a, &data.b, &crowd, &cluster, cfg);
-  out.snapshots.emplace_back(PipelineStage::kInit, session.SaveSnapshot());
-  Status st = session.Start();
-  EXPECT_TRUE(st.ok()) << st.ToString();
-  while (!session.done()) {
-    out.snapshots.emplace_back(session.next_stage(), session.SaveSnapshot());
-    st = session.Step();
-    EXPECT_TRUE(st.ok()) << st.ToString();
-    if (!st.ok()) return out;
-  }
-  out.snapshots.emplace_back(PipelineStage::kDone, session.SaveSnapshot());
-  out.wal = session.ExportJournal();
-  out.platform_questions = crowd.total_questions();
-  auto r = session.TakeResult();
-  EXPECT_TRUE(r.ok()) << r.status().ToString();
-  if (r.ok()) out.result = std::move(r).value();
-  return out;
-}
-
-/// Byte-identical-outcome comparison. Machine-time metrics are excluded on
-/// purpose: per-task seconds are measured CPU times and inherently vary
-/// between runs; determinism is promised for everything the user pays for
-/// or acts on.
-void ExpectSameOutcome(const MatchResult& ref, const MatchResult& got,
-                       const std::string& context) {
-  SCOPED_TRACE(context);
-  EXPECT_EQ(got.matches, ref.matches);
-  EXPECT_EQ(got.candidates, ref.candidates);
-  ASSERT_EQ(got.sequence.rules.size(), ref.sequence.rules.size());
-  for (size_t i = 0; i < ref.sequence.rules.size(); ++i) {
-    EXPECT_EQ(CanonicalKey(got.sequence.rules[i]),
-              CanonicalKey(ref.sequence.rules[i]));
-  }
-  EXPECT_DOUBLE_EQ(got.sequence.selectivity, ref.sequence.selectivity);
-  EXPECT_EQ(got.matcher.num_trees(), ref.matcher.num_trees());
-  EXPECT_EQ(got.metrics.questions, ref.metrics.questions);
-  EXPECT_DOUBLE_EQ(got.metrics.cost, ref.metrics.cost);
-  EXPECT_DOUBLE_EQ(got.metrics.crowd_time.seconds,
-                   ref.metrics.crowd_time.seconds);
-  EXPECT_EQ(got.metrics.candidate_size, ref.metrics.candidate_size);
-  EXPECT_EQ(got.metrics.used_blocking, ref.metrics.used_blocking);
-  EXPECT_EQ(got.metrics.has_accuracy_estimate,
-            ref.metrics.has_accuracy_estimate);
-  if (ref.metrics.has_accuracy_estimate) {
-    EXPECT_DOUBLE_EQ(got.metrics.accuracy.precision,
-                     ref.metrics.accuracy.precision);
-    EXPECT_DOUBLE_EQ(got.metrics.accuracy.recall, ref.metrics.accuracy.recall);
-  }
-}
-
-/// Kills-and-resumes at every boundary: each snapshot is loaded into a fresh
-/// world (fresh copies of the tables regenerated from the workload seed,
-/// fresh crowd platform whose state comes from the snapshot) and run to
-/// completion.
-void SweepAllBoundaries(const FalconConfig& cfg, const ClusterConfig& ccfg,
-                        GeneratedDataset (*make_data)(uint64_t),
-                        uint64_t data_seed, size_t expect_boundaries) {
-  GeneratedDataset data = make_data(data_seed);
-  ReferenceRun ref = RunWithCheckpoints(data, ccfg, cfg);
-  // kInit + one per executed operator + kDone; a mismatch means the run
-  // took the wrong plan template.
-  ASSERT_EQ(ref.snapshots.size(), expect_boundaries);
-
-  for (const auto& [stage, blob] : ref.snapshots) {
-    SCOPED_TRACE(std::string("boundary=") + PipelineStageName(stage));
-    GeneratedDataset fresh = make_data(data_seed);
-    Cluster cluster(ccfg);
-    SimulatedCrowd crowd(CrowdConfig(cfg.seed), fresh.truth.MakeOracle());
-    auto resumed = WorkflowSession::Resume(blob, &fresh.a, &fresh.b, &crowd,
-                                           &cluster, cfg);
-    ASSERT_TRUE(resumed.ok()) << resumed.status().ToString();
-    WorkflowSession& session = **resumed;
-    EXPECT_EQ(session.id(), "ref");
-    Status st = session.RunToCompletion();
-    ASSERT_TRUE(st.ok()) << st.ToString();
-    auto r = session.TakeResult();
-    ASSERT_TRUE(r.ok()) << r.status().ToString();
-    ExpectSameOutcome(ref.result, r.value(),
-                      std::string("resumed at ") + PipelineStageName(stage));
-    // The resumed platform's total question count equals the uninterrupted
-    // run's: nothing was re-asked, nothing was skipped.
-    EXPECT_EQ(crowd.total_questions(), ref.platform_questions);
-  }
-}
 
 // The Blocker+Matcher plan visits all 11 operators: kInit + 11 + kDone.
 TEST(SessionResumeTest, BlockingPlanByteIdenticalAtEveryBoundary) {
