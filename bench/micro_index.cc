@@ -201,19 +201,63 @@ void WriteComparisonReport() {
   report.Add("probe/fallback_us_per_row", fb_us);
   report.Add("probe/speedup", store_us > 0.0 ? fb_us / store_us : 0.0);
 
-  // Index build (jobs 1-3 + store views) from a cold catalog.
-  auto t3 = Clock::now();
-  {
-    Cluster cluster((ClusterConfig()));
+  // Index build (jobs 1-3 + store views) from a cold catalog, run twice:
+  // task arenas on (the default) and off (every engine container on the
+  // counted heap allocator). The alloc/* counters in each job's stats are
+  // real heap traffic either way — page acquisitions vs individual
+  // allocations — so their ratio is the arena win per build.
+  auto build_once = [&](bool task_arenas, double* ms, int64_t* alloc_count,
+                        int64_t* alloc_bytes) {
+    ClusterConfig cc;
+    cc.task_arenas = task_arenas;
+    Cluster cluster(cc);
     IndexCatalog catalog;
     IndexBuilder builder(&d.a, &cluster);
+    auto tA = Clock::now();
     builder.EnsureTokenStores(d.b, fx->fs, &catalog);
     builder.Ensure({ClassifyPredicate(fx->pred, fx->fs)}, &catalog);
+    auto tB = Clock::now();
     benchmark::DoNotOptimize(catalog.TotalMemoryUsage());
+    *ms = std::chrono::duration<double, std::milli>(tB - tA).count();
+    *alloc_count = 0;
+    *alloc_bytes = 0;
+    for (const JobStats& js : cluster.job_history()) {
+      if (auto it = js.counters.find("alloc/count"); it != js.counters.end()) {
+        *alloc_count += it->second;
+      }
+      if (auto it = js.counters.find("alloc/bytes"); it != js.counters.end()) {
+        *alloc_bytes += it->second;
+      }
+    }
+  };
+  double arena_ms = 0.0, heap_ms = 0.0;
+  int64_t arena_count = 0, arena_bytes = 0, heap_count = 0, heap_bytes = 0;
+  build_once(true, &arena_ms, &arena_count, &arena_bytes);
+  build_once(false, &heap_ms, &heap_count, &heap_bytes);
+  report.Add("build/full_ms", arena_ms);
+  report.Add("build/heap_ms", heap_ms);
+  report.Add("alloc/count", arena_count);
+  report.Add("alloc/bytes", arena_bytes);
+  report.Add("alloc/count_no_arena", heap_count);
+  report.Add("alloc/bytes_no_arena", heap_bytes);
+  double reduction = arena_count > 0
+                         ? static_cast<double>(heap_count) /
+                               static_cast<double>(arena_count)
+                         : 0.0;
+  report.Add("alloc/reduction", reduction);
+  if (!SmokeMode() && reduction < 10.0) {
+    fprintf(stderr,
+            "FATAL: task arenas cut engine heap allocs only %.1fx "
+            "(%lld -> %lld), below the 10x floor\n",
+            reduction, static_cast<long long>(heap_count),
+            static_cast<long long>(arena_count));
+    exit(1);
   }
-  auto t4 = Clock::now();
-  report.Add("build/full_ms",
-             std::chrono::duration<double, std::milli>(t4 - t3).count());
+  printf("build allocs: arenas %lld (%lld B), heap %lld (%lld B), %.1fx\n",
+         static_cast<long long>(arena_count),
+         static_cast<long long>(arena_bytes),
+         static_cast<long long>(heap_count),
+         static_cast<long long>(heap_bytes), reduction);
 
   std::string path = report.Write();
   printf("wrote %s\n", path.c_str());

@@ -67,7 +67,7 @@ void BM_MapReduceOverhead(benchmark::State& state) {
     auto r = RunMapReduce<int, int, int, int>(
         &cluster, input, {.name = "overhead"},
         [](const int& v, Emitter<int, int>* em) { em->Emit(v % 64, v); },
-        [](const int&, const std::vector<int>& vals, std::vector<int>* out) {
+        [](const int&, const ValueList<int>& vals, TaskVector<int>* out) {
           out->push_back(static_cast<int>(vals.size()));
         });
     benchmark::DoNotOptimize(r.output);

@@ -14,6 +14,7 @@
 
 #include "harness.h"
 
+#include "common/arena.h"
 #include "learn/flat_forest.h"
 #include "learn/random_forest.h"
 #include "rules/feature.h"
@@ -179,10 +180,16 @@ void WriteComparisonReport() {
   auto t1 = Clock::now();
 
   // Fused: lazy memoized features, short-circuit voting, no vector array.
+  // The lazy evaluator carves its buffers from the thread scratch arena, so
+  // the only real heap traffic is page acquisition — counted below against
+  // the eager path's one materialized vector per pair.
   std::vector<char> fused_pred(n);
   uint64_t features_computed = 0;
   uint64_t trees_voted = 0;
   LazyPairFeatures lazy;
+  Arena* scratch = ThreadScratch().arena();
+  const uint64_t pages_before = scratch->total_pages_acquired();
+  const uint64_t page_bytes_before = scratch->total_page_bytes_acquired();
   auto t2 = Clock::now();
   for (size_t s = 0; s < sweeps; ++s) {
     for (size_t i = 0; i < n; ++i) {
@@ -198,6 +205,10 @@ void WriteComparisonReport() {
     }
   }
   auto t3 = Clock::now();
+  const uint64_t fused_allocs =
+      scratch->total_pages_acquired() - pages_before;
+  const uint64_t fused_alloc_bytes =
+      scratch->total_page_bytes_acquired() - page_bytes_before;
 
   if (fused_pred != eager_pred) {
     std::fprintf(stderr,
@@ -220,6 +231,30 @@ void WriteComparisonReport() {
   report.Add("features_per_pair", features_per_pair);
   report.Add("trees_per_pair", trees_per_pair);
 
+  // Eager materializes exactly one FeatureVec heap vector per pair; fused
+  // costs only the scratch-arena pages acquired across the whole loop.
+  const uint64_t eager_allocs = static_cast<uint64_t>(per);
+  const uint64_t eager_alloc_bytes =
+      eager_allocs * static_cast<uint64_t>(ids.size() * sizeof(double));
+  report.Add("alloc/count", static_cast<int64_t>(fused_allocs));
+  report.Add("alloc/bytes", static_cast<int64_t>(fused_alloc_bytes));
+  report.Add("alloc/count_eager", static_cast<int64_t>(eager_allocs));
+  report.Add("alloc/bytes_eager", static_cast<int64_t>(eager_alloc_bytes));
+  double alloc_reduction =
+      fused_allocs > 0
+          ? static_cast<double>(eager_allocs) /
+                static_cast<double>(fused_allocs)
+          : static_cast<double>(eager_allocs);
+  report.Add("alloc/reduction", alloc_reduction);
+  if (fused_allocs * 10 > eager_allocs) {
+    std::fprintf(stderr,
+                 "FATAL: fused path took %llu heap allocs vs eager %llu, "
+                 "not a 10x reduction\n",
+                 static_cast<unsigned long long>(fused_allocs),
+                 static_cast<unsigned long long>(eager_allocs));
+    std::exit(1);
+  }
+
   if (features_per_pair >= static_cast<double>(ids.size())) {
     std::fprintf(stderr,
                  "FATAL: lazy path computed %.2f features/pair, not below "
@@ -236,6 +271,10 @@ void WriteComparisonReport() {
       eager_ns, fused_ns, fused_ns > 0.0 ? eager_ns / fused_ns : 0.0,
       features_per_pair, ids.size(), trees_per_pair,
       fx->forest.num_trees());
+  std::printf("allocs: eager %llu, fused %llu (%.0fx fewer)\n",
+              static_cast<unsigned long long>(eager_allocs),
+              static_cast<unsigned long long>(fused_allocs),
+              alloc_reduction);
 }
 
 }  // namespace

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "blocking/index_builder.h"
+#include "common/arena.h"
 #include "mapreduce/job.h"
 
 namespace falcon {
@@ -54,15 +55,24 @@ RuleApplier::RuleApplier(const RuleSequence& seq, const FeatureSet* fs,
 }
 
 bool RuleApplier::Keep(RowId a_row, RowId b_row) const {
-  // Thread-local memoization scratch: reset per call, so it is safe to call
-  // Keep concurrently and to share one scratch across applier instances.
-  thread_local std::vector<double> slot_values;
-  thread_local std::vector<char> slot_computed;
-  if (slot_values.size() < num_slots_) {
-    slot_values.resize(num_slots_);
-    slot_computed.resize(num_slots_);
+  // Thread-local memoization scratch, carved from the thread's scratch arena:
+  // reset per call, so it is safe to call Keep concurrently and to share one
+  // scratch across applier instances. The MapReduce engine resets the arena
+  // at task end, so (unlike the previous `thread_local std::vector`s) the
+  // scratch does not retain one job's peak capacity forever; the generation
+  // check re-carves after each reset.
+  thread_local double* slot_values = nullptr;
+  thread_local char* slot_computed = nullptr;
+  thread_local size_t slot_capacity = 0;
+  thread_local uint64_t slot_generation = 0;
+  ScratchArena& scratch = ThreadScratch();
+  if (slot_generation != scratch.generation() || slot_capacity < num_slots_) {
+    slot_values = scratch.arena()->AllocateArray<double>(num_slots_);
+    slot_computed = scratch.arena()->AllocateArray<char>(num_slots_);
+    slot_capacity = num_slots_;
+    slot_generation = scratch.generation();
   }
-  std::fill(slot_computed.begin(), slot_computed.begin() + num_slots_, 0);
+  std::fill(slot_computed, slot_computed + num_slots_, 0);
   for (const auto& rule : rules_) {
     bool fires = !rule.empty();
     for (const auto& p : rule) {
@@ -256,8 +266,8 @@ Result<ApplyResult> RunKeyedByA(
           }
         }
       },
-      [&](const RowId& a_row, const std::vector<ShuffleVal>& vals,
-          std::vector<CandidatePair>* out) {
+      [&](const RowId& a_row, const ValueList<ShuffleVal>& vals,
+          TaskVector<CandidatePair>* out) {
         for (const auto& v : vals) {
           if (v.tag < 0) continue;  // the A-record marker
           candidates_examined.fetch_add(1, std::memory_order_relaxed);
@@ -348,8 +358,8 @@ Result<ApplyResult> RunKeyedByPair(const Table& a, const Table& b,
                    ShuffleVal{unit.clause_id, k_b, pair_bytes});
         }
       },
-      [&](const uint64_t& key, const std::vector<ShuffleVal>& vals,
-          std::vector<CandidatePair>* out) {
+      [&](const uint64_t& key, const ValueList<ShuffleVal>& vals,
+          TaskVector<CandidatePair>* out) {
         RowId a_row = static_cast<RowId>(key >> 32);
         RowId b_row = static_cast<RowId>(key & 0xFFFFFFFFu);
         bool survives;
@@ -439,7 +449,7 @@ Result<ApplyResult> RunMapSide(const Table& a, const Table& b,
   double setup = IndexLoadSeconds(small.MemoryUsage());
   auto job = RunMapOnly<RowId, CandidatePair>(
       cluster, input, {.name = "MapSide", .map_setup_seconds = setup},
-      [&](const RowId& outer, std::vector<CandidatePair>* out) {
+      [&](const RowId& outer, TaskVector<CandidatePair>* out) {
         if (iterate_b) {
           for (RowId ar = 0; ar < a.num_rows(); ++ar) {
             if (applier.Keep(ar, outer)) out->emplace_back(ar, outer);
@@ -487,8 +497,8 @@ Result<ApplyResult> RunReduceSplit(const Table& a, const Table& b,
           em->Emit(blk, ShuffleVal{static_cast<int32_t>(b_row), 0, b_bytes});
         }
       },
-      [&](const uint32_t& blk, const std::vector<ShuffleVal>& vals,
-          std::vector<CandidatePair>* out) {
+      [&](const uint32_t& blk, const ValueList<ShuffleVal>& vals,
+          TaskVector<CandidatePair>* out) {
         RowId lo = static_cast<RowId>(blk) * block_size;
         RowId hi = std::min<size_t>(lo + block_size, a.num_rows());
         for (const auto& v : vals) {

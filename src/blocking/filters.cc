@@ -407,7 +407,7 @@ CandidateSet ClauseProber::ProbePredicate(const Predicate& pred,
         for (const Posting& p :
              bundle->inverted.Probe(s.ranked[j - py.num_unknown].second)) {
           if (s.stamps[p.row] == epoch) continue;
-          const size_t x = p.set_size;
+          const size_t x = bundle->inverted.set_size(p.row);
           if (x < len_lo || x > len_hi) continue;
           // Index-side prefix bound, enforced at probe time.
           const size_t pi_x = ProbePrefixLength(fn, t, x);

@@ -100,7 +100,7 @@ VDuration IndexBuilder::BuildHash(int col_a, IndexCatalog* catalog) {
       cluster_, rows,
       {.name = "build-hash(col" + std::to_string(col_a) + ")",
        .serial = true},
-      [&](const RowId& r, std::vector<int>*) {
+      [&](const RowId& r, TaskVector<int>*) {
         idx.Insert(a_->Get(r, col_a), r);
       });
   catalog->PutHash(col_a, std::move(idx));
@@ -115,7 +115,7 @@ VDuration IndexBuilder::BuildBTree(int col_a, IndexCatalog* catalog) {
       cluster_, rows,
       {.name = "build-btree(col" + std::to_string(col_a) + ")",
        .serial = true},
-      [&](const RowId& r, std::vector<int>*) {
+      [&](const RowId& r, TaskVector<int>*) {
         double v = a_->GetNumeric(r, col_a);
         if (std::isnan(v)) return;
         idx.Insert(v, r);
@@ -144,7 +144,7 @@ VDuration IndexBuilder::BuildStoreView(const Table& t, const char* label,
       {.name = std::string("tokenize-store(") + label + ",col" +
                std::to_string(col) + "," + TokenizationName(tok) + ")",
        .serial = true},
-      [&](const RowId& r, std::vector<int>*) { store->AppendRow(r); });
+      [&](const RowId& r, TaskVector<int>*) { store->AppendRow(r); });
   store->FinishView();
   return result.stats.Total();
 }
@@ -196,8 +196,8 @@ VDuration IndexBuilder::BuildOrdering(int col_a, Tokenization tok,
       [&](const RowId& r, Emitter<TokenId, uint32_t>* em) {
         for (TokenId id : view->row(r)) em->Emit(id, 1);
       },
-      [&](const TokenId& id, const std::vector<uint32_t>& ones,
-          std::vector<int>*) { freq[id] += ones.size(); });
+      [&](const TokenId& id, const ValueList<uint32_t>& ones,
+          TaskVector<int>*) { freq[id] += ones.size(); });
   spent += job1.stats.Total();
 
   // MR job 2: global sort of tokens by frequency. A single reducer performs
@@ -208,7 +208,7 @@ VDuration IndexBuilder::BuildOrdering(int col_a, Tokenization tok,
       cluster_, one,
       {.name = "token-sort(col" + std::to_string(col_a) + ")",
        .num_splits = 1},
-      [&](const int&, std::vector<int>*) {
+      [&](const int&, TaskVector<int>*) {
         ordering = TokenOrdering::FromIdFrequencies(dict, freq);
       });
   spent += job2.stats.Total();
@@ -241,7 +241,7 @@ VDuration IndexBuilder::BuildTokenBundle(int col_a, Tokenization tok,
       {.name = "build-inverted(col" + std::to_string(col_a) + "," +
                TokenizationName(tok) + ")",
        .serial = true},
-      [&](const RowId& r, std::vector<int>*) {
+      [&](const RowId& r, TaskVector<int>*) {
         if (a_->IsMissing(r, col_a)) {
           bundle.inverted.AddMissing(r);
           bundle.lengths.Add(0, r);
@@ -259,6 +259,8 @@ VDuration IndexBuilder::BuildTokenBundle(int col_a, Tokenization tok,
         }
       });
   spent += job3.stats.Total();
+  // Compact the staged postings into the tight arena-backed CSR layout.
+  bundle.inverted.Finalize();
   catalog->PutTokens(col_a, tok, std::move(bundle));
   return spent;
 }

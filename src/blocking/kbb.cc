@@ -33,8 +33,8 @@ KbbResult RunKeyed(const Table& a, const Table& b, Cluster* cluster,
                                : -static_cast<int64_t>(rec.row) - 1;
         em->Emit(std::move(key), v);
       },
-      [&](const std::string&, const std::vector<int64_t>& vals,
-          std::vector<CandidatePair>* out) {
+      [&](const std::string&, const ValueList<int64_t>& vals,
+          TaskVector<CandidatePair>* out) {
         std::vector<RowId> as;
         std::vector<RowId> bs;
         for (int64_t v : vals) {

@@ -33,10 +33,11 @@ SnbResult SortedNeighborhoodBlocking(const Table& a, const Table& b,
                                     : -static_cast<int64_t>(rec.row) - 1;
         em->Emit(0, {std::move(key), tagged});
       },
-      [&](const int&, const std::vector<std::pair<std::string, int64_t>>&
+      [&](const int&, const ValueList<std::pair<std::string, int64_t>>&
                           vals,
-          std::vector<CandidatePair>* out) {
-        std::vector<std::pair<std::string, int64_t>> sorted = vals;
+          TaskVector<CandidatePair>* out) {
+        std::vector<std::pair<std::string, int64_t>> sorted(vals.begin(),
+                                                          vals.end());
         std::sort(sorted.begin(), sorted.end());
         // Slide the window; emit every cross-table pair inside it exactly
         // once (pairing each element with its predecessors in the window).

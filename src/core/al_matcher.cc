@@ -119,7 +119,7 @@ Result<AlMatcherResult> AlMatcher(const std::vector<FeatureVec>& fvs,
     for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
     auto job = RunMapOnly<size_t, int>(
         cluster, idx, {.name = "al-pair-selection"},
-        [&](const size_t& i, std::vector<int>*) { score[i] = f(fvs[i]); });
+        [&](const size_t& i, TaskVector<int>*) { score[i] = f(fvs[i]); });
     return {std::move(score), job.stats.Total()};
   };
 

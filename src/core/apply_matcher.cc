@@ -15,7 +15,7 @@ ApplyMatcherResult ApplyMatcher(const RandomForest& matcher,
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   auto job = RunMapOnly<size_t, int>(
       cluster, idx, {.name = "apply_matcher"},
-      [&](const size_t& i, std::vector<int>*) {
+      [&](const size_t& i, TaskVector<int>*) {
         result.predictions[i] = matcher.Predict(fvs[i]) ? 1 : 0;
       });
   result.time = job.stats.Total();
@@ -28,6 +28,8 @@ namespace {
 // std::string construction per increment would dominate small-tree pairs.
 const std::string kFeaturesComputed = "matcher/features_computed";
 const std::string kTreesVoted = "matcher/trees_voted";
+const std::string kAllocCount = "alloc/count";
+const std::string kAllocBytes = "alloc/bytes";
 
 }  // namespace
 
@@ -46,7 +48,7 @@ ApplyMatcherFusedResult ApplyMatcherFused(
   for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
   auto job = RunMapOnly<size_t, int>(
       cluster, idx, {.name = job_name},
-      [&](const size_t& i, std::vector<int>*, Counters* counters) {
+      [&](const size_t& i, TaskVector<int>*, Counters* counters) {
         // One lazy evaluator per thread (map splits never share one), with
         // buffers reused across pairs — the RuleApplier scratch pattern.
         // Writes to result.predictions are disjoint per input index.
@@ -68,6 +70,14 @@ ApplyMatcherFusedResult ApplyMatcherFused(
   if (auto it = job.stats.counters.find(kTreesVoted);
       it != job.stats.counters.end()) {
     result.work.trees_voted = static_cast<uint64_t>(it->second);
+  }
+  if (auto it = job.stats.counters.find(kAllocCount);
+      it != job.stats.counters.end()) {
+    result.work.alloc_count = static_cast<uint64_t>(it->second);
+  }
+  if (auto it = job.stats.counters.find(kAllocBytes);
+      it != job.stats.counters.end()) {
+    result.work.alloc_bytes = static_cast<uint64_t>(it->second);
   }
   return result;
 }

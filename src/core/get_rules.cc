@@ -54,7 +54,7 @@ RuleCandidates GetBlockingRules(const RandomForest& forest,
     // from map_fn would race: distinct indices can share a bitmap word.
     auto job = RunMapOnly<size_t, int>(
         cluster, idx, {.name = "rule-coverage"},
-        [&](const size_t& i, std::vector<int>* fired) {
+        [&](const size_t& i, TaskVector<int>* fired) {
           if (rule.Fires(sample_fvs[i])) fired->push_back(static_cast<int>(i));
         });
     for (int i : job.output) s.cov.Set(static_cast<size_t>(i));

@@ -25,6 +25,22 @@ void RecordMatcherWork(const FusedMatcherWork& work, RunMetrics* m) {
   m->matcher_vector_width = work.vector_width;
   m->matcher_used_features = work.used_features;
   m->matcher_num_trees = work.num_trees;
+  m->alloc_count += work.alloc_count;
+  m->alloc_bytes += work.alloc_bytes;
+}
+
+/// Folds a job's engine-charged allocation counters into the run metrics.
+/// Under task arenas these are page acquisitions; with arenas disabled they
+/// are individual container allocations — either way, real heap traffic.
+void RecordJobAllocs(const JobStats& stats, RunMetrics* m) {
+  if (auto it = stats.counters.find("alloc/count");
+      it != stats.counters.end()) {
+    m->alloc_count += static_cast<uint64_t>(it->second);
+  }
+  if (auto it = stats.counters.find("alloc/bytes");
+      it != stats.counters.end()) {
+    m->alloc_bytes += static_cast<uint64_t>(it->second);
+  }
 }
 
 /// Compiles the learned matcher for the fused apply phase and verifies the
@@ -49,6 +65,7 @@ Result<FlatForest> CompileMatcher(const RandomForest& matcher,
 struct FilterOut {
   std::vector<CandidatePair> pairs;
   VDuration time;
+  JobStats stats;
 };
 
 /// Map-only job applying a rule sequence to an explicit pair list (the
@@ -65,11 +82,12 @@ FilterOut FilterPairs(const std::vector<CandidatePair>& pairs,
   RuleApplier applier(seq, &fs, &a, &b);
   auto job = RunMapOnly<CandidatePair, CandidatePair>(
       cluster, pairs, {.name = name},
-      [&](const CandidatePair& p, std::vector<CandidatePair>* o) {
+      [&](const CandidatePair& p, TaskVector<CandidatePair>* o) {
         if (applier.Keep(p.first, p.second)) o->push_back(p);
       });
   out.pairs = std::move(job.output);
   out.time = job.stats.Total();
+  out.stats = std::move(job.stats);
   return out;
 }
 
@@ -253,6 +271,8 @@ Status FalconPipeline::StageGenFvsSample() {
                              "gen_fvs(S)");
   state_.sample_fvs = std::move(sfvs.fvs);
   state_.sample_fvs_ready = true;
+  state_.out.metrics.alloc_count += sfvs.alloc_count;
+  state_.out.metrics.alloc_bytes += sfvs.alloc_bytes;
   AddMachine("gen_fvs", sfvs.time, sfvs.time);
   state_.next = PipelineStage::kBlockerAl;
   return Status::OK();
@@ -482,6 +502,7 @@ Status FalconPipeline::StageApplyRules() {
     apply_unmasked = filtered.time;
     m.spec_rule_reused = true;
     m.apply_method = preferred;
+    RecordJobAllocs(filtered.stats, &m);
   } else if (in_flight != nullptr && in_flight_selected) {
     // Algorithm 2, lines 12-27: steer the in-flight job.
     const JobStats& stats = in_flight->result.main_job;
@@ -512,6 +533,8 @@ Status FalconPipeline::StageApplyRules() {
       apply_unmasked = Max(in_flight->remaining, zy.time) + zx.time;
       m.spec_rule_reused = true;
       m.apply_method = preferred;
+      RecordJobAllocs(zx.stats, &m);
+      RecordJobAllocs(zy.stats, &m);
     } else if (greedy_ok) {
       // Map phase + apply_greedy: let the job finish; its reducers evaluate
       // the full sequence.
@@ -523,6 +546,7 @@ Status FalconPipeline::StageApplyRules() {
       apply_unmasked = Max(in_flight->remaining, filtered.time);
       m.spec_rule_reused = true;
       m.apply_method = ApplyMethod::kApplyGreedy;
+      RecordJobAllocs(filtered.stats, &m);
     } else {
       // Kill the job; start fresh.
       ApplyMethod used = preferred;
@@ -545,6 +569,7 @@ Status FalconPipeline::StageApplyRules() {
     apply_raw = applied.time;
     apply_unmasked = applied.time;
     m.apply_method = used;
+    RecordJobAllocs(applied.main_job, &m);
   }
   AddMachine("apply_block_rules", apply_raw, apply_unmasked);
   // Canonical order: which Algorithm-2 reuse path ran depends on measured
@@ -577,6 +602,8 @@ Status FalconPipeline::StageGenFvsCand() {
                              features_.all_ids(), cluster_, "gen_fvs(C)");
   state_.cand_fvs = std::move(cfvs.fvs);
   state_.cand_fvs_ready = true;
+  out.metrics.alloc_count += cfvs.alloc_count;
+  out.metrics.alloc_bytes += cfvs.alloc_bytes;
   AddMachine("gen_fvs(C)", cfvs.time, cfvs.time);
   state_.next = PipelineStage::kMatcherAl;
   return Status::OK();
@@ -732,6 +759,8 @@ Status FalconPipeline::Rehydrate(VDuration* rebuild_time) {
                                  "gen_fvs(S,rehydrate)");
       state_.sample_fvs = std::move(sfvs.fvs);
       state_.sample_fvs_ready = true;
+      state_.out.metrics.alloc_count += sfvs.alloc_count;
+      state_.out.metrics.alloc_bytes += sfvs.alloc_bytes;
       total += sfvs.time;
     }
     if (next == PipelineStage::kMatcherAl && !state_.cand_fvs_ready) {
@@ -740,6 +769,8 @@ Status FalconPipeline::Rehydrate(VDuration* rebuild_time) {
                                  "gen_fvs(C,rehydrate)");
       state_.cand_fvs = std::move(cfvs.fvs);
       state_.cand_fvs_ready = true;
+      state_.out.metrics.alloc_count += cfvs.alloc_count;
+      state_.out.metrics.alloc_bytes += cfvs.alloc_bytes;
       total += cfvs.time;
     }
 

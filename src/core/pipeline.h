@@ -75,6 +75,16 @@ struct RunMetrics {
   size_t matcher_used_features = 0;  ///< features referenced by any tree
   size_t matcher_num_trees = 0;
 
+  /// Real heap allocations the instrumented hot-path stages performed
+  /// (blocking apply, gen_fvs, fused matcher): arena page acquisitions under
+  /// task arenas, individual container allocations otherwise, plus the
+  /// per-pair vectors gen_fvs materializes. Diagnostics only — the split
+  /// of allocations across tasks depends on scheduling, so these are not
+  /// part of the determinism contract and are never serialized (snapshots
+  /// rebuild them on rehydrate like any other machine-side metric).
+  uint64_t alloc_count = 0;
+  uint64_t alloc_bytes = 0;
+
   /// Crowd-estimated accuracy (filled when config.estimate_accuracy is on;
   /// in a real deployment there is no ground truth, so this estimate is
   /// what the user sees).

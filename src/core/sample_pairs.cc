@@ -22,7 +22,7 @@ Result<SampleResult> SampleUniform(const Table& a, const Table& b, size_t n,
   // Shared rng + dedup map require sequential semantics -> serial path.
   auto job = RunMapOnly<size_t, PairQuestion>(
       cluster, idx, {.name = "sample-uniform", .serial = true},
-      [&](const size_t&, std::vector<PairQuestion>* out) {
+      [&](const size_t&, TaskVector<PairQuestion>* out) {
         for (int attempt = 0; attempt < 20; ++attempt) {
           RowId ar = static_cast<RowId>(job_rng.NextBelow(a.num_rows()));
           RowId br = static_cast<RowId>(job_rng.NextBelow(b.num_rows()));
@@ -72,7 +72,7 @@ Result<SampleResult> SamplePairs(const Table& a, const Table& b, size_t n,
   // Builds the shared inverted index in input order -> serial path.
   auto job1 = RunMapOnly<RowId, int>(
       cluster, a_rows, {.name = "sample-index(A)", .serial = true},
-      [&](const RowId& r, std::vector<int>*) {
+      [&](const RowId& r, TaskVector<int>*) {
         std::vector<std::string> doc;
         for (size_t c : string_cols) {
           auto toks = WordTokens(a.Get(r, c));
@@ -99,7 +99,7 @@ Result<SampleResult> SamplePairs(const Table& a, const Table& b, size_t n,
   std::unordered_map<RowId, uint32_t> shared;
   auto job2 = RunMapOnly<RowId, PairQuestion>(
       cluster, b_rows, {.name = "sample-pairs(B)", .serial = true},
-      [&](const RowId& br, std::vector<PairQuestion>* out) {
+      [&](const RowId& br, TaskVector<PairQuestion>* out) {
         shared.clear();
         std::vector<std::string> doc;
         for (size_t c : string_cols) {

@@ -1,27 +1,77 @@
 #include "index/inverted_index.h"
 
-namespace falcon {
+#include <algorithm>
 
-const std::vector<Posting> InvertedIndex::kEmpty;
+namespace falcon {
+namespace {
+
+/// Frees a staging vector outright. `v = {}` is NOT enough: it resolves to
+/// the initializer-list assignment, which clears but retains capacity — the
+/// exact slack this compaction exists to drop.
+template <typename V>
+void FreeStaging(V* v) {
+  V().swap(*v);
+}
+
+}  // namespace
 
 void InvertedIndex::AddPrefix(RowId row, std::span<const TokenId> prefix,
                               uint32_t set_size) {
+  assert(!finalized_ && "AddPrefix after Finalize");
+  if (staged_sizes_.size() <= row) staged_sizes_.resize(row + 1, 0);
+  staged_sizes_[row] = set_size;
   for (uint32_t i = 0; i < prefix.size(); ++i) {
-    TokenId id = prefix[i];
-    if (id >= postings_.size()) postings_.resize(id + 1);
-    if (postings_[id].empty()) ++num_tokens_;
-    postings_[id].push_back(Posting{row, i, set_size});
-    ++num_postings_;
+    staged_tokens_.push_back(prefix[i]);
+    staged_postings_.push_back(Posting{row, i});
   }
 }
 
-size_t InvertedIndex::MemoryUsage() const {
-  size_t bytes = missing_.capacity() * sizeof(RowId) +
-                 postings_.capacity() * sizeof(std::vector<Posting>);
-  for (const auto& list : postings_) {
-    bytes += list.capacity() * sizeof(Posting);
+void InvertedIndex::Finalize() {
+  assert(!finalized_ && "Finalize called twice");
+  num_postings_ = staged_postings_.size();
+  num_rows_ = staged_sizes_.size();
+  num_ids_ = 0;
+  for (TokenId id : staged_tokens_) {
+    num_ids_ = std::max<size_t>(num_ids_, static_cast<size_t>(id) + 1);
   }
-  return bytes;
+
+  // Pass 1: per-token counts into the offsets array (exact-size arena
+  // blocks: no growth slack survives the build).
+  uint32_t* offsets = arena_.AllocateArray<uint32_t>(num_ids_ + 1);
+  std::fill(offsets, offsets + num_ids_ + 1, 0u);
+  for (TokenId id : staged_tokens_) ++offsets[id + 1];
+  num_tokens_ = 0;
+  for (size_t id = 0; id < num_ids_; ++id) {
+    if (offsets[id + 1] != 0) ++num_tokens_;
+    offsets[id + 1] += offsets[id];
+  }
+
+  // Pass 2: stable scatter in staging order, so each token's postings keep
+  // the order AddPrefix produced (byte-identical probes vs the old layout).
+  Posting* postings = arena_.AllocateArray<Posting>(num_postings_);
+  std::vector<uint32_t> cursor(offsets, offsets + num_ids_);
+  for (size_t i = 0; i < staged_tokens_.size(); ++i) {
+    postings[cursor[staged_tokens_[i]]++] = staged_postings_[i];
+  }
+
+  // Per-row set sizes, shared by all of a row's postings.
+  uint32_t* sizes = arena_.AllocateArray<uint32_t>(num_rows_);
+  std::copy(staged_sizes_.begin(), staged_sizes_.end(), sizes);
+
+  offsets_ = offsets;
+  postings_ = postings;
+  set_sizes_ = sizes;
+  finalized_ = true;
+  FreeStaging(&staged_tokens_);
+  FreeStaging(&staged_postings_);
+  FreeStaging(&staged_sizes_);
+}
+
+size_t InvertedIndex::MemoryUsage() const {
+  return arena_.bytes_reserved() + missing_.capacity() * sizeof(RowId) +
+         staged_tokens_.capacity() * sizeof(TokenId) +
+         staged_postings_.capacity() * sizeof(Posting) +
+         staged_sizes_.capacity() * sizeof(uint32_t);
 }
 
 }  // namespace falcon

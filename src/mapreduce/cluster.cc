@@ -26,6 +26,13 @@ ThreadPool* Cluster::pool() {
   return pool_.get();
 }
 
+ArenaPool* Cluster::arena_pool() {
+  if (!config_.task_arenas) return nullptr;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (arena_pool_ == nullptr) arena_pool_ = std::make_unique<ArenaPool>();
+  return arena_pool_.get();
+}
+
 JobStats::Phase JobStats::PhaseAt(VDuration t) const {
   if (t.seconds < 0) return Phase::kNotStarted;
   VDuration acc = startup;

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/vtime.h"
 
@@ -56,6 +57,11 @@ struct ClusterConfig {
   /// measured with thread CPU time). 0 = hardware_concurrency, 1 = the exact
   /// legacy serial path (no thread pool is created).
   int local_threads = 0;
+  /// Back per-task buffers (emitter pairs, shuffle buckets, split outputs)
+  /// with pooled bump arenas that are reset — not freed — at task end.
+  /// false selects the legacy counted-heap path; outputs are byte-identical
+  /// either way (benches A/B the two via the alloc/* job counters).
+  bool task_arenas = true;
 };
 
 /// Hadoop-style named counters.
@@ -137,14 +143,19 @@ class Cluster {
   /// when local_threads() == 1 (the legacy serial path runs inline).
   ThreadPool* pool();
 
+  /// Lazily created pool of reusable task arenas, or nullptr when
+  /// config().task_arenas is false (legacy counted-heap buffers).
+  ArenaPool* arena_pool();
+
  private:
   ClusterConfig config_;
   VDuration total_machine_time_;
   std::vector<JobStats> job_history_;
 
-  std::mutex mu_;  ///< guards accounting and pool creation
+  std::mutex mu_;  ///< guards accounting and lazy pool creation
   std::unique_ptr<ThreadPool> pool_;
   bool pool_created_ = false;
+  std::unique_ptr<ArenaPool> arena_pool_;
 };
 
 }  // namespace falcon

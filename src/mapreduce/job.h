@@ -21,6 +21,19 @@
 //   (CLOCK_THREAD_CPUTIME_ID), so concurrently running tasks do not inflate
 //   each other's measured durations and the virtual makespan matches the
 //   serial baseline within measurement noise.
+//
+// Memory discipline (common/arena.h): every map/reduce task leases a bump
+// arena from the cluster's ArenaPool for its buffers — emitter pairs
+// (pre-sized from the split-size hint), shuffle bucket vectors, split and
+// reduce outputs — and the arena is reset, not freed, at task end, so a warm
+// pool serves whole jobs without heap traffic. Per-task heap allocations
+// (arena page acquisitions, or every buffer allocation on the legacy
+// ClusterConfig::task_arenas=false path) are reported through the normal
+// counter plumbing as "alloc/count"/"alloc/bytes". These two counters
+// measure real memory-system behavior — pool warmth, thread scheduling — so
+// unlike user counters they are not required to be identical between serial
+// and parallel runs; job outputs still are. Worker-thread scratch
+// (ThreadScratch) is likewise reset after every task.
 #ifndef FALCON_MAPREDUCE_JOB_H_
 #define FALCON_MAPREDUCE_JOB_H_
 
@@ -37,6 +50,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "common/status.h"
 #include "common/strings.h"
 #include "common/thread_pool.h"
@@ -63,6 +77,19 @@ size_t EstimateBytes(const std::vector<T>& v) {
   return bytes;
 }
 
+// --- task-local containers ---------------------------------------------------
+
+/// Output buffer of one map/reduce task: arena-backed when the engine leases
+/// task arenas, counted heap otherwise. Map and reduce functions append to
+/// these; default-constructed instances (tests, direct use) are plain heap
+/// vectors.
+template <typename T>
+using TaskVector = ArenaVector<T>;
+
+/// One shuffle bucket: all values emitted under one key, in emission order.
+template <typename V>
+using ValueList = ArenaVector<V>;
+
 // --- emitter -----------------------------------------------------------------
 
 /// Collects (key, value) pairs emitted by one map task. Each map task owns a
@@ -71,6 +98,16 @@ size_t EstimateBytes(const std::vector<T>& v) {
 template <typename K, typename V>
 class Emitter {
  public:
+  Emitter() = default;
+  /// Engine constructor: the pair buffer draws from `alloc` and is pre-sized
+  /// to `reserve_hint` (the split size — the common one-emit-per-input case
+  /// then never regrows from zero).
+  explicit Emitter(const ArenaAllocator<std::pair<K, V>>& alloc,
+                   size_t reserve_hint = 0)
+      : pairs_(alloc) {
+    if (reserve_hint > 0) pairs_.reserve(reserve_hint);
+  }
+
   void Emit(K key, V value) {
     bytes_ += EstimateBytes(key) + EstimateBytes(value);
     pairs_.emplace_back(std::move(key), std::move(value));
@@ -80,12 +117,12 @@ class Emitter {
     counters_[counter] += by;
   }
 
-  std::vector<std::pair<K, V>>& pairs() { return pairs_; }
+  TaskVector<std::pair<K, V>>& pairs() { return pairs_; }
   size_t bytes() const { return bytes_; }
   Counters& counters() { return counters_; }
 
  private:
-  std::vector<std::pair<K, V>> pairs_;
+  TaskVector<std::pair<K, V>> pairs_;
   size_t bytes_ = 0;
   Counters counters_;
 };
@@ -185,15 +222,73 @@ uint64_t StableKeyHash(const std::pair<A, B>& p) {
 
 /// Runs fn(0..n-1) on the cluster pool, or inline in index order when the
 /// job opted out of parallelism, the task count is trivial, or the cluster
-/// resolves to a single local thread.
+/// resolves to a single local thread. The executing thread's scratch arena
+/// is reset after every task (per-task reset discipline: scratch capacity
+/// never outlives the task that grew it by more than the retention bound).
 inline void RunTasks(Cluster* cluster, bool serial, size_t n,
                      const std::function<void(size_t)>& fn) {
+  const std::function<void(size_t)> task = [&fn](size_t i) {
+    fn(i);
+    ThreadScratch().Reset();
+  };
   ThreadPool* pool = (serial || n <= 1) ? nullptr : cluster->pool();
   if (pool == nullptr) {
-    for (size_t i = 0; i < n; ++i) fn(i);
+    for (size_t i = 0; i < n; ++i) task(i);
     return;
   }
-  pool->ParallelFor(n, fn);
+  pool->ParallelFor(n, task);
+}
+
+/// Per-task arena leases for one job phase. Acquires `n` arenas from the
+/// cluster's pool (all nullptr when task arenas are disabled) and returns
+/// them — reset, pages retained — on ReleaseAll/destruction. Leasing happens
+/// on the coordinating thread; each leased arena is then touched by exactly
+/// one task.
+class ArenaLease {
+ public:
+  ArenaLease(Cluster* cluster, size_t n)
+      : pool_(cluster->arena_pool()), arenas_(n, nullptr) {
+    if (pool_ != nullptr) {
+      for (auto& arena : arenas_) arena = pool_->Acquire();
+    }
+  }
+  ~ArenaLease() { ReleaseAll(); }
+  ArenaLease(const ArenaLease&) = delete;
+  ArenaLease& operator=(const ArenaLease&) = delete;
+
+  Arena* operator[](size_t i) const { return arenas_[i]; }
+  bool enabled() const { return pool_ != nullptr; }
+
+  /// Callers must destroy (or finish reading) everything allocated from the
+  /// leased arenas before releasing them back to the pool.
+  void ReleaseAll() {
+    if (pool_ != nullptr) {
+      for (auto& arena : arenas_) {
+        pool_->Release(arena);
+        arena = nullptr;
+      }
+    }
+  }
+
+ private:
+  ArenaPool* pool_;
+  std::vector<Arena*> arenas_;
+};
+
+/// Heap allocations attributable to task `t`: page acquisitions of its
+/// leased arena, or the counted allocator calls on the legacy heap path.
+inline std::pair<int64_t, int64_t> TaskHeapAllocs(const ArenaLease& lease,
+                                                  size_t t,
+                                                  uint64_t base_pages,
+                                                  uint64_t base_bytes,
+                                                  const AllocStats& stats) {
+  if (lease.enabled()) {
+    return {static_cast<int64_t>(lease[t]->total_pages_acquired() -
+                                 base_pages),
+            static_cast<int64_t>(lease[t]->total_page_bytes_acquired() -
+                                 base_bytes)};
+  }
+  return {static_cast<int64_t>(stats.count), static_cast<int64_t>(stats.bytes)};
 }
 
 }  // namespace internal
@@ -212,8 +307,8 @@ template <typename InT, typename K, typename V, typename OutT>
 JobOutput<OutT> RunMapReduce(
     Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
     const std::function<void(const InT&, Emitter<K, V>*)>& map_fn,
-    const std::function<void(const K&, const std::vector<V>&,
-                             std::vector<OutT>*)>& reduce_fn) {
+    const std::function<void(const K&, const ValueList<V>&,
+                             TaskVector<OutT>*)>& reduce_fn) {
   JobOutput<OutT> result;
   JobStats& stats = result.stats;
   stats.name = opts.name;
@@ -235,8 +330,26 @@ JobOutput<OutT> RunMapReduce(
   // --- map phase ---
   // Each split writes only its own Emitter and seconds slot, so tasks can run
   // on any thread in any order; everything order-sensitive happens in the
-  // split-index-order merge below.
-  std::vector<Emitter<K, V>> emitters(splits.size());
+  // split-index-order merge below. Each emitter's pair buffer draws from the
+  // split's leased arena (or counted heap) and is pre-sized to the split.
+  internal::ArenaLease map_arenas(cluster, splits.size());
+  std::vector<AllocStats> map_allocs(splits.size());
+  std::vector<uint64_t> base_pages(splits.size(), 0);
+  std::vector<uint64_t> base_page_bytes(splits.size(), 0);
+  std::vector<Emitter<K, V>> emitters;
+  emitters.reserve(splits.size());
+  for (size_t t = 0; t < splits.size(); ++t) {
+    Arena* arena = map_arenas[t];
+    if (arena != nullptr) {
+      base_pages[t] = arena->total_pages_acquired();
+      base_page_bytes[t] = arena->total_page_bytes_acquired();
+    }
+    emitters.emplace_back(
+        ArenaAllocator<std::pair<K, V>>(arena,
+                                        arena == nullptr ? &map_allocs[t]
+                                                         : nullptr),
+        splits[t].second - splits[t].first);
+  }
   std::vector<double> map_task_seconds(splits.size());
   internal::RunTasks(cluster, opts.serial, splits.size(), [&](size_t t) {
     const auto [begin, end] = splits[t];
@@ -246,10 +359,26 @@ JobOutput<OutT> RunMapReduce(
     });
     map_task_seconds[t] += opts.map_setup_seconds;
   });
+  for (size_t t = 0; t < splits.size(); ++t) {
+    const auto [n, b] = internal::TaskHeapAllocs(
+        map_arenas, t, base_pages[t], base_page_bytes[t], map_allocs[t]);
+    emitters[t].Increment("alloc/count", n);
+    emitters[t].Increment("alloc/bytes", b);
+  }
 
   // Merge in split-index order: counters, byte counts, and the shuffle all
-  // see the same sequence a serial run produces.
-  std::vector<std::unordered_map<K, std::vector<V>>> partitions(num_reducers);
+  // see the same sequence a serial run produces. Bucket vectors live in a
+  // per-job shuffle arena that outlives the reduce phase.
+  ArenaPool* arena_pool = cluster->arena_pool();
+  Arena* shuffle_arena = arena_pool != nullptr ? arena_pool->Acquire() : nullptr;
+  AllocStats shuffle_allocs;
+  const uint64_t shuffle_base_pages =
+      shuffle_arena != nullptr ? shuffle_arena->total_pages_acquired() : 0;
+  const uint64_t shuffle_base_bytes =
+      shuffle_arena != nullptr ? shuffle_arena->total_page_bytes_acquired() : 0;
+  const ArenaAllocator<V> bucket_alloc(
+      shuffle_arena, shuffle_arena == nullptr ? &shuffle_allocs : nullptr);
+  std::vector<std::unordered_map<K, ValueList<V>>> partitions(num_reducers);
   size_t intermediate_records = 0;
   size_t intermediate_bytes = 0;
   for (auto& emitter : emitters) {
@@ -259,9 +388,24 @@ JobOutput<OutT> RunMapReduce(
     // Partition the emitted pairs by stable key hash (the shuffle).
     for (auto& [k, v] : emitter.pairs()) {
       size_t p = internal::StableKeyHash(k) % num_reducers;
-      partitions[p][std::move(k)].push_back(std::move(v));
+      auto [it, inserted] = partitions[p].try_emplace(std::move(k),
+                                                      bucket_alloc);
+      it->second.push_back(std::move(v));
     }
   }
+  if (shuffle_arena != nullptr) {
+    stats.counters["alloc/count"] += static_cast<int64_t>(
+        shuffle_arena->total_pages_acquired() - shuffle_base_pages);
+    stats.counters["alloc/bytes"] += static_cast<int64_t>(
+        shuffle_arena->total_page_bytes_acquired() - shuffle_base_bytes);
+  } else {
+    stats.counters["alloc/count"] += static_cast<int64_t>(shuffle_allocs.count);
+    stats.counters["alloc/bytes"] += static_cast<int64_t>(shuffle_allocs.bytes);
+  }
+  // Map buffers are fully consumed; destroy them before their arenas return
+  // to the pool (use-after-reset discipline).
+  emitters.clear();
+  map_arenas.ReleaseAll();
   stats.intermediate_records = intermediate_records;
   stats.intermediate_bytes = intermediate_bytes;
   stats.map_time = cluster->ScheduleMakespan(map_task_seconds,
@@ -270,21 +414,42 @@ JobOutput<OutT> RunMapReduce(
 
   // --- reduce phase ---
   // Non-empty partitions become reduce tasks; each writes a private output
-  // vector, concatenated in partition order afterwards.
+  // vector on its leased arena, concatenated in partition order afterwards.
   std::vector<size_t> active;
   active.reserve(partitions.size());
   for (size_t p = 0; p < partitions.size(); ++p) {
     if (!partitions[p].empty()) active.push_back(p);
   }
-  std::vector<std::vector<OutT>> reduce_outputs(active.size());
+  internal::ArenaLease reduce_arenas(cluster, active.size());
+  std::vector<AllocStats> reduce_allocs(active.size());
+  std::vector<TaskVector<OutT>> reduce_outputs;
+  reduce_outputs.reserve(active.size());
+  std::vector<uint64_t> rbase_pages(active.size(), 0);
+  std::vector<uint64_t> rbase_page_bytes(active.size(), 0);
+  for (size_t t = 0; t < active.size(); ++t) {
+    Arena* arena = reduce_arenas[t];
+    if (arena != nullptr) {
+      rbase_pages[t] = arena->total_pages_acquired();
+      rbase_page_bytes[t] = arena->total_page_bytes_acquired();
+    }
+    reduce_outputs.emplace_back(ArenaAllocator<OutT>(
+        arena, arena == nullptr ? &reduce_allocs[t] : nullptr));
+  }
   std::vector<double> reduce_task_seconds(active.size());
   internal::RunTasks(cluster, opts.serial, active.size(), [&](size_t t) {
     auto& groups = partitions[active[t]];
-    std::vector<OutT>* out = &reduce_outputs[t];
+    TaskVector<OutT>* out = &reduce_outputs[t];
     reduce_task_seconds[t] = internal::MeasureSeconds([&] {
       for (auto& [key, values] : groups) reduce_fn(key, values, out);
     });
   });
+  for (size_t t = 0; t < active.size(); ++t) {
+    const auto [n, b] = internal::TaskHeapAllocs(
+        reduce_arenas, t, rbase_pages[t], rbase_page_bytes[t],
+        reduce_allocs[t]);
+    stats.counters["alloc/count"] += n;
+    stats.counters["alloc/bytes"] += b;
+  }
   for (auto& out : reduce_outputs) {
     result.output.insert(result.output.end(),
                          std::make_move_iterator(out.begin()),
@@ -294,6 +459,12 @@ JobOutput<OutT> RunMapReduce(
   stats.reduce_time = cluster->ScheduleMakespan(
       reduce_task_seconds, cluster->total_reduce_slots());
   stats.output_records = result.output.size();
+
+  // Destroy everything arena-resident before the leases end.
+  reduce_outputs.clear();
+  reduce_arenas.ReleaseAll();
+  partitions.clear();
+  if (shuffle_arena != nullptr) arena_pool->Release(shuffle_arena);
 
   cluster->RecordJob(stats);
   return result;
@@ -307,7 +478,7 @@ JobOutput<OutT> RunMapReduce(
 template <typename InT, typename OutT>
 JobOutput<OutT> RunMapOnly(
     Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
-    const std::function<void(const InT&, std::vector<OutT>*, Counters*)>&
+    const std::function<void(const InT&, TaskVector<OutT>*, Counters*)>&
         map_fn) {
   JobOutput<OutT> result;
   JobStats& stats = result.stats;
@@ -322,23 +493,46 @@ JobOutput<OutT> RunMapOnly(
   auto splits = internal::MakeSplits(input.size(), num_splits);
   stats.num_map_tasks = splits.size();
 
-  std::vector<std::vector<OutT>> split_outputs(splits.size());
+  internal::ArenaLease arenas(cluster, splits.size());
+  std::vector<AllocStats> split_allocs(splits.size());
+  std::vector<uint64_t> base_pages(splits.size(), 0);
+  std::vector<uint64_t> base_page_bytes(splits.size(), 0);
+  std::vector<TaskVector<OutT>> split_outputs;
+  split_outputs.reserve(splits.size());
+  for (size_t t = 0; t < splits.size(); ++t) {
+    Arena* arena = arenas[t];
+    if (arena != nullptr) {
+      base_pages[t] = arena->total_pages_acquired();
+      base_page_bytes[t] = arena->total_page_bytes_acquired();
+    }
+    split_outputs.emplace_back(ArenaAllocator<OutT>(
+        arena, arena == nullptr ? &split_allocs[t] : nullptr));
+    split_outputs.back().reserve(splits[t].second - splits[t].first);
+  }
   std::vector<Counters> split_counters(splits.size());
   std::vector<double> task_seconds(splits.size());
   internal::RunTasks(cluster, opts.serial, splits.size(), [&](size_t t) {
     const auto [begin, end] = splits[t];
-    std::vector<OutT>* out = &split_outputs[t];
+    TaskVector<OutT>* out = &split_outputs[t];
     Counters* counters = &split_counters[t];
     task_seconds[t] = internal::MeasureSeconds([&] {
       for (size_t i = begin; i < end; ++i) map_fn(input[i], out, counters);
     });
     task_seconds[t] += opts.map_setup_seconds;
   });
+  for (size_t t = 0; t < splits.size(); ++t) {
+    const auto [n, b] = internal::TaskHeapAllocs(
+        arenas, t, base_pages[t], base_page_bytes[t], split_allocs[t]);
+    split_counters[t]["alloc/count"] += n;
+    split_counters[t]["alloc/bytes"] += b;
+  }
   for (auto& out : split_outputs) {
     result.output.insert(result.output.end(),
                          std::make_move_iterator(out.begin()),
                          std::make_move_iterator(out.end()));
   }
+  split_outputs.clear();
+  arenas.ReleaseAll();
   for (auto& counters : split_counters) {
     for (auto& [counter, v] : counters) stats.counters[counter] += v;
   }
@@ -357,11 +551,11 @@ JobOutput<OutT> RunMapOnly(
 template <typename InT, typename OutT>
 JobOutput<OutT> RunMapOnly(
     Cluster* cluster, const std::vector<InT>& input, const JobOptions& opts,
-    const std::function<void(const InT&, std::vector<OutT>*)>& map_fn) {
+    const std::function<void(const InT&, TaskVector<OutT>*)>& map_fn) {
   return RunMapOnly<InT, OutT>(
       cluster, input, opts,
-      std::function<void(const InT&, std::vector<OutT>*, Counters*)>(
-          [&map_fn](const InT& item, std::vector<OutT>* out, Counters*) {
+      std::function<void(const InT&, TaskVector<OutT>*, Counters*)>(
+          [&map_fn](const InT& item, TaskVector<OutT>* out, Counters*) {
             map_fn(item, out);
           }));
 }

@@ -5,6 +5,7 @@
 #include <cmath>
 #include <limits>
 
+#include "common/arena.h"
 #include "common/strings.h"
 
 namespace falcon {
@@ -256,12 +257,22 @@ void LazyPairFeatures::Begin(const FeatureSet* fs, const std::vector<int>* ids,
   a_row_ = a_row;
   b_row_ = b_row;
   computed_ = 0;
-  // A fresh epoch invalidates every cached slot in O(1). On a layout-size
-  // change or epoch wrap (once per ~4B pairs) the stamps are rebuilt.
-  if (values_.size() != ids->size() ||
-      epoch_ == std::numeric_limits<uint32_t>::max()) {
-    values_.assign(ids->size(), 0.0);
-    stamp_.assign(ids->size(), 0);
+  // A fresh epoch invalidates every cached slot in O(1). The buffers are
+  // re-carved from the thread's scratch arena when its generation moves (the
+  // engine resets scratch at task end) or the layout outgrows them; on a
+  // re-carve, layout-size change, or epoch wrap (once per ~4B pairs) the
+  // stamps are rebuilt.
+  ScratchArena& scratch = ThreadScratch();
+  const size_t n = ids->size();
+  if (generation_ != scratch.generation() || capacity_ < n) {
+    values_ = scratch.arena()->AllocateArray<double>(n);
+    stamp_ = scratch.arena()->AllocateArray<uint32_t>(n);
+    capacity_ = n;
+    generation_ = scratch.generation();
+    std::fill(stamp_, stamp_ + n, 0u);
+    epoch_ = 1;
+  } else if (epoch_ == std::numeric_limits<uint32_t>::max()) {
+    std::fill(stamp_, stamp_ + n, 0u);
     epoch_ = 1;
   } else {
     ++epoch_;

@@ -108,8 +108,11 @@ class FeatureSet {
 ///
 /// Begin() starts a new pair in O(1) and reuses the buffers, so one
 /// instance (e.g. a thread_local inside a map task, mirroring RuleApplier's
-/// scratch) evaluates millions of pairs without allocating. Not thread-safe;
-/// use one instance per thread.
+/// scratch) evaluates millions of pairs without allocating. The buffers are
+/// carved from the calling thread's scratch arena (common/arena.h) and
+/// re-carved — cheap, from retained pages — whenever the engine's per-task
+/// scratch reset invalidates them, so an instance must be used by the thread
+/// that calls Begin(). Not thread-safe; use one instance per thread.
 class LazyPairFeatures {
  public:
   LazyPairFeatures() = default;
@@ -141,9 +144,13 @@ class LazyPairFeatures {
   const Table* b_ = nullptr;
   RowId a_row_ = 0;
   RowId b_row_ = 0;
-  std::vector<double> values_;
+  /// Scratch-arena carves (see Begin); capacity_ slots each, re-carved when
+  /// the arena generation moves or the layout outgrows them.
+  double* values_ = nullptr;
   /// stamp_[pos] == epoch_ iff values_[pos] holds the current pair's value.
-  std::vector<uint32_t> stamp_;
+  uint32_t* stamp_ = nullptr;
+  size_t capacity_ = 0;
+  uint64_t generation_ = 0;
   uint32_t epoch_ = 0;
   int computed_ = 0;
 };

@@ -22,8 +22,10 @@ bool TokenStore::StartView(int col, Tokenization tok) {
   auto key = std::make_pair(col, static_cast<int>(tok));
   if (views_.count(key) != 0) return false;
   pending_ = &views_[key];
-  pending_->offsets_.reserve(table_->num_rows() + 1);
-  pending_->offsets_.push_back(0);
+  build_ids_.clear();
+  build_offsets_.clear();
+  build_offsets_.reserve(table_->num_rows() + 1);
+  build_offsets_.push_back(0);
   pending_col_ = col;
   pending_tok_ = tok;
   return true;
@@ -31,36 +33,47 @@ bool TokenStore::StartView(int col, Tokenization tok) {
 
 void TokenStore::AppendRow(RowId row) {
   assert(pending_ != nullptr);
-  assert(pending_->offsets_.size() == row + 1 && "rows must arrive in order");
-  TokenSetView& v = *pending_;
+  assert(build_offsets_.size() == row + 1 && "rows must arrive in order");
   if (!table_->IsMissing(row, pending_col_)) {
     for (const std::string& t :
          Tokenize(table_->Get(row, pending_col_), pending_tok_)) {
-      v.ids_.push_back(dict_->Intern(t));
+      build_ids_.push_back(dict_->Intern(t));
     }
-    auto begin = v.ids_.begin() + v.offsets_.back();
-    std::sort(begin, v.ids_.end());
-    v.ids_.erase(std::unique(begin, v.ids_.end()), v.ids_.end());
+    auto begin = build_ids_.begin() + build_offsets_.back();
+    std::sort(begin, build_ids_.end());
+    build_ids_.erase(std::unique(begin, build_ids_.end()), build_ids_.end());
   }
-  v.offsets_.push_back(static_cast<uint32_t>(v.ids_.size()));
+  build_offsets_.push_back(static_cast<uint32_t>(build_ids_.size()));
 }
 
 const TokenSetView& TokenStore::FinishView() {
   assert(pending_ != nullptr);
-  assert(pending_->offsets_.size() == table_->num_rows() + 1);
+  assert(build_offsets_.size() == table_->num_rows() + 1);
   TokenSetView* done = pending_;
-  done->ids_.shrink_to_fit();
+  // Copy the assembled CSR into exact-size arena blocks; the scratch is
+  // released so the finished store holds only the tight arrays.
+  TokenId* ids = arena_.AllocateArray<TokenId>(build_ids_.size());
+  std::copy(build_ids_.begin(), build_ids_.end(), ids);
+  uint32_t* offsets = arena_.AllocateArray<uint32_t>(build_offsets_.size());
+  std::copy(build_offsets_.begin(), build_offsets_.end(), offsets);
+  done->ids_ = ids;
+  done->offsets_ = offsets;
+  done->num_rows_ = build_offsets_.size() - 1;
+  done->num_ids_ = build_ids_.size();
+  // `= {}` would keep the scratch capacity (initializer-list assignment
+  // clears, never shrinks); swap with empties to actually release it.
+  std::vector<TokenId>().swap(build_ids_);
+  std::vector<uint32_t>().swap(build_offsets_);
   pending_ = nullptr;
   pending_col_ = -1;
   return *done;
 }
 
 size_t TokenStore::MemoryUsage() const {
-  size_t bytes = 0;
-  for (const auto& [key, v] : views_) {
-    bytes += v.MemoryUsage() + sizeof(void*) * 4;  // map node overhead
-  }
-  return bytes;
+  return arena_.bytes_reserved() +
+         build_ids_.capacity() * sizeof(TokenId) +
+         build_offsets_.capacity() * sizeof(uint32_t) +
+         views_.size() * (sizeof(TokenSetView) + sizeof(void*) * 4);
 }
 
 }  // namespace falcon

@@ -3,9 +3,15 @@
 // Every (row, attribute, tokenization) a blocking rule or set-based feature
 // touches is tokenized exactly once, interned through the shared
 // TokenDictionary, and stored as a sorted-unique TokenId array in CSR layout
-// (one flat id vector plus per-row offsets). Probing and feature computation
+// (one flat id array plus per-row offsets). Probing and feature computation
 // then read spans out of the arena instead of re-tokenizing strings — the
 // per-thread token caches the old probe path needed are gone entirely.
+//
+// The CSR arrays live in a store-owned, provider-backed bump arena
+// (common/arena.h): views are assembled in reusable scratch vectors and
+// copied tight into exact-size arena blocks on FinishView(), so a finished
+// view carries no growth slack and MemoryUsage() reports the bytes actually
+// held — the honest number mapper-memory operator selection compares.
 //
 // Stores are built by IndexBuilder during index construction, i.e. inside
 // the O1 masking window (src/core/pipeline.cc), via serial MapReduce jobs so
@@ -21,6 +27,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/arena.h"
 #include "table/table.h"
 #include "text/token_dictionary.h"
 #include "text/tokenize.h"
@@ -28,38 +35,42 @@
 namespace falcon {
 
 /// Sorted-unique TokenId sets for every row of one (column, tokenization).
+/// A lightweight header over arena-owned CSR arrays; valid as long as the
+/// owning TokenStore lives.
 class TokenSetView {
  public:
   /// The row's token set, sorted ascending by TokenId, duplicates removed.
   /// Empty for missing values and values that tokenize to nothing.
   std::span<const TokenId> row(RowId r) const {
-    return std::span<const TokenId>(ids_.data() + offsets_[r],
+    return std::span<const TokenId>(ids_ + offsets_[r],
                                     offsets_[r + 1] - offsets_[r]);
   }
 
-  size_t num_rows() const {
-    return offsets_.empty() ? 0 : offsets_.size() - 1;
-  }
-  size_t num_ids() const { return ids_.size(); }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_ids() const { return num_ids_; }
 
-  /// Approximate heap footprint in bytes.
+  /// Exact bytes of the CSR arrays (arena blocks are cut to size).
   size_t MemoryUsage() const {
-    return ids_.capacity() * sizeof(TokenId) +
-           offsets_.capacity() * sizeof(uint32_t);
+    return num_ids_ * sizeof(TokenId) +
+           (num_rows_ == 0 ? 0 : (num_rows_ + 1) * sizeof(uint32_t));
   }
 
  private:
   friend class TokenStore;
-  std::vector<TokenId> ids_;
-  std::vector<uint32_t> offsets_;  ///< num_rows + 1 once finished
+  const TokenId* ids_ = nullptr;
+  const uint32_t* offsets_ = nullptr;  ///< num_rows + 1 once finished
+  size_t num_rows_ = 0;
+  size_t num_ids_ = 0;
 };
 
 /// All token-set views of one table, sharing one TokenDictionary.
 class TokenStore {
  public:
-  /// Binds to `table` and `dict`; both must outlive the store.
-  TokenStore(const Table* table, TokenDictionary* dict)
-      : table_(table), dict_(dict) {}
+  /// Binds to `table` and `dict`; both must outlive the store. View storage
+  /// pages come from `provider` (process heap when null).
+  TokenStore(const Table* table, TokenDictionary* dict,
+             PageProvider* provider = nullptr)
+      : table_(table), dict_(dict), arena_(provider) {}
 
   /// The view for (col, tok), or nullptr if not built yet.
   const TokenSetView* view(int col, Tokenization tok) const;
@@ -78,16 +89,21 @@ class TokenStore {
   const Table* table() const { return table_; }
   const TokenDictionary* dict() const { return dict_; }
 
-  /// Approximate heap footprint of all views in bytes (the shared dictionary
-  /// is accounted separately by its owner).
+  /// Heap footprint of all views in bytes: the arena's pages plus map
+  /// overhead (the shared dictionary is accounted separately by its owner).
   size_t MemoryUsage() const;
 
  private:
   const Table* table_;
   TokenDictionary* dict_;
+  Arena arena_;  ///< owns every finished view's CSR arrays
   /// (col, tok) -> view. std::map: node addresses stay stable while a
   /// pending build holds a pointer into it.
   std::map<std::pair<int, int>, TokenSetView> views_;
+  /// Build scratch, reused across view builds and released on FinishView so
+  /// a finished store holds only tight arrays.
+  std::vector<TokenId> build_ids_;
+  std::vector<uint32_t> build_offsets_;
   TokenSetView* pending_ = nullptr;
   int pending_col_ = -1;
   Tokenization pending_tok_ = Tokenization::kWord;

@@ -9,6 +9,16 @@
 // ordering (index/token_ordering.h) stores its ranks as a vector indexed by
 // TokenId, subsuming the string-keyed rank map it used before.
 //
+// Token texts are copied into an owned, provider-backed bump arena
+// (common/arena.h) — one char blob per token instead of one heap
+// std::string each, with stable addresses for the id->view table (arena
+// pages never move, including across moves of the dictionary). Lookup is an
+// open-addressed, linear-probed table of TokenIds (4 bytes per slot; the
+// key is read back through texts_), replacing the node-based unordered_map
+// whose per-node and bucket overhead tripled the lookup structure's
+// footprint. Ids are assigned in first-seen order either way, so the hash
+// layout cannot leak into any downstream result.
+//
 // Set similarities depend only on |x ∩ y|, |x| and |y|, so any shared total
 // order on ids reproduces the string-path results bit for bit — the
 // determinism contract the property tests pin down.
@@ -17,11 +27,12 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
+#include <cstring>
 #include <string>
 #include <string_view>
-#include <unordered_map>
 #include <vector>
+
+#include "common/arena.h"
 
 namespace falcon {
 
@@ -30,13 +41,15 @@ using TokenId = uint32_t;
 
 /// String <-> TokenId interning with per-token occurrence counts.
 ///
-/// Not copyable (the lookup map keys view into the owned texts); movable.
+/// Not copyable (slots index into the owned arena's texts); movable.
 /// Thread safety: Intern() mutates and must be externally serialized (index
 /// construction runs it in serial MapReduce jobs); Find()/Text()/Frequency()
 /// are safe to call concurrently once interning is done.
 class TokenDictionary {
  public:
-  TokenDictionary() = default;
+  /// Token-text pages come from `provider` (process heap when null).
+  explicit TokenDictionary(PageProvider* provider = nullptr)
+      : arena_(provider) {}
   TokenDictionary(const TokenDictionary&) = delete;
   TokenDictionary& operator=(const TokenDictionary&) = delete;
   TokenDictionary(TokenDictionary&&) = default;
@@ -50,7 +63,7 @@ class TokenDictionary {
   bool Find(std::string_view token, TokenId* id) const;
 
   /// Text of an interned token; the view stays valid for the dictionary's
-  /// lifetime (texts are deque-backed, never reallocated).
+  /// lifetime (texts are arena-backed, never moved).
   std::string_view Text(TokenId id) const { return texts_[id]; }
 
   /// Total occurrences passed to Intern() for this token.
@@ -62,9 +75,21 @@ class TokenDictionary {
   size_t MemoryUsage() const;
 
  private:
-  std::deque<std::string> texts_;  ///< id -> text (stable addresses)
-  std::vector<uint64_t> freq_;    ///< id -> occurrence count
-  std::unordered_map<std::string_view, TokenId> map_;
+  /// Sentinel for an empty lookup slot; ids are dense indexes into texts_
+  /// and can never reach it.
+  static constexpr TokenId kEmptySlot = 0xFFFFFFFFu;
+
+  /// Slot holding `token`'s id, or the empty slot where it would go.
+  /// slots_ must be non-empty.
+  size_t ProbeFor(std::string_view token) const;
+
+  /// Doubles (or seeds) the slot table and reinserts every interned id.
+  void Grow();
+
+  Arena arena_;                         ///< owns every token's char blob
+  std::vector<std::string_view> texts_;  ///< id -> text (into arena_)
+  std::vector<uint64_t> freq_;           ///< id -> occurrence count
+  std::vector<TokenId> slots_;  ///< open-addressed lookup (power-of-2 size)
 };
 
 }  // namespace falcon

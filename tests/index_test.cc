@@ -246,11 +246,14 @@ TEST(InvertedIndexTest, PostingsCarryPositionAndSize) {
   const std::vector<TokenId> prefix = {rare, mid};
   idx.AddPrefix(7, prefix, 10);
   idx.AddMissing(9);
-  const auto& p = idx.Probe(mid);
+  idx.Finalize();
+  const auto p = idx.Probe(mid);
   ASSERT_EQ(p.size(), 1u);
   EXPECT_EQ(p[0].row, 7u);
   EXPECT_EQ(p[0].position, 1u);
-  EXPECT_EQ(p[0].set_size, 10u);
+  EXPECT_EQ(idx.set_size(7), 10u);
+  EXPECT_EQ(idx.set_size(9), 0u);     // missing row: never AddPrefix'd
+  EXPECT_EQ(idx.set_size(1000), 0u);  // past the staged range
   EXPECT_TRUE(idx.Probe(absent).empty());
   // Probing past the posting table's end is an empty list too.
   EXPECT_TRUE(idx.Probe(1000).empty());

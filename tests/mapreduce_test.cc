@@ -104,8 +104,8 @@ TEST(MapReduceTest, WordCount) {
         }
         if (!cur.empty()) em->Emit(cur, 1);
       },
-      [](const std::string& word, const std::vector<int64_t>& ones,
-         std::vector<std::pair<std::string, int64_t>>* out) {
+      [](const std::string& word, const ValueList<int64_t>& ones,
+         TaskVector<std::pair<std::string, int64_t>>* out) {
         out->emplace_back(word,
                           std::accumulate(ones.begin(), ones.end(), 0L));
       });
@@ -129,7 +129,7 @@ TEST(MapReduceTest, CountersAggregate) {
         if (v % 2 == 0) em->Increment("evens");
         em->Emit(0, v);
       },
-      [](const int&, const std::vector<int>& vals, std::vector<int>* out) {
+      [](const int&, const ValueList<int>& vals, TaskVector<int>* out) {
         out->push_back(static_cast<int>(vals.size()));
       });
   EXPECT_EQ(result.stats.counters.at("evens"), 2);
@@ -141,7 +141,7 @@ TEST(MapReduceTest, EmptyInput) {
   auto result = RunMapReduce<int, int, int, int>(
       &cluster, input, {.name = "empty"},
       [](const int&, Emitter<int, int>*) {},
-      [](const int&, const std::vector<int>&, std::vector<int>*) {});
+      [](const int&, const ValueList<int>&, TaskVector<int>*) {});
   EXPECT_TRUE(result.output.empty());
   EXPECT_EQ(result.stats.num_map_tasks, 0u);
 }
@@ -152,7 +152,7 @@ TEST(MapReduceTest, MapOnlyPreservesAllOutput) {
   for (int i = 0; i < 1000; ++i) input[i] = i;
   auto result = RunMapOnly<int, int>(
       &cluster, input, {.name = "square"},
-      [](const int& v, std::vector<int>* out) { out->push_back(v * 2); });
+      [](const int& v, TaskVector<int>* out) { out->push_back(v * 2); });
   ASSERT_EQ(result.output.size(), 1000u);
   // Map-only output preserves input order (splits processed in order).
   EXPECT_EQ(result.output[0], 0);
@@ -164,11 +164,11 @@ TEST(MapReduceTest, MapSetupSecondsChargedPerTask) {
   std::vector<int> input = {1};
   auto without = RunMapOnly<int, int>(
       &cluster, input, {.name = "no-setup", .num_splits = 1},
-      [](const int&, std::vector<int>*) {});
+      [](const int&, TaskVector<int>*) {});
   auto with = RunMapOnly<int, int>(
       &cluster, input,
       {.name = "setup", .num_splits = 1, .map_setup_seconds = 5.0},
-      [](const int&, std::vector<int>*) {});
+      [](const int&, TaskVector<int>*) {});
   EXPECT_GT(with.stats.map_time.seconds,
             without.stats.map_time.seconds + 4.0);
 }
@@ -177,9 +177,9 @@ TEST(MapReduceTest, JobHistoryAccumulates) {
   Cluster cluster(FastConfig());
   std::vector<int> input = {1, 2, 3};
   RunMapOnly<int, int>(&cluster, input, {.name = "j1"},
-                       [](const int&, std::vector<int>*) {});
+                       [](const int&, TaskVector<int>*) {});
   RunMapOnly<int, int>(&cluster, input, {.name = "j2"},
-                       [](const int&, std::vector<int>*) {});
+                       [](const int&, TaskVector<int>*) {});
   EXPECT_EQ(cluster.job_history().size(), 2u);
   EXPECT_EQ(cluster.job_history()[0].name, "j1");
   EXPECT_GT(cluster.total_machine_time().seconds, 0.0);
@@ -197,8 +197,8 @@ TEST(MapReduceTest, DeterministicOutputAcrossRuns) {
     return RunMapReduce<int, int, int, std::pair<int, int>>(
                &cluster, input, {.name = "det"},
                [](const int& v, Emitter<int, int>* em) { em->Emit(v, 1); },
-               [](const int& k, const std::vector<int>& vals,
-                  std::vector<std::pair<int, int>>* out) {
+               [](const int& k, const ValueList<int>& vals,
+                  TaskVector<std::pair<int, int>>* out) {
                  out->emplace_back(k, static_cast<int>(vals.size()));
                })
         .output;
@@ -252,8 +252,8 @@ TEST(ParallelMapReduceTest, WordCountByteIdenticalToSerial) {
           }
           if (!cur.empty()) em->Emit(cur, 1);
         },
-        [](const std::string& word, const std::vector<int64_t>& ones,
-           std::vector<std::pair<std::string, int64_t>>* out) {
+        [](const std::string& word, const ValueList<int64_t>& ones,
+           TaskVector<std::pair<std::string, int64_t>>* out) {
           out->emplace_back(word,
                             std::accumulate(ones.begin(), ones.end(), 0L));
         });
@@ -286,8 +286,8 @@ TEST(ParallelMapReduceTest, CountersExactUnderConcurrency) {
         if (v % 2 == 0) em->Increment("evens");
         em->Emit(v % 8, v);
       },
-      [](const int& k, const std::vector<int>& vals,
-         std::vector<std::pair<int, int>>* out) {
+      [](const int& k, const ValueList<int>& vals,
+         TaskVector<std::pair<int, int>>* out) {
         out->emplace_back(k, static_cast<int>(vals.size()));
       });
   EXPECT_EQ(result.stats.counters.at("seen"), 1000);
@@ -303,7 +303,7 @@ TEST(ParallelMapReduceTest, MapOnlyPreservesInputOrder) {
     Cluster cluster(ThreadedConfig(threads));
     return RunMapOnly<int, int>(
                &cluster, input, {.name = "order", .num_splits = 16},
-               [](const int& v, std::vector<int>* out) {
+               [](const int& v, TaskVector<int>* out) {
                  out->push_back(v * 2);
                })
         .output;
@@ -320,7 +320,7 @@ TEST(ParallelMapReduceTest, MapExceptionPropagates) {
   std::iota(input.begin(), input.end(), 0);
   EXPECT_THROW(
       (RunMapOnly<int, int>(&cluster, input, {.name = "boom", .num_splits = 8},
-                            [](const int& v, std::vector<int>*) {
+                            [](const int& v, TaskVector<int>*) {
                               if (v == 63) throw std::runtime_error("boom");
                             })),
       std::runtime_error);
@@ -335,7 +335,7 @@ TEST(ParallelMapReduceTest, SerialOptOutRunsWithoutPool) {
     return RunMapOnly<int, int>(
                &cluster, input,
                {.name = "opt-out", .num_splits = 8, .serial = serial},
-               [](const int& v, std::vector<int>* out) {
+               [](const int& v, TaskVector<int>* out) {
                  out->push_back(v + 1);
                })
         .output;
