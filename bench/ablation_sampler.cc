@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
               "===\n\n");
   TablePrinter table({"Dataset", "Sampler", "Matches in S", "F1(%)",
                       "Blk.Recall(%)", "Outcome"});
+  BenchReport report("ablation_sampler");
+  report.Add("scale", scale);
   // Products only: a uniform-sampled run can learn a near-useless blocker,
   // and on the bigger datasets the resulting huge candidate set makes the
   // demonstration needlessly expensive — the failure shows just as clearly
@@ -57,6 +59,9 @@ int main(int argc, char** argv) {
       table.AddRow({name, label, std::to_string(in_sample),
                     Pct(result->quality.f1), Pct(result->blocking_recall),
                     "ok"});
+      std::string base = std::string(name) + "/" + label;
+      report.Add(base + "/f1", result->quality.f1);
+      AddLoadMetrics(&report, base, result->metrics);
     }
   }
   table.Print();
@@ -64,5 +69,6 @@ int main(int argc, char** argv) {
       "\nShape check: uniform samples contain a handful of positives (or\n"
       "none), so the learned blocker is weak or learning fails outright;\n"
       "the Section 5 sampler seeds S with enough matches to learn from.\n");
+  report.Write();
   return 0;
 }

@@ -14,6 +14,9 @@ int main(int argc, char** argv) {
   double scale = flags.GetDouble("scale", 1.0);
   int runs = static_cast<int>(flags.GetInt("runs", 1));
 
+  BenchReport report("fig10_scaling");
+  report.Add("scale", scale);
+  report.Add("runs", static_cast<int64_t>(runs));
   for (const char* dataset : {"songs", "citations"}) {
     std::printf("=== Figure 10: size sweep on %s (%d run(s) per point) ===\n",
                 dataset, runs);
@@ -47,6 +50,12 @@ int main(int argc, char** argv) {
         total += result->metrics.total_time;
         machine += result->metrics.machine_time;
         cand += result->metrics.candidate_size;
+        std::string base = std::string(dataset) + "/size_" +
+                           std::to_string(static_cast<int>(frac * 100)) +
+                           "/run_" + std::to_string(run);
+        report.Add(base + "/total_seconds",
+                   result->metrics.total_time.seconds);
+        AddLoadMetrics(&report, base, result->metrics);
       }
       if (ok_runs == 0) continue;
       double n = ok_runs;
@@ -62,5 +71,6 @@ int main(int argc, char** argv) {
   std::printf(
       "Shape check vs paper: F1 stable across sizes; total time and cost\n"
       "grow sublinearly with table size.\n");
+  report.Write();
   return 0;
 }

@@ -19,6 +19,9 @@ int main(int argc, char** argv) {
   std::printf("=== Figure 9: crowd error rate sweep on %s (%d run(s) per "
               "point) ===\n",
               dataset.c_str(), runs);
+  BenchReport report("fig9_error_rate");
+  report.Add("dataset", dataset);
+  report.Add("scale", scale);
   TablePrinter table(
       {"Error rate", "F1(%)", "Total time", "Cost", "Blk.Recall"});
   for (double error : {0.0, 0.05, 0.10, 0.15}) {
@@ -42,6 +45,11 @@ int main(int argc, char** argv) {
       cost += result->metrics.cost;
       brec += result->blocking_recall;
       total += result->metrics.total_time;
+      std::string base = "error_" +
+                         std::to_string(static_cast<int>(error * 100)) +
+                         "/run_" + std::to_string(run);
+      report.Add(base + "/f1", result->quality.f1);
+      AddLoadMetrics(&report, base, result->metrics);
     }
     if (ok_runs == 0) continue;
     double n = ok_runs;
@@ -53,5 +61,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check vs paper: F1 decreases gracefully with error rate; cost\n"
       "shows no monotone trend; all costs far below the $349.60 cap.\n");
+  report.Write();
   return 0;
 }

@@ -147,6 +147,24 @@ Result<PipelineRun> RunPipeline(const GeneratedDataset& data,
   return out;
 }
 
+void AddLoadMetrics(BenchReport* report, const std::string& prefix,
+                    const RunMetrics& metrics) {
+  report->Add(prefix + "/mr_tasks", static_cast<int64_t>(metrics.mr_tasks));
+  report->Add(prefix + "/task_vtime_max_s", metrics.task_vtime_max);
+  report->Add(prefix + "/task_vtime_mean_s", metrics.task_vtime_mean);
+  report->Add(prefix + "/task_vtime_p99_s", metrics.task_vtime_p99);
+  report->Add(prefix + "/straggler_ratio", metrics.straggler_ratio);
+}
+
+void AddLoadMetrics(BenchReport* report, const std::string& prefix,
+                    const TaskLoadStats& load) {
+  report->Add(prefix + "/mr_tasks", static_cast<int64_t>(load.tasks));
+  report->Add(prefix + "/task_vtime_max_s", load.max_seconds);
+  report->Add(prefix + "/task_vtime_mean_s", load.mean_seconds);
+  report->Add(prefix + "/task_vtime_p99_s", load.p99_seconds);
+  report->Add(prefix + "/straggler_ratio", load.straggler_ratio);
+}
+
 MatcherStageAb AbMatcherStage(const GeneratedDataset& data,
                               const PipelineRun& run) {
   MatcherStageAb ab;

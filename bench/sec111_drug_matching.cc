@@ -54,6 +54,8 @@ int main(int argc, char** argv) {
                  without.status().ToString().c_str());
     return 1;
   }
+  BenchReport report("sec111_drug_matching");
+  report.Add("scale", scale);
   TablePrinter table({"Config", "P(%)", "R(%)", "Questions", "Crowd time",
                       "Unmasked machine", "Total", "Machine share(%)"});
   auto add = [&](const char* label, const DrugRun& r) {
@@ -68,6 +70,8 @@ int main(int argc, char** argv) {
   };
   add("masking OFF", *without);
   add("masking ON", *with);
+  AddLoadMetrics(&report, "masking_off", without->m);
+  AddLoadMetrics(&report, "masking_on", with->m);
   table.Print();
   double reduction =
       without->m.machine_unmasked.seconds > 0
@@ -81,5 +85,6 @@ int main(int argc, char** argv) {
       "Shape check vs paper: with a fast in-house crowd, machine time is a\n"
       "large share of total time, so masking matters even more than on\n"
       "Mechanical Turk; precision and recall stay high.\n");
+  report.Write();
   return 0;
 }

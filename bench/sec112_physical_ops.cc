@@ -106,6 +106,8 @@ int main(int argc, char** argv) {
           report.Add(base + "/virtual_seconds", res->time.seconds);
           report.Add(base + "/candidates",
                      static_cast<int64_t>(res->pairs.size()));
+          AddLoadMetrics(&report, base + "/reduce",
+                         res->main_job.reduce_load);
           if (baseline) {
             VDuration at_paper_scale =
                 res->time * (paper_pairs / bench_pairs);

@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
               dataset.c_str());
   TablePrinter table(
       {"Cap", "F1(%)", "Questions", "Cost", "Crowd time", "Total time"});
+  BenchReport report("sec114_iteration_cap");
+  report.Add("scale", scale);
   auto data = GenerateByName(dataset, DatasetOptions(dataset, scale, seed));
   for (int cap : {8, 15, 30}) {
     FalconConfig cfg = BenchFalconConfig(scale, seed);
@@ -40,10 +42,14 @@ int main(int argc, char** argv) {
                   Money(result->metrics.cost),
                   result->metrics.crowd_time.ToString(),
                   result->metrics.total_time.ToString()});
+    std::string base = "cap_" + std::to_string(cap);
+    report.Add(base + "/f1", result->quality.f1);
+    AddLoadMetrics(&report, base, result->metrics);
   }
   table.Print();
   std::printf(
       "\nShape check vs paper: beyond a moderate cap, extra iterations cost\n"
       "time and money without moving F1 materially.\n");
+  report.Write();
   return 0;
 }

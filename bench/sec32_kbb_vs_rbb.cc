@@ -22,6 +22,8 @@ int main(int argc, char** argv) {
   TablePrinter table({"Dataset", "KBB key", "KBB recall(%)",
                       "KBB(first-token) recall(%)", "SNB(w=10) recall(%)",
                       "RBB recall(%)", "Paper KBB", "Paper RBB"});
+  BenchReport report("sec32_kbb_vs_rbb");
+  report.Add("scale", scale);
   struct Setup {
     const char* name;
     const char* key;
@@ -46,6 +48,10 @@ int main(int argc, char** argv) {
                            BenchClusterConfig());
     std::string rbb_recall = "-";
     if (rbb.ok()) rbb_recall = Pct(rbb->blocking_recall, 2);
+    if (rbb.ok()) {
+      report.Add(std::string(s.name) + "/rbb_recall", rbb->blocking_recall);
+      AddLoadMetrics(&report, s.name, rbb->metrics);
+    }
     table.AddRow({s.name, s.key, Pct(BlockingRecall(kbb.pairs, data->truth), 2),
                   Pct(BlockingRecall(kbb_soft.pairs, data->truth), 2),
                   Pct(BlockingRecall(snb.pairs, data->truth), 2),
@@ -56,5 +62,6 @@ int main(int argc, char** argv) {
       "\nShape check vs paper: learned rule-based blocking retains (nearly)\n"
       "all true matches; exact-key blocking loses matches to typos and\n"
       "missing keys.\n");
+  report.Write();
   return 0;
 }

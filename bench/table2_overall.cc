@@ -27,6 +27,9 @@ int main(int argc, char** argv) {
               "crowd error %.0f%%) ===\n",
               scale, runs, error * 100);
 
+  BenchReport report("table2_overall");
+  report.Add("scale", scale);
+  report.Add("runs", static_cast<int64_t>(runs));
   TablePrinter avg({"Dataset", "P(%)", "R(%)", "F1(%)", "Cost(#Q)",
                     "Machine", "Crowd", "Total", "Cand.Set", "Blk.Recall"});
   TablePrinter per({"Dataset", "Run", "P(%)", "R(%)", "F1(%)", "Cost(#Q)",
@@ -70,6 +73,10 @@ int main(int argc, char** argv) {
                   result->metrics.crowd_time.ToString(),
                   result->metrics.total_time.ToString(),
                   std::to_string(result->metrics.candidate_size)});
+      std::string base = std::string(name) + "/run_" + std::to_string(run);
+      report.Add(base + "/f1", result->quality.f1);
+      report.Add(base + "/total_seconds", result->metrics.total_time.seconds);
+      AddLoadMetrics(&report, base, result->metrics);
       last_run = std::move(*result);
       last_data = std::move(*data);
     }
@@ -105,5 +112,6 @@ int main(int argc, char** argv) {
       "\nShape check vs paper: crowd time >> machine time on MTurk-style\n"
       "latency; total time < crowd + machine (masking); blocking recall\n"
       "near 100%%; cost well under the $349.60 cap.\n");
+  report.Write();
   return 0;
 }

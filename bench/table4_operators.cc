@@ -21,6 +21,8 @@ int main(int argc, char** argv) {
       "=== Table 4: per-operator run times (first run per dataset) ===\n"
       "Machine rows show 'unmasked (raw)': raw is the operator's full\n"
       "machine time, unmasked its critical-path share after masking.\n\n");
+  BenchReport report("table4_operators");
+  report.Add("scale", scale);
 
   for (const char* name : {"products", "songs", "citations"}) {
     auto data = GenerateByName(name, DatasetOptions(name, scale, seed));
@@ -50,6 +52,9 @@ int main(int argc, char** argv) {
                 ApplyMethodName(result->metrics.apply_method),
                 result->metrics.spec_rule_reused ? "yes" : "no",
                 result->metrics.candidate_size);
+    report.Add(std::string(name) + "/apply_method",
+               std::string(ApplyMethodName(result->metrics.apply_method)));
+    AddLoadMetrics(&report, name, result->metrics);
     // The apply_matcher row above is the fused strategy; quantify what it
     // saves by re-running the stage eagerly in-process (exits on any
     // prediction mismatch).
@@ -61,5 +66,6 @@ int main(int argc, char** argv) {
         ab.eager_s, ab.fused_s, ab.speedup, ab.features_per_pair,
         ab.vector_width, ab.trees_per_pair, ab.num_trees);
   }
+  report.Write();
   return 0;
 }

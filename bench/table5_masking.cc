@@ -15,7 +15,7 @@ namespace {
 
 VDuration UnmaskedTime(const char* name, double scale, double error,
                        uint64_t seed, bool masking, bool o1, bool o2,
-                       bool o3) {
+                       bool o3, BenchReport* report, const char* config) {
   auto data = GenerateByName(name, DatasetOptions(name, scale, seed));
   FalconConfig cfg = BenchFalconConfig(scale, seed);
   cfg.enable_masking = masking;
@@ -36,6 +36,10 @@ VDuration UnmaskedTime(const char* name, double scale, double error,
                  result.status().ToString().c_str());
     return VDuration::Zero();
   }
+  std::string base = std::string(name) + "/" + config;
+  report->Add(base + "/unmasked_seconds",
+              result->metrics.machine_unmasked.seconds);
+  AddLoadMetrics(report, base, result->metrics);
   return result->metrics.machine_unmasked;
 }
 
@@ -53,19 +57,21 @@ int main(int argc, char** argv) {
   std::printf("=== Table 5: masking optimizations vs unmasked machine time "
               "===\n(U = all masking off; O = all on; O-Ox = optimization x "
               "ablated)\n\n");
+  BenchReport report("table5_masking");
+  report.Add("scale", scale);
   TablePrinter table(
       {"Dataset", "U", "O", "Reduction", "O-O1", "O-O2", "O-O3"});
   for (const char* name : {"products", "songs", "citations"}) {
-    VDuration u =
-        UnmaskedTime(name, scale, error, seed, false, false, false, false);
-    VDuration o =
-        UnmaskedTime(name, scale, error, seed, true, true, true, true);
-    VDuration o1 =
-        UnmaskedTime(name, scale, error, seed, true, false, true, true);
-    VDuration o2 =
-        UnmaskedTime(name, scale, error, seed, true, true, false, true);
-    VDuration o3 =
-        UnmaskedTime(name, scale, error, seed, true, true, true, false);
+    VDuration u = UnmaskedTime(name, scale, error, seed, false, false,
+                               false, false, &report, "U");
+    VDuration o = UnmaskedTime(name, scale, error, seed, true, true, true,
+                               true, &report, "O");
+    VDuration o1 = UnmaskedTime(name, scale, error, seed, true, false, true,
+                                true, &report, "O-O1");
+    VDuration o2 = UnmaskedTime(name, scale, error, seed, true, true, false,
+                                true, &report, "O-O2");
+    VDuration o3 = UnmaskedTime(name, scale, error, seed, true, true, true,
+                                false, &report, "O-O3");
     double reduction =
         u.seconds > 0 ? (u.seconds - o.seconds) / u.seconds : 0.0;
     table.AddRow({name, u.ToString(), o.ToString(),
@@ -76,5 +82,6 @@ int main(int argc, char** argv) {
   std::printf(
       "\nShape check vs paper: O < U (11-70%% reduction in the paper); every\n"
       "single-ablation column lies between O and U.\n");
+  report.Write();
   return 0;
 }

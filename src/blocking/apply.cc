@@ -62,24 +62,34 @@ bool RuleApplier::Keep(RowId a_row, RowId b_row) const {
   // scratch does not retain one job's peak capacity forever; the generation
   // check re-carves after each reset.
   thread_local double* slot_values = nullptr;
-  thread_local char* slot_computed = nullptr;
+  thread_local uint32_t* slot_stamps = nullptr;
   thread_local size_t slot_capacity = 0;
   thread_local uint64_t slot_generation = 0;
+  thread_local uint32_t slot_epoch = 0;
   ScratchArena& scratch = ThreadScratch();
   if (slot_generation != scratch.generation() || slot_capacity < num_slots_) {
     slot_values = scratch.arena()->AllocateArray<double>(num_slots_);
-    slot_computed = scratch.arena()->AllocateArray<char>(num_slots_);
+    slot_stamps = scratch.arena()->AllocateArray<uint32_t>(num_slots_);
+    std::fill(slot_stamps, slot_stamps + num_slots_, 0u);
     slot_capacity = num_slots_;
     slot_generation = scratch.generation();
+    slot_epoch = 0;
   }
-  std::fill(slot_computed, slot_computed + num_slots_, 0);
+  // Epoch-stamped memoization (same scheme as LazyPairFeatures): a slot is
+  // valid iff its stamp equals this call's epoch, so invalidating all slots
+  // is one increment instead of a per-pair fill. Epoch 0 is never valid;
+  // on uint32 wrap, zero the stamps once and restart at 1.
+  if (++slot_epoch == 0) {
+    std::fill(slot_stamps, slot_stamps + slot_capacity, 0u);
+    slot_epoch = 1;
+  }
   for (const auto& rule : rules_) {
     bool fires = !rule.empty();
     for (const auto& p : rule) {
-      if (!slot_computed[p.slot]) {
+      if (slot_stamps[p.slot] != slot_epoch) {
         slot_values[p.slot] =
             fs_->Compute(p.feature_id, *a_, a_row, *b_, b_row);
-        slot_computed[p.slot] = 1;
+        slot_stamps[p.slot] = slot_epoch;
       }
       double v = slot_values[p.slot];
       bool holds;
@@ -243,11 +253,25 @@ Result<ApplyResult> RunKeyedByA(
   const uint32_t a_bytes = static_cast<uint32_t>(AvgRowBytes(a));
 
   ApplyResult result;
+  result.index_profile = catalog.MergedBlockProfile();
+  // The reduce function is a pure per-value pass over one A-row's bucket, so
+  // the skew-aware partitioner may pair-range split hot A-rows. When that
+  // partitioner is on and the build-time profile flags block skew, also cut
+  // map splits finer: probe cost concentrates on rows carrying hot tokens,
+  // and smaller splits give the LPT scheduler room (output bytes are
+  // invariant to the split count — emitters merge in split order).
+  JobOptions jopts{.name = name,
+                   .map_setup_seconds = map_setup_seconds,
+                   .splittable_reduce = true};
+  if (cluster->config().partitioner == ShufflePartitioner::kSkewAware &&
+      result.index_profile.skew >= 2.0) {
+    jopts.num_splits = static_cast<size_t>(4 * cluster->total_map_slots());
+  }
   // Reduce partitions run concurrently; the examined-pairs tally is atomic.
   std::atomic<size_t> candidates_examined{0};
   auto input = InterleavedInput(a.num_rows(), b.num_rows());
   auto job = RunMapReduce<TaggedRow, RowId, ShuffleVal, CandidatePair>(
-      cluster, input, {.name = name, .map_setup_seconds = map_setup_seconds},
+      cluster, input, jopts,
       [&](const TaggedRow& rec, Emitter<RowId, ShuffleVal>* em) {
         if (rec.from_a) {
           em->Emit(rec.row, ShuffleVal{-1, 0, a_bytes});
@@ -330,7 +354,12 @@ Result<ApplyResult> RunKeyedByPair(const Table& a, const Table& b,
   };
 
   ApplyResult result;
+  result.index_profile = catalog.MergedBlockProfile();
   std::atomic<size_t> candidates_examined{0};
+  // Keyed by pair: buckets are tiny (one per surviving pair) but the reduce
+  // reads vals[0] and aggregates a clause mask over the whole bucket, so it
+  // is NOT splittable; the skew-aware partitioner still bin-packs whole
+  // blocks.
   auto job = RunMapReduce<UnitRow, uint64_t, ShuffleVal, CandidatePair>(
       cluster, input, {.name = name, .map_setup_seconds = map_setup_seconds},
       [&](const UnitRow& rec, Emitter<uint64_t, ShuffleVal>* em) {
@@ -490,8 +519,10 @@ Result<ApplyResult> RunReduceSplit(const Table& a, const Table& b,
   std::vector<RowId> input(b.num_rows());
   for (RowId r = 0; r < input.size(); ++r) input[r] = r;
   ApplyResult result;
+  // The reduce is a pure per-value (per-B-row) pass over one A-block, so
+  // hot blocks may be pair-range split by the skew-aware partitioner.
   auto job = RunMapReduce<RowId, uint32_t, ShuffleVal, CandidatePair>(
-      cluster, input, {.name = "ReduceSplit"},
+      cluster, input, {.name = "ReduceSplit", .splittable_reduce = true},
       [&](const RowId& b_row, Emitter<uint32_t, ShuffleVal>* em) {
         for (uint32_t blk = 0; blk < num_blocks; ++blk) {
           em->Emit(blk, ShuffleVal{static_cast<int32_t>(b_row), 0, b_bytes});

@@ -70,6 +70,10 @@ struct ApplyResult {
   JobStats main_job;
   /// Candidate pairs examined by reducers (filter effectiveness metric).
   size_t candidates_examined = 0;
+  /// Build-time block-skew profile of the indexes this operator probed
+  /// (empty for the index-free baselines). Collected during index build —
+  /// inside the crowd-masking window — not during apply.
+  BlockProfile index_profile;
 };
 
 /// Evaluates a rule sequence on raw tuple pairs with per-pair feature

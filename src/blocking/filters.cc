@@ -285,6 +285,14 @@ size_t IndexCatalog::TotalMemoryUsage() const {
   return bytes;
 }
 
+BlockProfile IndexCatalog::MergedBlockProfile() const {
+  BlockProfile profile;
+  for (const auto& [key, bundle] : tokens_) {
+    profile.Merge(bundle.inverted.profile());
+  }
+  return profile;
+}
+
 // --- ClauseProber --------------------------------------------------------------
 
 ClauseProber::ClauseProber(const IndexCatalog* catalog, const FeatureSet* fs,

@@ -121,6 +121,11 @@ class IndexCatalog {
   size_t MemoryUsageFor(const std::vector<IndexNeed>& needs) const;
   size_t TotalMemoryUsage() const;
 
+  /// Merged posting-length profile of every token bundle's inverted index —
+  /// the catalog-wide block-skew signal the index build collected for free
+  /// (see BlockProfile). Empty profile when no token indexes exist.
+  BlockProfile MergedBlockProfile() const;
+
  private:
   std::map<int, HashIndex> hash_;
   std::map<int, BTreeIndex> btree_;

@@ -250,6 +250,28 @@ VDuration FalconPipeline::MaskRun(VDuration d) {
 void FalconPipeline::RefreshTotalTime() {
   RunMetrics& m = state_.out.metrics;
   m.total_time = m.crowd_time + m.machine_unmasked;
+  // Per-task load rollup over the cluster's job ledger (recomputed from
+  // scratch each step, so stage retries or reuse paths never double-count).
+  m.mr_tasks = 0;
+  double vmax = 0.0;
+  double vsum = 0.0;
+  double p99 = 0.0;
+  double straggler = 1.0;
+  for (const JobStats& job : cluster_->job_history()) {
+    for (const TaskLoadStats* load : {&job.map_load, &job.reduce_load}) {
+      if (load->tasks == 0) continue;
+      m.mr_tasks += load->tasks;
+      vsum += load->mean_seconds * static_cast<double>(load->tasks);
+      vmax = std::max(vmax, load->max_seconds);
+      p99 = std::max(p99, load->p99_seconds);
+      straggler = std::max(straggler, load->straggler_ratio);
+    }
+  }
+  m.task_vtime_max = vmax;
+  m.task_vtime_mean =
+      m.mr_tasks == 0 ? 0.0 : vsum / static_cast<double>(m.mr_tasks);
+  m.task_vtime_p99 = p99;
+  m.straggler_ratio = straggler;
 }
 
 // --- (1) sample_pairs -------------------------------------------------------

@@ -85,6 +85,18 @@ struct RunMetrics {
   uint64_t alloc_count = 0;
   uint64_t alloc_bytes = 0;
 
+  /// Per-task load rollup over every MapReduce job recorded on the cluster,
+  /// refreshed after each stage (resumed runs see only this process's jobs,
+  /// like the alloc counters). The straggler ratio is the worst single
+  /// phase's max/mean task vtime — the skew headline the skew-aware
+  /// partitioner exists to push toward 1.0. Diagnostics only, never
+  /// serialized.
+  size_t mr_tasks = 0;          ///< map + reduce tasks across all jobs
+  double task_vtime_max = 0.0;  ///< hottest single task, virtual seconds
+  double task_vtime_mean = 0.0;
+  double task_vtime_p99 = 0.0;  ///< worst per-phase p99 task vtime
+  double straggler_ratio = 1.0; ///< max over job phases of max/mean
+
   /// Crowd-estimated accuracy (filled when config.estimate_accuracy is on;
   /// in a real deployment there is no ground truth, so this estimate is
   /// what the user sees).

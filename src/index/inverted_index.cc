@@ -13,7 +13,45 @@ void FreeStaging(V* v) {
   V().swap(*v);
 }
 
+/// Profile from the sorted-in-place posting lengths of one index.
+BlockProfile ProfileFromLengths(std::vector<uint32_t>* lengths) {
+  BlockProfile p;
+  p.num_blocks = lengths->size();
+  if (lengths->empty()) return p;
+  std::sort(lengths->begin(), lengths->end());
+  uint64_t sum = 0;
+  for (uint32_t len : *lengths) {
+    sum += len;
+    p.est_pairs += static_cast<uint64_t>(len) * len;
+  }
+  p.num_postings = sum;
+  p.max_block = lengths->back();
+  p.mean_block = static_cast<double>(sum) / static_cast<double>(p.num_blocks);
+  const size_t rank = std::min(
+      lengths->size() - 1,
+      static_cast<size_t>(0.99 * static_cast<double>(lengths->size())));
+  p.p99_block = (*lengths)[rank];
+  p.skew = (p.num_blocks > 1 && p.mean_block > 0.0)
+               ? static_cast<double>(p.max_block) / p.mean_block
+               : 1.0;
+  return p;
+}
+
 }  // namespace
+
+void BlockProfile::Merge(const BlockProfile& o) {
+  num_blocks += o.num_blocks;
+  num_postings += o.num_postings;
+  max_block = std::max(max_block, o.max_block);
+  p99_block = std::max(p99_block, o.p99_block);
+  est_pairs += o.est_pairs;
+  mean_block = num_blocks == 0 ? 0.0
+                               : static_cast<double>(num_postings) /
+                                     static_cast<double>(num_blocks);
+  skew = (num_blocks > 1 && mean_block > 0.0)
+             ? static_cast<double>(max_block) / mean_block
+             : 1.0;
+}
 
 void InvertedIndex::AddPrefix(RowId row, std::span<const TokenId> prefix,
                               uint32_t set_size) {
@@ -41,10 +79,18 @@ void InvertedIndex::Finalize() {
   std::fill(offsets, offsets + num_ids_ + 1, 0u);
   for (TokenId id : staged_tokens_) ++offsets[id + 1];
   num_tokens_ = 0;
+  // The raw counts are in hand exactly here (before the prefix sum folds
+  // them away) — collect the block-size profile in the same pass.
+  std::vector<uint32_t> lengths;
+  lengths.reserve(64);
   for (size_t id = 0; id < num_ids_; ++id) {
-    if (offsets[id + 1] != 0) ++num_tokens_;
+    if (offsets[id + 1] != 0) {
+      ++num_tokens_;
+      lengths.push_back(offsets[id + 1]);
+    }
     offsets[id + 1] += offsets[id];
   }
+  profile_ = ProfileFromLengths(&lengths);
 
   // Pass 2: stable scatter in staging order, so each token's postings keep
   // the order AddPrefix produced (byte-identical probes vs the old layout).

@@ -35,6 +35,27 @@ struct Posting {
   uint32_t position;  ///< 0-based position of the token in the reordered set
 };
 
+/// Posting-length (block-size) distribution of a finalized index. Computed
+/// inside Finalize() — i.e. inside the crowd-masked O1 index-build window —
+/// straight from the CSR count array, so profiling the skew of the blocking
+/// keys costs one extra pass over data the build already touches. The
+/// skew-aware shuffle bench reads this to show the build-time profile
+/// predicting the realized per-task load imbalance; `est_pairs` (sum of
+/// squared posting lengths, the self-join bound) is the pair-budget signal.
+struct BlockProfile {
+  size_t num_blocks = 0;    ///< tokens with at least one posting
+  size_t num_postings = 0;
+  size_t max_block = 0;     ///< longest posting list
+  double mean_block = 0.0;
+  size_t p99_block = 0;     ///< nearest-rank p99 posting length
+  uint64_t est_pairs = 0;   ///< sum of squared posting lengths
+  double skew = 1.0;        ///< max/mean; 1.0 when num_blocks <= 1
+
+  /// Folds another index's profile in (max/p99 as upper bounds, mean and
+  /// skew recomputed from the merged totals).
+  void Merge(const BlockProfile& o);
+};
+
 /// Inverted index over the prefix tokens of table A's token sets.
 ///
 /// Build protocol: AddPrefix()/AddMissing() for every row (staged), then
@@ -82,6 +103,12 @@ class InvertedIndex {
   size_t num_tokens() const { return num_tokens_; }
   size_t num_postings() const { return num_postings_; }
 
+  /// Posting-length distribution, valid after Finalize().
+  const BlockProfile& profile() const {
+    assert(finalized_ && "profile before Finalize");
+    return profile_;
+  }
+
   /// Heap footprint in bytes: arena pages (CSR arrays) + staging/missing
   /// buffers. After Finalize() this is the tight CSR size — the honest
   /// number apply-operator selection compares against mapper memory.
@@ -104,6 +131,7 @@ class InvertedIndex {
   std::vector<RowId> missing_;
   size_t num_tokens_ = 0;
   size_t num_postings_ = 0;
+  BlockProfile profile_;
 };
 
 }  // namespace falcon

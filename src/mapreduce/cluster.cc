@@ -1,11 +1,23 @@
 #include "mapreduce/cluster.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <queue>
 
 #include "common/thread_pool.h"
 
 namespace falcon {
+
+const char* ShufflePartitionerName(ShufflePartitioner p) {
+  switch (p) {
+    case ShufflePartitioner::kStableHash:
+      return "fnv";
+    case ShufflePartitioner::kSkewAware:
+      return "skew";
+  }
+  return "unknown";
+}
 
 Cluster::Cluster(ClusterConfig config) : config_(config) {}
 
@@ -74,6 +86,41 @@ VDuration Cluster::ScheduleMakespan(const std::vector<double>& task_seconds,
     loads.pop();
   }
   return VDuration::Seconds(makespan);
+}
+
+TaskLoadStats Cluster::ComputeTaskLoad(
+    const std::vector<double>& task_seconds) const {
+  TaskLoadStats load;
+  load.tasks = task_seconds.size();
+  if (task_seconds.empty()) return load;
+  std::vector<double> vt(task_seconds.size());
+  for (size_t i = 0; i < task_seconds.size(); ++i) {
+    vt[i] = task_seconds[i] * config_.core_speed_factor +
+            config_.task_overhead.seconds;
+  }
+  std::sort(vt.begin(), vt.end());
+  // Diagnostic escape hatch: dump the full sorted per-task vtime
+  // distribution (not just the rollup) when chasing a load-imbalance
+  // report. One line per job phase.
+  if (std::getenv("FALCON_DUMP_TASK_LOAD") != nullptr) {
+    std::fprintf(stderr, "[task-load n=%zu]", vt.size());
+    for (double t : vt) std::fprintf(stderr, " %.4f", t);
+    std::fprintf(stderr, "\n");
+  }
+  double sum = 0.0;
+  for (double t : vt) sum += t;
+  load.max_seconds = vt.back();
+  load.mean_seconds = sum / static_cast<double>(vt.size());
+  // Nearest-rank p99 (== max below 100 tasks).
+  const size_t rank =
+      std::min(vt.size() - 1,
+               static_cast<size_t>(0.99 * static_cast<double>(vt.size())));
+  load.p99_seconds = vt[rank];
+  load.straggler_ratio =
+      (vt.size() > 1 && load.mean_seconds > 0.0)
+          ? load.max_seconds / load.mean_seconds
+          : 1.0;
+  return load;
 }
 
 VDuration Cluster::ShuffleTime(size_t bytes) const {

@@ -27,6 +27,25 @@ namespace falcon {
 
 class ThreadPool;
 
+/// How the shuffle assigns reduce work to partitions.
+enum class ShufflePartitioner {
+  /// Stable FNV-1a key hash, partition = hash % R. Stateless and
+  /// byte-stable across platforms; the default. Vulnerable to hot blocks:
+  /// one oversized key group lands on a single reduce task.
+  kStableHash,
+  /// Skew-aware plan (mapreduce/skew.h): after the map-side merge the
+  /// engine knows every block's exact weight, splits blocks above a pair
+  /// budget into contiguous pair ranges (jobs that declare their reduce
+  /// function splittable), and packs shards onto partitions greedy
+  /// largest-first. Outputs are byte-identical to kStableHash — shard
+  /// results are concatenated in the canonical (block, pair-range) order
+  /// the hash path reduces in. Serial-ordered jobs ignore this and keep
+  /// the hash path.
+  kSkewAware,
+};
+
+const char* ShufflePartitionerName(ShufflePartitioner p);
+
 /// Static description of the simulated cluster.
 struct ClusterConfig {
   /// Number of worker nodes.
@@ -62,6 +81,23 @@ struct ClusterConfig {
   /// false selects the legacy counted-heap path; outputs are byte-identical
   /// either way (benches A/B the two via the alloc/* job counters).
   bool task_arenas = true;
+  /// Shuffle partitioning strategy; see ShufflePartitioner.
+  ShufflePartitioner partitioner = ShufflePartitioner::kStableHash;
+  /// Pair budget per reduce task for hot-block splitting under kSkewAware.
+  /// 0 derives it from the stage's total weight (AutoPairBudget).
+  size_t skew_pair_budget = 0;
+};
+
+/// Per-task load distribution of one job phase, on the virtual clock
+/// (per-task vtime = measured seconds * core_speed_factor + task overhead).
+/// The straggler ratio max/mean is the skew headline: 1.0 means perfectly
+/// balanced tasks, >> 1 means the stage waits on one hot task.
+struct TaskLoadStats {
+  size_t tasks = 0;
+  double max_seconds = 0.0;
+  double mean_seconds = 0.0;
+  double p99_seconds = 0.0;
+  double straggler_ratio = 1.0;  ///< max/mean; 1.0 when tasks <= 1
 };
 
 /// Hadoop-style named counters.
@@ -81,6 +117,9 @@ struct JobStats {
   size_t intermediate_bytes = 0;
   size_t output_records = 0;
   Counters counters;
+  /// Per-task load distributions (map splits, reduce tasks).
+  TaskLoadStats map_load;
+  TaskLoadStats reduce_load;
 
   VDuration Total() const {
     return startup + map_time + shuffle_time + reduce_time;
@@ -126,6 +165,10 @@ class Cluster {
 
   /// Virtual time to shuffle `bytes` across the cluster.
   VDuration ShuffleTime(size_t bytes) const;
+
+  /// Per-task load distribution of one phase from its measured task seconds
+  /// (each converted to vtime via the core speed factor + task overhead).
+  TaskLoadStats ComputeTaskLoad(const std::vector<double>& task_seconds) const;
 
   /// Records a finished job in the accounting ledger.
   void RecordJob(const JobStats& stats);

@@ -55,6 +55,7 @@
 #include "common/strings.h"
 #include "common/thread_pool.h"
 #include "mapreduce/cluster.h"
+#include "mapreduce/skew.h"
 
 namespace falcon {
 
@@ -142,6 +143,12 @@ struct JobOptions {
   /// a thread pool. Set for jobs whose map/reduce functions mutate shared
   /// state in input order (e.g. index construction, reservoir sampling).
   bool serial = false;
+  /// The reduce function is a pure per-value map: calling it on contiguous
+  /// sub-ranges of one key's value list and concatenating the fragment
+  /// outputs in range order is byte-identical to one call on the full list.
+  /// Only such jobs let the skew-aware partitioner pair-range split hot
+  /// blocks; others are still bin-packed whole (never split).
+  bool splittable_reduce = false;
 };
 
 /// Result of a job: exact output plus virtual-time stats.
@@ -410,59 +417,182 @@ JobOutput<OutT> RunMapReduce(
   stats.intermediate_bytes = intermediate_bytes;
   stats.map_time = cluster->ScheduleMakespan(map_task_seconds,
                                              cluster->total_map_slots());
+  stats.map_load = cluster->ComputeTaskLoad(map_task_seconds);
   stats.shuffle_time = cluster->ShuffleTime(intermediate_bytes);
 
   // --- reduce phase ---
-  // Non-empty partitions become reduce tasks; each writes a private output
-  // vector on its leased arena, concatenated in partition order afterwards.
-  std::vector<size_t> active;
-  active.reserve(partitions.size());
-  for (size_t p = 0; p < partitions.size(); ++p) {
-    if (!partitions[p].empty()) active.push_back(p);
-  }
-  internal::ArenaLease reduce_arenas(cluster, active.size());
-  std::vector<AllocStats> reduce_allocs(active.size());
-  std::vector<TaskVector<OutT>> reduce_outputs;
-  reduce_outputs.reserve(active.size());
-  std::vector<uint64_t> rbase_pages(active.size(), 0);
-  std::vector<uint64_t> rbase_page_bytes(active.size(), 0);
-  for (size_t t = 0; t < active.size(); ++t) {
-    Arena* arena = reduce_arenas[t];
-    if (arena != nullptr) {
-      rbase_pages[t] = arena->total_pages_acquired();
-      rbase_page_bytes[t] = arena->total_page_bytes_acquired();
+  // Hash path: non-empty partitions become reduce tasks; each writes a
+  // private output vector on its leased arena, concatenated in partition
+  // order afterwards. Skew-aware path: the same blocks are re-planned into
+  // budget-capped shards packed largest-first onto bins (see below); output
+  // bytes are identical either way.
+  std::vector<double> reduce_task_seconds;
+  const bool skew_aware =
+      cluster->config().partitioner == ShufflePartitioner::kSkewAware &&
+      !opts.serial;
+  if (!skew_aware) {
+    std::vector<size_t> active;
+    active.reserve(partitions.size());
+    for (size_t p = 0; p < partitions.size(); ++p) {
+      if (!partitions[p].empty()) active.push_back(p);
     }
-    reduce_outputs.emplace_back(ArenaAllocator<OutT>(
-        arena, arena == nullptr ? &reduce_allocs[t] : nullptr));
-  }
-  std::vector<double> reduce_task_seconds(active.size());
-  internal::RunTasks(cluster, opts.serial, active.size(), [&](size_t t) {
-    auto& groups = partitions[active[t]];
-    TaskVector<OutT>* out = &reduce_outputs[t];
-    reduce_task_seconds[t] = internal::MeasureSeconds([&] {
-      for (auto& [key, values] : groups) reduce_fn(key, values, out);
+    internal::ArenaLease reduce_arenas(cluster, active.size());
+    std::vector<AllocStats> reduce_allocs(active.size());
+    std::vector<TaskVector<OutT>> reduce_outputs;
+    reduce_outputs.reserve(active.size());
+    std::vector<uint64_t> rbase_pages(active.size(), 0);
+    std::vector<uint64_t> rbase_page_bytes(active.size(), 0);
+    for (size_t t = 0; t < active.size(); ++t) {
+      Arena* arena = reduce_arenas[t];
+      if (arena != nullptr) {
+        rbase_pages[t] = arena->total_pages_acquired();
+        rbase_page_bytes[t] = arena->total_page_bytes_acquired();
+      }
+      reduce_outputs.emplace_back(ArenaAllocator<OutT>(
+          arena, arena == nullptr ? &reduce_allocs[t] : nullptr));
+    }
+    reduce_task_seconds.assign(active.size(), 0.0);
+    internal::RunTasks(cluster, opts.serial, active.size(), [&](size_t t) {
+      auto& groups = partitions[active[t]];
+      TaskVector<OutT>* out = &reduce_outputs[t];
+      reduce_task_seconds[t] = internal::MeasureSeconds([&] {
+        for (auto& [key, values] : groups) reduce_fn(key, values, out);
+      });
     });
-  });
-  for (size_t t = 0; t < active.size(); ++t) {
-    const auto [n, b] = internal::TaskHeapAllocs(
-        reduce_arenas, t, rbase_pages[t], rbase_page_bytes[t],
-        reduce_allocs[t]);
-    stats.counters["alloc/count"] += n;
-    stats.counters["alloc/bytes"] += b;
+    for (size_t t = 0; t < active.size(); ++t) {
+      const auto [n, b] = internal::TaskHeapAllocs(
+          reduce_arenas, t, rbase_pages[t], rbase_page_bytes[t],
+          reduce_allocs[t]);
+      stats.counters["alloc/count"] += n;
+      stats.counters["alloc/bytes"] += b;
+    }
+    for (auto& out : reduce_outputs) {
+      result.output.insert(result.output.end(),
+                           std::make_move_iterator(out.begin()),
+                           std::make_move_iterator(out.end()));
+    }
+    stats.num_reduce_tasks = active.size();
+
+    // Destroy everything arena-resident before the leases end.
+    reduce_outputs.clear();
+    reduce_arenas.ReleaseAll();
+  } else {
+    // Skew-aware reduce. Blocks are enumerated in the exact order the hash
+    // path reduces them — partition index, then that partition's iteration
+    // order — so the canonical shard sequence reproduces the hash path's
+    // output byte stream when fragments are concatenated in shard order.
+    // Exact block weights are free here (the shuffle is in-process); the
+    // index-build profile (InvertedIndex::profile) predicts this skew ahead
+    // of time for planning/observability.
+    struct BlockRef {
+      const K* key;
+      ValueList<V>* values;
+    };
+    std::vector<BlockRef> blocks;
+    std::vector<size_t> weights;
+    for (auto& groups : partitions) {
+      for (auto& [key, values] : groups) {
+        blocks.push_back(BlockRef{&key, &values});
+        weights.push_back(values.size());
+      }
+    }
+    const ShardPlan plan =
+        PlanReduceShards(weights, num_reducers,
+                         cluster->config().skew_pair_budget,
+                         opts.splittable_reduce);
+    size_t split_blocks = 0;
+    for (size_t s = 0; s + 1 < plan.shards.size(); ++s) {
+      if (plan.shards[s].block == plan.shards[s + 1].block &&
+          (s == 0 || plan.shards[s].block != plan.shards[s - 1].block)) {
+        ++split_blocks;
+      }
+    }
+    stats.counters["skew/shards"] += static_cast<int64_t>(plan.shards.size());
+    stats.counters["skew/split_blocks"] += static_cast<int64_t>(split_blocks);
+    stats.counters["skew/budget"] += static_cast<int64_t>(plan.budget);
+
+    // Bins with work become reduce tasks, in bin-index order.
+    std::vector<std::vector<size_t>> bin_shards(num_reducers);
+    for (size_t s = 0; s < plan.shards.size(); ++s) {
+      bin_shards[plan.bin_of[s]].push_back(s);
+    }
+    std::vector<size_t> active;
+    std::vector<size_t> task_of_bin(num_reducers, 0);
+    for (size_t b = 0; b < num_reducers; ++b) {
+      if (!bin_shards[b].empty()) {
+        task_of_bin[b] = active.size();
+        active.push_back(b);
+      }
+    }
+    internal::ArenaLease reduce_arenas(cluster, active.size());
+    std::vector<AllocStats> reduce_allocs(active.size());
+    std::vector<uint64_t> rbase_pages(active.size(), 0);
+    std::vector<uint64_t> rbase_page_bytes(active.size(), 0);
+    for (size_t t = 0; t < active.size(); ++t) {
+      Arena* arena = reduce_arenas[t];
+      if (arena != nullptr) {
+        rbase_pages[t] = arena->total_pages_acquired();
+        rbase_page_bytes[t] = arena->total_page_bytes_acquired();
+      }
+    }
+    // One output fragment per shard, drawing from the owning task's arena;
+    // fragments are only ever touched by that one task.
+    std::vector<TaskVector<OutT>> fragments;
+    fragments.reserve(plan.shards.size());
+    for (size_t s = 0; s < plan.shards.size(); ++s) {
+      const size_t t = task_of_bin[plan.bin_of[s]];
+      Arena* arena = reduce_arenas[t];
+      fragments.emplace_back(ArenaAllocator<OutT>(
+          arena, arena == nullptr ? &reduce_allocs[t] : nullptr));
+    }
+    reduce_task_seconds.assign(active.size(), 0.0);
+    internal::RunTasks(cluster, opts.serial, active.size(), [&](size_t t) {
+      Arena* arena = reduce_arenas[t];
+      reduce_task_seconds[t] = internal::MeasureSeconds([&] {
+        for (size_t s : bin_shards[active[t]]) {
+          const ReduceShard& shard = plan.shards[s];
+          const BlockRef& block = blocks[shard.block];
+          TaskVector<OutT>* out = &fragments[s];
+          if (shard.begin == 0 && shard.end == block.values->size()) {
+            reduce_fn(*block.key, *block.values, out);
+          } else {
+            // Split shard: materialize the contiguous value sub-range on
+            // this task's arena. The copy is charged to the task — it models
+            // the extra shuffle traffic a real engine pays to fan a hot
+            // block out across reducers.
+            ValueList<V> slice(ArenaAllocator<V>(
+                arena, arena == nullptr ? &reduce_allocs[t] : nullptr));
+            slice.reserve(shard.end - shard.begin);
+            for (size_t i = shard.begin; i < shard.end; ++i) {
+              slice.push_back((*block.values)[i]);
+            }
+            reduce_fn(*block.key, slice, out);
+          }
+        }
+      });
+    });
+    for (size_t t = 0; t < active.size(); ++t) {
+      const auto [n, b] = internal::TaskHeapAllocs(
+          reduce_arenas, t, rbase_pages[t], rbase_page_bytes[t],
+          reduce_allocs[t]);
+      stats.counters["alloc/count"] += n;
+      stats.counters["alloc/bytes"] += b;
+    }
+    // Canonical shard order == the hash path's (block, pair-range) order.
+    for (auto& frag : fragments) {
+      result.output.insert(result.output.end(),
+                           std::make_move_iterator(frag.begin()),
+                           std::make_move_iterator(frag.end()));
+    }
+    stats.num_reduce_tasks = active.size();
+
+    fragments.clear();
+    reduce_arenas.ReleaseAll();
   }
-  for (auto& out : reduce_outputs) {
-    result.output.insert(result.output.end(),
-                         std::make_move_iterator(out.begin()),
-                         std::make_move_iterator(out.end()));
-  }
-  stats.num_reduce_tasks = active.size();
   stats.reduce_time = cluster->ScheduleMakespan(
       reduce_task_seconds, cluster->total_reduce_slots());
+  stats.reduce_load = cluster->ComputeTaskLoad(reduce_task_seconds);
   stats.output_records = result.output.size();
-
-  // Destroy everything arena-resident before the leases end.
-  reduce_outputs.clear();
-  reduce_arenas.ReleaseAll();
   partitions.clear();
   if (shuffle_arena != nullptr) arena_pool->Release(shuffle_arena);
 
@@ -538,6 +668,7 @@ JobOutput<OutT> RunMapOnly(
   }
   stats.map_time =
       cluster->ScheduleMakespan(task_seconds, cluster->total_map_slots());
+  stats.map_load = cluster->ComputeTaskLoad(task_seconds);
   stats.output_records = result.output.size();
   cluster->RecordJob(stats);
   return result;

@@ -92,6 +92,25 @@ const std::string& Vocabulary::SampleZipf(Rng* rng) const {
   return words_[rank];
 }
 
+ZipfSampler::ZipfSampler(size_t n, double s) : s_(s) {
+  if (n == 0 || s <= 0.0) return;
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += std::pow(static_cast<double>(r + 1), -s);
+    cdf_[r] = acc;
+  }
+  for (double& c : cdf_) c /= acc;
+}
+
+size_t ZipfSampler::Sample(Rng* rng) const {
+  if (cdf_.empty()) return 0;
+  const double u = rng->NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
 // --- shared entity machinery -----------------------------------------------------
 
 namespace {
@@ -101,12 +120,18 @@ std::string MaybeMissing(std::string v, double missing_rate, Rng* rng) {
   return rng->Bernoulli(missing_rate) ? std::string() : v;
 }
 
+/// `zipf` == nullptr keeps the legacy u^3 sampler; otherwise words are drawn
+/// by configurable-exponent Zipf rank.
 std::string MakePhrase(const Vocabulary& vocab, size_t min_words,
-                       size_t max_words, Rng* rng) {
+                       size_t max_words, Rng* rng,
+                       const ZipfSampler* zipf = nullptr) {
   size_t n = min_words + rng->NextBelow(max_words - min_words + 1);
   std::vector<std::string> words;
   words.reserve(n);
-  for (size_t i = 0; i < n; ++i) words.push_back(vocab.SampleZipf(rng));
+  for (size_t i = 0; i < n; ++i) {
+    words.push_back(zipf != nullptr ? vocab.word(zipf->Sample(rng))
+                                    : vocab.SampleZipf(rng));
+  }
   return Join(words, " ");
 }
 
@@ -176,6 +201,8 @@ GeneratedDataset GenerateProducts(const WorkloadOptions& opt) {
   Rng* rng = builder.rng();
   Vocabulary brands(60, opt.seed ^ 0xB1);
   Vocabulary words(4000, opt.seed ^ 0xA0);
+  const ZipfSampler zipf(words.size(), opt.zipf_s);
+  const ZipfSampler* zp = opt.zipf_s > 0.0 ? &zipf : nullptr;
 
   size_t num_match_entities =
       static_cast<size_t>(opt.size_a * opt.match_fraction);
@@ -187,9 +214,9 @@ GeneratedDataset GenerateProducts(const WorkloadOptions& opt) {
     std::string model;
     for (int i = 0; i < 2; ++i) model += static_cast<char>('a' + rng->NextBelow(26));
     model += std::to_string(100 + rng->NextBelow(9900));
-    std::string title = brand + " " + MakePhrase(words, 3, 7, rng) + " " + model;
+    std::string title = brand + " " + MakePhrase(words, 3, 7, rng, zp) + " " + model;
     double price = 10.0 + rng->NextDouble() * 990.0;
-    std::string descr = MakePhrase(words, 12, 30, rng);
+    std::string descr = MakePhrase(words, 12, 30, rng, zp);
     auto render = [=, &opt](Rng* r, bool dirty) -> std::vector<std::string> {
       double strength = dirty ? opt.dirtiness : opt.dirtiness * 0.2;
       double price_out = price;
@@ -226,9 +253,9 @@ GeneratedDataset GenerateProducts(const WorkloadOptions& opt) {
     std::string model;
     for (int i = 0; i < 2; ++i) model += static_cast<char>('a' + rng->NextBelow(26));
     model += std::to_string(100 + rng->NextBelow(9900));
-    std::string title = brand + " " + MakePhrase(words, 3, 7, rng) + " " + model;
+    std::string title = brand + " " + MakePhrase(words, 3, 7, rng, zp) + " " + model;
     double price = 10.0 + rng->NextDouble() * 990.0;
-    std::string descr = MakePhrase(words, 12, 30, rng);
+    std::string descr = MakePhrase(words, 12, 30, rng, zp);
     builder.AddDistractor([=, &opt](Rng* r, bool) -> std::vector<std::string> {
       return {MaybeMissing(brand, opt.missing_rate, r),
               MaybeMissing(model, opt.missing_rate * 2, r), title,
@@ -254,6 +281,8 @@ GeneratedDataset GenerateSongs(const WorkloadOptions& opt) {
   // high-precision blocking rules exist (as they do on the real MSD data).
   Vocabulary words(12000, opt.seed ^ 0x50);
   Vocabulary artists(900, opt.seed ^ 0x51);
+  const ZipfSampler zipf(words.size(), opt.zipf_s);
+  const ZipfSampler* zp = opt.zipf_s > 0.0 ? &zipf : nullptr;
 
   size_t num_match_entities =
       static_cast<size_t>(opt.size_a * opt.match_fraction);
@@ -261,8 +290,8 @@ GeneratedDataset GenerateSongs(const WorkloadOptions& opt) {
   size_t b_budget = opt.size_b;
 
   auto make_entity = [&](bool matched) {
-    std::string title = MakePhrase(words, 3, 7, rng);
-    std::string release = MakePhrase(words, 1, 4, rng);
+    std::string title = MakePhrase(words, 3, 7, rng, zp);
+    std::string release = MakePhrase(words, 1, 4, rng, zp);
     std::string artist = "the " + artists.word(rng->NextBelow(artists.size())) +
                          " " + artists.word(rng->NextBelow(artists.size()));
     double duration = 120.0 + rng->NextDouble() * 240.0;
@@ -272,7 +301,7 @@ GeneratedDataset GenerateSongs(const WorkloadOptions& opt) {
       // Different album release of the same song is still a match.
       std::string rel = release;
       if (dirty && r->Bernoulli(0.25)) {
-        rel = MakePhrase(words, 1, 4, r);
+        rel = MakePhrase(words, 1, 4, r, zp);
       }
       double dur = duration;
       if (dirty && r->Bernoulli(0.4)) dur += r->NextGaussian(0.0, 2.0);
@@ -297,8 +326,8 @@ GeneratedDataset GenerateSongs(const WorkloadOptions& opt) {
   for (size_t i = 0; i < num_match_entities; ++i) make_entity(true);
   while (a_remaining > 0) make_entity(false);
   while (b_budget > 0) {
-    std::string title = MakePhrase(words, 3, 7, rng);
-    std::string release = MakePhrase(words, 1, 4, rng);
+    std::string title = MakePhrase(words, 3, 7, rng, zp);
+    std::string release = MakePhrase(words, 1, 4, rng, zp);
     std::string artist = "the " + artists.word(rng->NextBelow(artists.size())) +
                          " " + artists.word(rng->NextBelow(artists.size()));
     double duration = 120.0 + rng->NextDouble() * 240.0;

@@ -65,6 +65,13 @@ struct WorkloadOptions {
   double missing_rate = 0.03;
   /// Strength of textual perturbations in matching rows, in [0, 1].
   double dirtiness = 0.35;
+  /// Zipf exponent for word sampling in text attributes. 0 (default) keeps
+  /// the legacy rank ~ V*u^3 sampler byte-for-byte; > 0 draws rank r with
+  /// P(r) proportional to (r+1)^-zipf_s (ZipfSampler). High exponents
+  /// (>= 1.0) concentrate mass on a few head words, creating the hot
+  /// blocking keys the skew-aware shuffle is built for (products and songs
+  /// honor this; other generators keep the legacy sampler).
+  double zipf_s = 0.0;
 };
 
 /// Electronics products: brand / modelno / title / price / descr.
@@ -103,6 +110,21 @@ class Vocabulary {
 
  private:
   std::vector<std::string> words_;
+};
+
+/// Inverse-CDF Zipf rank sampler: P(rank r) proportional to (r+1)^-s over n
+/// ranks. One uniform draw per sample (the same draw count as
+/// Vocabulary::SampleZipf, so generators switching between the two keep
+/// their RNG streams aligned). s <= 0 or n == 0 degenerates to rank 0.
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double s);
+  size_t Sample(Rng* rng) const;
+  double s() const { return s_; }
+
+ private:
+  double s_ = 0.0;
+  std::vector<double> cdf_;  ///< normalized; empty when degenerate
 };
 
 }  // namespace falcon
