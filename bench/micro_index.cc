@@ -3,6 +3,7 @@
 // fallback-path (tokenize + dictionary lookup, the old string behaviour)
 // probe comparison, then runs google-benchmark. FALCON_BENCH_SMOKE=1 shrinks
 // the dataset so the binary doubles as a ctest smoke test.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -11,8 +12,10 @@
 
 #include "harness.h"
 
+#include "blocking/apply.h"
 #include "blocking/filters.h"
 #include "blocking/index_builder.h"
+#include "text/intersect.h"
 #include "index/btree_index.h"
 #include "index/hash_index.h"
 #include "mapreduce/cluster.h"
@@ -200,6 +203,83 @@ void WriteComparisonReport() {
   report.Add("probe/store_us_per_row", store_us);
   report.Add("probe/fallback_us_per_row", fb_us);
   report.Add("probe/speedup", store_us > 0.0 ? fb_us / store_us : 0.0);
+
+  // Rule-application A/B: the same Keep() sweep with the adaptive
+  // intersection kernels (plus the single-reader threshold fast path) on vs
+  // forced onto the scalar merge. Every keep decision must agree — the
+  // adaptive path is a pure strategy swap — or the bench exits fatally.
+  // The rule uses the word jaccard on descr when generated: description
+  // token sets (~18 words per row vs ~7 for titles) clear the fast path's
+  // minimum-size gate, so the sweep actually exercises the early-exit
+  // threshold kernel instead of bypassing it on every pair.
+  {
+    int keep_feat = fx->pred.feature_id;
+    for (const auto& f : fx->fs.features()) {
+      if (f.fn == SimFunction::kJaccard && f.tok == Tokenization::kWord &&
+          f.usable_for_blocking &&
+          f.name.find("(descr,descr)") != std::string::npos) {
+        keep_feat = f.id;
+        break;
+      }
+    }
+    RuleSequence seq;
+    Rule r;
+    r.predicates = {Predicate{keep_feat, keep_feat, PredOp::kGt, 0.5}};
+    seq.rules = {r};
+    fx->fs.BindTokenStores(fx->catalog.store(&d.a), fx->catalog.store(&d.b));
+    RuleApplier applier(seq, &fx->fs, &d.a, &d.b);
+    // Strided A sample x every B row keeps the sweep O(seconds) at full size.
+    const size_t a_step = std::max<size_t>(d.a.num_rows() / 64, 1);
+    auto sweep = [&](std::vector<char>* decisions) {
+      decisions->clear();
+      for (RowId br = 0; br < d.b.num_rows(); ++br) {
+        for (RowId ar = 0; ar < d.a.num_rows();
+             ar += static_cast<RowId>(a_step)) {
+          decisions->push_back(applier.Keep(ar, br) ? 1 : 0);
+        }
+      }
+    };
+    std::vector<char> keep_scalar, keep_adaptive;
+    SetIntersectForceScalar(true);
+    auto tA = Clock::now();
+    sweep(&keep_scalar);
+    auto tB = Clock::now();
+    SetIntersectForceScalar(false);
+    const IntersectCounts before = IntersectCountsSnapshot();
+    auto tC = Clock::now();
+    sweep(&keep_adaptive);
+    auto tD = Clock::now();
+    const IntersectCounts delta = IntersectCountsSnapshot() - before;
+    if (keep_scalar != keep_adaptive) {
+      fprintf(stderr,
+              "FATAL: adaptive kernels changed a RuleApplier::Keep "
+              "decision (scalar sweep kept %zu, adaptive kept %zu)\n",
+              static_cast<size_t>(
+                  std::count(keep_scalar.begin(), keep_scalar.end(), 1)),
+              static_cast<size_t>(std::count(keep_adaptive.begin(),
+                                             keep_adaptive.end(), 1)));
+      exit(1);
+    }
+    const double pairs = static_cast<double>(keep_scalar.size());
+    const double scalar_us =
+        std::chrono::duration<double, std::micro>(tB - tA).count() / pairs;
+    const double adaptive_us =
+        std::chrono::duration<double, std::micro>(tD - tC).count() / pairs;
+    report.Add("keep/pairs", static_cast<int64_t>(keep_scalar.size()));
+    report.Add("keep/scalar_us_per_pair", scalar_us);
+    report.Add("keep/adaptive_us_per_pair", adaptive_us);
+    report.Add("keep/speedup",
+               adaptive_us > 0.0 ? scalar_us / adaptive_us : 0.0);
+    report.Add("keep/intersect_small", static_cast<int64_t>(delta.small));
+    report.Add("keep/intersect_gallop", static_cast<int64_t>(delta.gallop));
+    report.Add("keep/intersect_simd", static_cast<int64_t>(delta.simd));
+    report.Add("keep/intersect_early_exit",
+               static_cast<int64_t>(delta.early_exit));
+    report.Add("keep/simd_kernel", std::string(SimdIntersectKernelName()));
+    printf("keep A/B: scalar %.3f us/pair, adaptive %.3f us/pair (%.2fx)\n",
+           scalar_us, adaptive_us,
+           adaptive_us > 0.0 ? scalar_us / adaptive_us : 0.0);
+  }
 
   // Index build (jobs 1-3 + store views) from a cold catalog, run twice:
   // task arenas on (the default) and off (every engine container on the

@@ -11,6 +11,7 @@
 #include "harness.h"
 
 #include "common/rng.h"
+#include "text/intersect.h"
 #include "text/similarity.h"
 #include "text/token_dictionary.h"
 #include "text/tokenize.h"
@@ -237,6 +238,102 @@ void CompareSetSim(bench::BenchReport* report, const std::string& key,
   report->Add(key + "/speedup", id_ns > 0.0 ? string_ns / id_ns : 0.0);
 }
 
+/// Sorted unique ids, deterministic per (seed, size), from a universe sized
+/// for partial overlap between independently drawn sets.
+std::vector<TokenId> RandomIdSet(uint64_t seed, size_t size,
+                                 uint32_t universe) {
+  Rng rng(seed);
+  std::vector<TokenId> v;
+  while (v.size() < size) {
+    const size_t need = size - v.size();
+    for (size_t i = 0; i < need; ++i) {
+      v.push_back(static_cast<TokenId>(rng.NextBelow(universe)));
+    }
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  }
+  return v;
+}
+
+/// Adaptive-vs-scalar-merge A/B over one synthetic shape regime. Both sweeps
+/// run the SAME pair sequence through SortedIntersectionSize — first with
+/// SetIntersectForceScalar(true) (the pre-adaptive baseline), then adaptive —
+/// and the summed counts must match exactly or the process exits: a wrong
+/// kernel must fail the bench, not ship a speedup. Records ns/op for both,
+/// the speedup, and which strategy counters the adaptive sweep moved.
+void CompareIntersectLane(bench::BenchReport* report, const std::string& key,
+                          size_t na, size_t nb, size_t iters) {
+  using Clock = std::chrono::steady_clock;
+  constexpr size_t kPairs = 64;
+  const uint32_t universe = static_cast<uint32_t>((na + nb) * 2);
+  std::vector<std::vector<TokenId>> xs, ys;
+  for (size_t p = 0; p < kPairs; ++p) {
+    xs.push_back(RandomIdSet(1000 + p, na, universe));
+    ys.push_back(RandomIdSet(2000 + p, nb, universe));
+  }
+
+  size_t sum_scalar = 0;
+  SetIntersectForceScalar(true);
+  auto t0 = Clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    sum_scalar += SortedIntersectionSize(
+        std::span<const TokenId>(xs[i % kPairs]),
+        std::span<const TokenId>(ys[(i * 7 + 3) % kPairs]));
+  }
+  auto t1 = Clock::now();
+  SetIntersectForceScalar(false);
+
+  size_t sum_adaptive = 0;
+  const IntersectCounts before = IntersectCountsSnapshot();
+  auto t2 = Clock::now();
+  for (size_t i = 0; i < iters; ++i) {
+    sum_adaptive += SortedIntersectionSize(
+        std::span<const TokenId>(xs[i % kPairs]),
+        std::span<const TokenId>(ys[(i * 7 + 3) % kPairs]));
+  }
+  auto t3 = Clock::now();
+  const IntersectCounts delta = IntersectCountsSnapshot() - before;
+
+  if (sum_scalar != sum_adaptive) {
+    fprintf(stderr,
+            "FATAL: %s adaptive intersection diverged from scalar merge: "
+            "%zu vs %zu\n",
+            key.c_str(), sum_adaptive, sum_scalar);
+    exit(1);
+  }
+  const double scalar_ns =
+      std::chrono::duration<double, std::nano>(t1 - t0).count() /
+      static_cast<double>(iters);
+  const double adaptive_ns =
+      std::chrono::duration<double, std::nano>(t3 - t2).count() /
+      static_cast<double>(iters);
+  report->Add(key + "/scalar_ns_per_op", scalar_ns);
+  report->Add(key + "/adaptive_ns_per_op", adaptive_ns);
+  report->Add(key + "/speedup", adaptive_ns > 0.0 ? scalar_ns / adaptive_ns
+                                                  : 0.0);
+  report->Add(key + "/intersect_small", static_cast<int64_t>(delta.small));
+  report->Add(key + "/intersect_gallop", static_cast<int64_t>(delta.gallop));
+  report->Add(key + "/intersect_simd", static_cast<int64_t>(delta.simd));
+  report->Add(key + "/intersect_scalar", static_cast<int64_t>(delta.scalar));
+  printf("%-20s scalar %7.2f ns  adaptive %7.2f ns  speedup %5.2fx\n",
+         key.c_str(), scalar_ns, adaptive_ns,
+         adaptive_ns > 0.0 ? scalar_ns / adaptive_ns : 0.0);
+}
+
+/// The shape regimes of the adaptive kernel, one lane each: tiny (branchless
+/// merge), balanced (SIMD block compare), 16:1 lopsided (also SIMD — it
+/// streams the long side 8 ids per compare, far past the merge), and 64:1
+/// needle-in-haystack (galloping — the posting-list probe regime).
+void WriteIntersectLanes(bench::BenchReport* report, size_t iters) {
+  report->Add("simd_kernel", std::string(SimdIntersectKernelName()));
+  CompareIntersectLane(report, "intersect_tiny", 4, 4, iters);
+  CompareIntersectLane(report, "intersect_balanced", 64, 64, iters);
+  CompareIntersectLane(report, "intersect_lopsided", 64, 1024,
+                       std::max<size_t>(iters / 8, 1));
+  CompareIntersectLane(report, "intersect_needle", 16, 1024,
+                       std::max<size_t>(iters / 8, 1));
+}
+
 /// String-vs-TokenId comparison written to BENCH_micro_similarity.json.
 void WriteComparisonReport() {
   const Corpus& c = GetCorpus();
@@ -274,6 +371,7 @@ void WriteComparisonReport() {
                 c_i, iters);
   CompareSetSim(&report, "jaccard_3gram", c.gram_sets, c.gram_id_sets, j_s,
                 j_i, iters);
+  WriteIntersectLanes(&report, iters);
   std::string path = report.Write();
   printf("wrote %s\n", path.c_str());
 }

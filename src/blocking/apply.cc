@@ -5,11 +5,13 @@
 #include <bit>
 #include <cmath>
 #include <map>
+#include <span>
 #include <unordered_set>
 
 #include "blocking/index_builder.h"
 #include "common/arena.h"
 #include "mapreduce/job.h"
+#include "text/intersect.h"
 
 namespace falcon {
 
@@ -33,6 +35,69 @@ const char* ApplyMethodName(ApplyMethod m) {
 
 // --- RuleApplier ---------------------------------------------------------------
 
+namespace {
+
+/// Decides `SetSimFromCounts(fn, |x ∩ y|, |x|, |y|) <op> value` without
+/// computing the full intersection. Every set similarity is monotone
+/// nondecreasing in the intersection count for fixed set sizes, so the
+/// predicate flips at most once over counts 0..min(|x|,|y|); binary-search
+/// that boundary with the SAME double formula the value path evaluates
+/// (SetSimFromCounts — this is what keeps the decision bit-identical), then
+/// ask the early-exit threshold kernel whether the count reaches it.
+bool EvalSetPredicate(SimFunction fn, PredOp op, double value,
+                      std::span<const TokenId> x, std::span<const TokenId> y) {
+  const size_t nx = x.size();
+  const size_t ny = y.size();
+  const size_t m = std::min(nx, ny);
+  auto eval = [&](size_t inter) {
+    double v = SetSimFromCounts(fn, inter, nx, ny);
+    switch (op) {
+      case PredOp::kLe:
+        return v <= value;
+      case PredOp::kGt:
+        return v > value;
+      case PredOp::kLt:
+        return v < value;
+      case PredOp::kGe:
+        return v >= value;
+      default:
+        return false;
+    }
+  };
+  if (op == PredOp::kGe || op == PredOp::kGt) {
+    // Predicate is monotone nondecreasing in the count.
+    if (eval(0)) return true;    // holds even for disjoint sets
+    if (!eval(m)) return false;  // fails even for full containment
+    size_t lo = 1;
+    size_t hi = m;  // smallest count in (0, m] where the predicate holds
+    while (lo < hi) {
+      size_t mid = lo + (hi - lo) / 2;
+      if (eval(mid)) {
+        hi = mid;
+      } else {
+        lo = mid + 1;
+      }
+    }
+    return SortedIntersectionAtLeast(x, y, lo);
+  }
+  // kLe / kLt: monotone nonincreasing in the count.
+  if (eval(m)) return true;
+  if (!eval(0)) return false;
+  size_t lo = 1;
+  size_t hi = m;  // smallest count where the predicate FAILS
+  while (lo < hi) {
+    size_t mid = lo + (hi - lo) / 2;
+    if (!eval(mid)) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return !SortedIntersectionAtLeast(x, y, lo);
+}
+
+}  // namespace
+
 RuleApplier::RuleApplier(const RuleSequence& seq, const FeatureSet* fs,
                          const Table* a, const Table* b)
     : fs_(fs), a_(a), b_(b) {
@@ -52,6 +117,24 @@ RuleApplier::RuleApplier(const RuleSequence& seq, const FeatureSet* fs,
     rules_.push_back(std::move(bound));
   }
   num_slots_ = slot_of.size();
+
+  // Mark predicates decidable by the intersection-threshold kernel: only
+  // safe when no OTHER predicate shares the slot (the fast path skips the
+  // memoized value entirely, so a second reader would recompute).
+  std::vector<int> slot_refs(num_slots_, 0);
+  for (const auto& rule : rules_) {
+    for (const auto& p : rule) ++slot_refs[p.slot];
+  }
+  for (auto& rule : rules_) {
+    for (auto& p : rule) {
+      p.threshold_ok = slot_refs[p.slot] == 1 &&
+                       (p.op == PredOp::kLe || p.op == PredOp::kLt ||
+                        p.op == PredOp::kGe || p.op == PredOp::kGt) &&
+                       IsSetBased(fs->feature(p.feature_id).fn) &&
+                       fs->TokenViews(p.feature_id, *a, *b, &p.view_a,
+                                      &p.view_b);
+    }
+  }
 }
 
 bool RuleApplier::Keep(RowId a_row, RowId b_row) const {
@@ -86,6 +169,29 @@ bool RuleApplier::Keep(RowId a_row, RowId b_row) const {
   for (const auto& rule : rules_) {
     bool fires = !rule.empty();
     for (const auto& p : rule) {
+      // Threshold fast path: a set-based ordering predicate whose slot has
+      // no other reader can be decided by the early-exit intersection
+      // kernel, skipping the full similarity (bit-identical decision; see
+      // EvalSetPredicate). Left ungated on SIMD so forced-scalar benches can
+      // A/B it via IntersectForceScalar.
+      if (p.threshold_ok && slot_stamps[p.slot] != slot_epoch &&
+          !IntersectForceScalar()) {
+        const Feature& f = fs_->feature(p.feature_id);
+        const std::span<const TokenId> x = p.view_a->row(a_row);
+        const std::span<const TokenId> y = p.view_b->row(b_row);
+        // Missing values must keep flowing through Compute (NaN never
+        // satisfies a predicate), and below ~16 ids the full merge costs
+        // less than the boundary search + early-exit bookkeeping — the size
+        // gate is a pure function of the lengths, so it is deterministic.
+        if (std::min(x.size(), y.size()) >= 16 &&
+            !a_->IsMissing(a_row, f.col_a) && !b_->IsMissing(b_row, f.col_b)) {
+          if (EvalSetPredicate(f.fn, p.op, p.value, x, y)) {
+            continue;  // predicate holds; slot stays unstamped (sole reader)
+          }
+          fires = false;
+          break;
+        }
+      }
       if (slot_stamps[p.slot] != slot_epoch) {
         slot_values[p.slot] =
             fs_->Compute(p.feature_id, *a_, a_row, *b_, b_row);
@@ -139,9 +245,16 @@ struct ShuffleVal {
   int32_t tag = 0;   // operator-specific (b_row, clause id, or -1 marker)
   uint32_t aux = 0;  // operator-specific (k_b)
   uint32_t bytes = 8;
+  /// Estimated reduce cost of this value for the skew planner (1 +
+  /// intersection work of the pair's set-based features); stays 1 unless
+  /// ClusterConfig::skew_cost_weights is on. Accounting only — never
+  /// shipped, never part of the output.
+  uint32_t cost = 1;
 };
 
 size_t EstimateBytes(const ShuffleVal& v) { return v.bytes; }
+
+size_t SkewCost(const ShuffleVal& v) { return v.cost; }
 
 std::vector<TaggedRow> InterleavedInput(size_t na, size_t nb) {
   // Interleave proportionally so every split sees the A:B ratio.
@@ -267,6 +380,30 @@ Result<ApplyResult> RunKeyedByA(
       result.index_profile.skew >= 2.0) {
     jopts.num_splits = static_cast<size_t>(4 * cluster->total_map_slots());
   }
+  // Cost-weighted shuffle (ClusterConfig::skew_cost_weights): tag each
+  // candidate with its estimated reduce cost — 1 + the intersection work of
+  // the sequence's set-based features, sum of min(|a tokens|, |b tokens|) —
+  // so the skew planner budgets shards by work, not raw pair count. Only the
+  // features with token-store views on both sides contribute (the others
+  // cost roughly the same for every pair anyway).
+  struct CostView {
+    const TokenSetView* va;
+    const TokenSetView* vb;
+  };
+  std::vector<CostView> cost_views;
+  if (cluster->config().skew_cost_weights) {
+    const TokenStore* store_a = catalog.store(&a);
+    const TokenStore* store_b = catalog.store(&b);
+    if (store_a != nullptr && store_b != nullptr) {
+      for (int id : applier.feature_ids()) {
+        const Feature& f = fs.feature(id);
+        if (!IsSetBased(f.fn)) continue;
+        const TokenSetView* va = store_a->view(f.col_a, f.tok);
+        const TokenSetView* vb = store_b->view(f.col_b, f.tok);
+        if (va != nullptr && vb != nullptr) cost_views.push_back({va, vb});
+      }
+    }
+  }
   // Reduce partitions run concurrently; the examined-pairs tally is atomic.
   std::atomic<size_t> candidates_examined{0};
   auto input = InterleavedInput(a.num_rows(), b.num_rows());
@@ -278,16 +415,23 @@ Result<ApplyResult> RunKeyedByA(
           return;
         }
         CandidateSet cand = probe_fn(prober, b, rec.row);
+        auto emit_candidate = [&](RowId ar) {
+          ShuffleVal v{static_cast<int32_t>(rec.row), 0, b_bytes};
+          if (!cost_views.empty()) {
+            size_t c = 1;
+            for (const CostView& cv : cost_views) {
+              c += std::min(cv.va->row(ar).size(),
+                            cv.vb->row(rec.row).size());
+            }
+            v.cost = static_cast<uint32_t>(std::min<size_t>(
+                c, std::numeric_limits<uint32_t>::max()));
+          }
+          em->Emit(ar, v);
+        };
         if (cand.all) {
-          for (RowId ar = 0; ar < a.num_rows(); ++ar) {
-            em->Emit(ar, ShuffleVal{static_cast<int32_t>(rec.row), 0,
-                                    b_bytes});
-          }
+          for (RowId ar = 0; ar < a.num_rows(); ++ar) emit_candidate(ar);
         } else {
-          for (RowId ar : cand.rows) {
-            em->Emit(ar, ShuffleVal{static_cast<int32_t>(rec.row), 0,
-                                    b_bytes});
-          }
+          for (RowId ar : cand.rows) emit_candidate(ar);
         }
       },
       [&](const RowId& a_row, const ValueList<ShuffleVal>& vals,

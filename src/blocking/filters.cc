@@ -6,6 +6,7 @@
 #include <cmath>
 #include <limits>
 
+#include "text/intersect.h"
 #include "text/tokenize.h"
 
 namespace falcon {
@@ -22,7 +23,6 @@ struct ProberScratch {
   uint64_t owner = 0;  ///< scratch_id_ of the prober this state belongs to
   std::vector<std::pair<uint32_t, TokenId>> ranked;  ///< (rank, id) per probe
   std::vector<uint32_t> stamps;
-  std::vector<uint32_t> counts;
   uint32_t epoch = 0;
 };
 
@@ -33,7 +33,6 @@ ProberScratch& ScratchFor(uint64_t prober_id) {
     scratch.owner = prober_id;
     scratch.ranked.clear();
     std::fill(scratch.stamps.begin(), scratch.stamps.end(), 0);
-    std::fill(scratch.counts.begin(), scratch.counts.end(), 0);
     scratch.epoch = 0;
   }
   return scratch;
@@ -510,21 +509,20 @@ CandidateSet ClauseProber::ProbeRule(const CnfRule& rule,
     out.rows = std::move(active_sets[0]);
     return out;
   }
-  // Count-based intersection (each set holds distinct rows). The counts
-  // scratch is all-zero between calls by construction (reset loop below).
-  ProberScratch& s = ScratchFor(scratch_id_);
-  if (s.counts.size() < num_a_rows_) s.counts.resize(num_a_rows_, 0);
-  std::vector<RowId> touched;
-  for (const auto& set : active_sets) {
-    for (RowId r : set) {
-      if (s.counts[r] == 0) touched.push_back(r);
-      ++s.counts[r];
-    }
+  // Multi-clause intersection via sorted membership probes: keep the rows of
+  // the first active set, in its order, that every other set contains. A row
+  // in all sets necessarily appears in set 0, so this emits exactly the rows
+  // (and order) the old count-based scan over first appearances produced —
+  // without the O(num_a_rows) counts scratch it needed.
+  for (size_t k = 1; k < active_sets.size(); ++k) {
+    std::sort(active_sets[k].begin(), active_sets[k].end());
   }
-  const uint32_t want = static_cast<uint32_t>(active_sets.size());
-  for (RowId r : touched) {
-    if (s.counts[r] == want) out.rows.push_back(r);
-    s.counts[r] = 0;
+  for (RowId r : active_sets[0]) {
+    bool in_all = true;
+    for (size_t k = 1; k < active_sets.size() && in_all; ++k) {
+      in_all = SortedSetContains(active_sets[k], r);
+    }
+    if (in_all) out.rows.push_back(r);
   }
   return out;
 }

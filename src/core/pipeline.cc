@@ -41,6 +41,19 @@ void RecordJobAllocs(const JobStats& stats, RunMetrics* m) {
       it != stats.counters.end()) {
     m->alloc_bytes += static_cast<uint64_t>(it->second);
   }
+  // The intersect/* counters ride the same JobStats plumbing; fold them into
+  // the run-level kernel-activity rollup alongside the allocs.
+  auto fold = [&](const char* key, uint64_t* into) {
+    if (auto it = stats.counters.find(key); it != stats.counters.end()) {
+      *into += static_cast<uint64_t>(it->second);
+    }
+  };
+  fold("intersect/scalar", &m->intersect_scalar);
+  fold("intersect/small", &m->intersect_small);
+  fold("intersect/gallop", &m->intersect_gallop);
+  fold("intersect/simd", &m->intersect_simd);
+  fold("intersect/early_exit", &m->intersect_early_exit);
+  fold("intersect/contains", &m->intersect_contains);
 }
 
 /// Compiles the learned matcher for the fused apply phase and verifies the
@@ -257,7 +270,9 @@ void FalconPipeline::RefreshTotalTime() {
   double vsum = 0.0;
   double p99 = 0.0;
   double straggler = 1.0;
-  for (const JobStats& job : cluster_->job_history()) {
+  // Snapshot under the cluster mutex: sibling sessions sharing this cluster
+  // may be appending to the ledger concurrently.
+  for (const JobStats& job : cluster_->JobHistorySnapshot()) {
     for (const TaskLoadStats* load : {&job.map_load, &job.reduce_load}) {
       if (load->tasks == 0) continue;
       m.mr_tasks += load->tasks;

@@ -85,6 +85,20 @@ struct RunMetrics {
   uint64_t alloc_count = 0;
   uint64_t alloc_bytes = 0;
 
+  /// Intersection-kernel activity across every MapReduce job of the run
+  /// (text/intersect.h): which strategy the adaptive entry points resolved
+  /// to, per call, plus threshold early exits and membership probes. Totals
+  /// are deterministic per workload + build flavor (every intersection runs
+  /// exactly once regardless of thread count); per-job attribution can shift
+  /// under concurrent sessions, like the alloc counters. Diagnostics only —
+  /// not part of the determinism contract and never serialized.
+  uint64_t intersect_scalar = 0;
+  uint64_t intersect_small = 0;
+  uint64_t intersect_gallop = 0;
+  uint64_t intersect_simd = 0;
+  uint64_t intersect_early_exit = 0;
+  uint64_t intersect_contains = 0;
+
   /// Per-task load rollup over every MapReduce job recorded on the cluster,
   /// refreshed after each stage (resumed runs see only this process's jobs,
   /// like the alloc counters). The straggler ratio is the worst single

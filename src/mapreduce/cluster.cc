@@ -136,6 +136,11 @@ void Cluster::RecordJob(const JobStats& stats) {
   job_history_.push_back(stats);
 }
 
+std::vector<JobStats> Cluster::JobHistorySnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return job_history_;
+}
+
 void Cluster::ResetAccounting() {
   std::lock_guard<std::mutex> lock(mu_);
   total_machine_time_ = VDuration::Zero();

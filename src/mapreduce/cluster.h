@@ -86,6 +86,12 @@ struct ClusterConfig {
   /// Pair budget per reduce task for hot-block splitting under kSkewAware.
   /// 0 derives it from the stage's total weight (AutoPairBudget).
   size_t skew_pair_budget = 0;
+  /// Weigh skew-plan shards by estimated per-value reduce COST (each value's
+  /// SkewCost — e.g. the pair's intersection work, see apply.cc) instead of
+  /// raw value count. Splitting still cuts value ranges, so outputs are
+  /// byte-identical either way; only the shard boundaries and bin packing
+  /// move. Off by default (legacy pair-count budgets).
+  bool skew_cost_weights = false;
 };
 
 /// Per-task load distribution of one job phase, on the virtual clock
@@ -175,7 +181,12 @@ class Cluster {
 
   /// Sum of virtual durations of all executed jobs.
   VDuration total_machine_time() const { return total_machine_time_; }
+  /// Unsynchronized view of the accounting ledger — only safe while no
+  /// other thread can be inside RecordJob (single-session benches/tests).
   const std::vector<JobStats>& job_history() const { return job_history_; }
+  /// Synchronized copy of the ledger, safe against concurrent RecordJob
+  /// (e.g. a session rolling up metrics while sibling sessions run jobs).
+  std::vector<JobStats> JobHistorySnapshot() const;
   void ResetAccounting();
 
   /// Resolved local thread count (config.local_threads, with 0 mapped to
@@ -195,7 +206,7 @@ class Cluster {
   VDuration total_machine_time_;
   std::vector<JobStats> job_history_;
 
-  std::mutex mu_;  ///< guards accounting and lazy pool creation
+  mutable std::mutex mu_;  ///< guards accounting and lazy pool creation
   std::unique_ptr<ThreadPool> pool_;
   bool pool_created_ = false;
   std::unique_ptr<ArenaPool> arena_pool_;

@@ -56,6 +56,7 @@
 #include "common/thread_pool.h"
 #include "mapreduce/cluster.h"
 #include "mapreduce/skew.h"
+#include "text/intersect.h"
 
 namespace falcon {
 
@@ -76,6 +77,18 @@ size_t EstimateBytes(const std::vector<T>& v) {
   size_t bytes = 16;
   for (const auto& x : v) bytes += EstimateBytes(x);
   return bytes;
+}
+
+// --- skew-plan cost estimation -----------------------------------------------
+
+/// Estimated reduce cost of one shuffle value for the cost-weighted skew
+/// planner (ClusterConfig::skew_cost_weights). Every value costs 1 by
+/// default — equivalent to the legacy pair-count budgets. Value types that
+/// know their reduce cost (e.g. apply.cc's ShuffleVal carrying the pair's
+/// intersection work) override this via ADL, like EstimateBytes above.
+template <typename V>
+inline size_t SkewCost(const V&) {
+  return 1;
 }
 
 // --- task-local containers ---------------------------------------------------
@@ -282,6 +295,25 @@ class ArenaLease {
   std::vector<Arena*> arenas_;
 };
 
+/// Folds the intersection-kernel activity since `base` into the job's
+/// counters as "intersect/*" (only the strategies that actually ran, so
+/// counter maps stay sparse). Totals are deterministic per workload + build
+/// flavor; per-job attribution, like alloc/*, can shift when concurrent
+/// sessions overlap on one cluster.
+inline void AddIntersectDelta(const IntersectCounts& base, Counters* c) {
+  const IntersectCounts d = IntersectCountsSnapshot() - base;
+  if (d.scalar > 0) (*c)["intersect/scalar"] += static_cast<int64_t>(d.scalar);
+  if (d.small > 0) (*c)["intersect/small"] += static_cast<int64_t>(d.small);
+  if (d.gallop > 0) (*c)["intersect/gallop"] += static_cast<int64_t>(d.gallop);
+  if (d.simd > 0) (*c)["intersect/simd"] += static_cast<int64_t>(d.simd);
+  if (d.early_exit > 0) {
+    (*c)["intersect/early_exit"] += static_cast<int64_t>(d.early_exit);
+  }
+  if (d.contains > 0) {
+    (*c)["intersect/contains"] += static_cast<int64_t>(d.contains);
+  }
+}
+
 /// Heap allocations attributable to task `t`: page acquisitions of its
 /// leased arena, or the counted allocator calls on the legacy heap path.
 inline std::pair<int64_t, int64_t> TaskHeapAllocs(const ArenaLease& lease,
@@ -321,6 +353,7 @@ JobOutput<OutT> RunMapReduce(
   stats.name = opts.name;
   stats.startup = cluster->config().job_startup;
   stats.input_records = input.size();
+  const IntersectCounts isect_base = IntersectCountsSnapshot();
 
   const size_t num_splits =
       opts.num_splits > 0
@@ -490,14 +523,21 @@ JobOutput<OutT> RunMapReduce(
     };
     std::vector<BlockRef> blocks;
     std::vector<size_t> weights;
+    std::vector<size_t> costs;
+    const bool cost_weighted = cluster->config().skew_cost_weights;
     for (auto& groups : partitions) {
       for (auto& [key, values] : groups) {
         blocks.push_back(BlockRef{&key, &values});
         weights.push_back(values.size());
+        if (cost_weighted) {
+          size_t c = 0;
+          for (const V& v : values) c += SkewCost(v);
+          costs.push_back(c);
+        }
       }
     }
     const ShardPlan plan =
-        PlanReduceShards(weights, num_reducers,
+        PlanReduceShards(weights, costs, num_reducers,
                          cluster->config().skew_pair_budget,
                          opts.splittable_reduce);
     size_t split_blocks = 0;
@@ -596,6 +636,7 @@ JobOutput<OutT> RunMapReduce(
   partitions.clear();
   if (shuffle_arena != nullptr) arena_pool->Release(shuffle_arena);
 
+  internal::AddIntersectDelta(isect_base, &stats.counters);
   cluster->RecordJob(stats);
   return result;
 }
@@ -615,6 +656,7 @@ JobOutput<OutT> RunMapOnly(
   stats.name = opts.name;
   stats.startup = cluster->config().job_startup;
   stats.input_records = input.size();
+  const IntersectCounts isect_base = IntersectCountsSnapshot();
 
   const size_t num_splits =
       opts.num_splits > 0
@@ -670,6 +712,7 @@ JobOutput<OutT> RunMapOnly(
       cluster->ScheduleMakespan(task_seconds, cluster->total_map_slots());
   stats.map_load = cluster->ComputeTaskLoad(task_seconds);
   stats.output_records = result.output.size();
+  internal::AddIntersectDelta(isect_base, &stats.counters);
   cluster->RecordJob(stats);
   return result;
 }

@@ -172,6 +172,19 @@ double SetSim(SimFunction fn, const Set& x, const Set& y) {
 
 }  // namespace
 
+bool FeatureSet::TokenViews(int id, const Table& a, const Table& b,
+                            const TokenSetView** va,
+                            const TokenSetView** vb) const {
+  const Feature& f = features_[id];
+  if (!IsSetBased(f.fn)) return false;
+  const TokenSetView* view_a = ViewFor(store_a_, a, f.col_a, f.tok);
+  const TokenSetView* view_b = ViewFor(store_b_, b, f.col_b, f.tok);
+  if (view_a == nullptr || view_b == nullptr) return false;
+  *va = view_a;
+  *vb = view_b;
+  return true;
+}
+
 double FeatureSet::Compute(int id, const Table& a, RowId a_row,
                            const Table& b, RowId b_row) const {
   const Feature& f = features_[id];

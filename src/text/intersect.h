@@ -1,0 +1,148 @@
+// Adaptive sorted-set intersection kernels.
+//
+// `SortedIntersectionSize` over dictionary-encoded token ids is the innermost
+// loop of both blocking (posting-list probes, multi-clause candidate
+// intersection) and matching (every Jaccard/Dice/Overlap/Cosine feature).
+// The similarity-join literature (PPJoin / ALL-Pairs prefix filtering) sees
+// the same input regimes our workloads produce, and each has a different
+// optimal kernel (cutoffs tuned on the micro sweep in EXPERIMENTS.md):
+//
+//   tiny lists      (max <= 6)         branchless two-pointer merge — no
+//                                      mispredicted branches to amortize
+//   lopsided lists  (short < 8 with    galloping: exponential + binary
+//                    ratio >= 16, or   search probes of the longer list,
+//                    short <= 20 with  O(short * log(long))
+//                    ratio >= 32)
+//   blocked lists   (min >= 8)         SSE2/AVX2 block-compare when compiled
+//                                      in (FALCON_SIMD) and the CPU supports
+//                                      it; the classic scalar merge otherwise
+//   everything else                    the classic scalar merge
+//
+// The SIMD kernels need a full 8-lane block on the SHORTER side to do any
+// vector work, which is why they own the mildly-lopsided regime (they stream
+// the long side 8 ids per compare) and galloping is reserved for shapes
+// where no block fits or the short side is tiny.
+//
+// Strategy selection is a pure function of the two lengths (never of the
+// element values, the thread, or timing), and every kernel returns exactly
+// |a ∩ b|, so results are byte-identical across thread counts, build flavors
+// (FALCON_SIMD on/off), and CPUs — only the per-strategy activity counters
+// below reveal which kernel ran. The counters flow through the MapReduce
+// engine into JobStats ("intersect/*") and RunMetrics so benches can report
+// which regime dominates each workload.
+#ifndef FALCON_TEXT_INTERSECT_H_
+#define FALCON_TEXT_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "text/token_dictionary.h"
+
+namespace falcon {
+
+// --- entry points -----------------------------------------------------------
+
+/// |a ∩ b| of two sorted unique id spans, via the adaptive strategy choice
+/// described above. This is THE id-path intersection; all consumers
+/// (similarity features, probers, benches) funnel through it.
+size_t SortedIntersectionSize(std::span<const TokenId> a,
+                              std::span<const TokenId> b);
+
+/// |a ∩ b| of two sorted unique string vectors (the pre-interning path).
+/// String comparisons dominate here, so this is always the scalar merge.
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b);
+
+/// True iff |a ∩ b| >= alpha, with early exit in both directions: returns as
+/// soon as `alpha` matches are found OR the remaining elements of the shorter
+/// side cannot reach `alpha`. Blocking filters use this to decide a
+/// similarity-threshold predicate without computing the full intersection.
+/// The boolean equals `SortedIntersectionSize(a, b) >= alpha` exactly.
+bool SortedIntersectionAtLeast(std::span<const TokenId> a,
+                               std::span<const TokenId> b, size_t alpha);
+
+/// Binary-search membership in one sorted unique span (the multi-set
+/// candidate-intersection primitive of ClauseProber::ProbeRule).
+bool SortedSetContains(std::span<const TokenId> sorted, TokenId v);
+
+// --- strategy selection -----------------------------------------------------
+
+enum class IntersectStrategy {
+  kScalar,  ///< classic two-pointer merge (baseline and SIMD fallback)
+  kSmall,   ///< branchless merge for tiny lists
+  kGallop,  ///< exponential + binary search of the longer list
+  kSimd,    ///< SSE2/AVX2 block-compare (preferred; falls back to kScalar)
+};
+
+/// The deterministic strategy rule (n = min, m = max): n == 0 -> kScalar;
+/// gallop when (n < 8 && m/n >= 16) || (n <= 20 && m/n >= 32); m <= 6 ->
+/// kSmall; n < 8 -> kScalar (no SIMD block fits); else kSimd. Depends only
+/// on the two lengths, so it is identical on every thread and build.
+IntersectStrategy ChooseIntersectStrategy(size_t na, size_t nb);
+
+/// True when a SIMD kernel is both compiled in (FALCON_SIMD) and supported
+/// by this CPU (runtime CPUID dispatch; AVX2 preferred, SSE2 fallback).
+bool SimdIntersectAvailable();
+
+/// "avx2", "sse2", or "none" — which block-compare kernel dispatch resolved.
+const char* SimdIntersectKernelName();
+
+/// Forces every entry point onto the scalar merge regardless of shape
+/// (process-wide). Benches use this for in-process adaptive-vs-merge A/B
+/// runs without rebuilding; it also disables the threshold early-exit path
+/// in consumers that query `IntersectForceScalar`.
+void SetIntersectForceScalar(bool force);
+bool IntersectForceScalar();
+
+// --- raw kernels (exposed for the property tests and benches) ---------------
+//
+// Each returns exactly |a ∩ b| for sorted unique inputs and never touches
+// the activity counters; only the adaptive entry points above count.
+
+namespace intersect {
+
+size_t ScalarMerge(std::span<const TokenId> a, std::span<const TokenId> b);
+size_t SmallMerge(std::span<const TokenId> a, std::span<const TokenId> b);
+size_t Gallop(std::span<const TokenId> a, std::span<const TokenId> b);
+/// The dispatched SIMD kernel; falls back to ScalarMerge when unavailable.
+size_t SimdMerge(std::span<const TokenId> a, std::span<const TokenId> b);
+
+}  // namespace intersect
+
+// --- activity counters ------------------------------------------------------
+
+/// Process-wide kernel activity, summed over all threads. Maintained as
+/// per-thread cache-line-private counters (relaxed atomic_ref stores by the
+/// owning thread only — no contention, TSan-clean) folded into a registry on
+/// thread exit, so snapshots are cheap and increments are ~1 ns.
+///
+/// Totals are deterministic for a given workload and build flavor (every
+/// intersection happens exactly once regardless of thread count); per-job
+/// attribution of the deltas, like the alloc counters, can shift when
+/// concurrent sessions overlap on one cluster.
+struct IntersectCounts {
+  uint64_t scalar = 0;      ///< adaptive calls resolved by the scalar merge
+  uint64_t small = 0;       ///< ... by the branchless small-list merge
+  uint64_t gallop = 0;      ///< ... by galloping search
+  uint64_t simd = 0;        ///< ... by the SSE2/AVX2 block kernel
+  uint64_t early_exit = 0;  ///< threshold calls decided before full merge
+  uint64_t contains = 0;    ///< SortedSetContains membership probes
+
+  uint64_t total() const {
+    return scalar + small + gallop + simd + early_exit + contains;
+  }
+  IntersectCounts operator-(const IntersectCounts& o) const {
+    return IntersectCounts{scalar - o.scalar,         small - o.small,
+                           gallop - o.gallop,         simd - o.simd,
+                           early_exit - o.early_exit, contains - o.contains};
+  }
+};
+
+IntersectCounts IntersectCountsSnapshot();
+
+}  // namespace falcon
+
+#endif  // FALCON_TEXT_INTERSECT_H_

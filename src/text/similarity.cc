@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cctype>
 #include <cmath>
+#include <limits>
 
 #include "common/strings.h"
 #include "text/tokenize.h"
@@ -79,81 +80,74 @@ bool UsableForBlocking(SimFunction f) {
   }
 }
 
+double SetSimFromCounts(SimFunction fn, size_t inter, size_t nx, size_t ny) {
+  switch (fn) {
+    case SimFunction::kJaccard: {
+      if (nx == 0 && ny == 0) return 1.0;
+      size_t uni = nx + ny - inter;
+      return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+    }
+    case SimFunction::kDice: {
+      if (nx == 0 && ny == 0) return 1.0;
+      size_t total = nx + ny;
+      return total == 0 ? 0.0 : 2.0 * inter / total;
+    }
+    case SimFunction::kOverlap: {
+      if (nx == 0 || ny == 0) return nx == 0 && ny == 0 ? 1.0 : 0.0;
+      return static_cast<double>(inter) / std::min(nx, ny);
+    }
+    case SimFunction::kCosine: {
+      if (nx == 0 || ny == 0) return nx == 0 && ny == 0 ? 1.0 : 0.0;
+      return static_cast<double>(inter) /
+             std::sqrt(static_cast<double>(nx) * ny);
+    }
+    default:
+      return std::numeric_limits<double>::quiet_NaN();
+  }
+}
+
 double JaccardSim(const std::vector<std::string>& x,
                   const std::vector<std::string>& y) {
-  if (x.empty() && y.empty()) return 1.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  size_t uni = x.size() + y.size() - inter;
-  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+  return SetSimFromCounts(SimFunction::kJaccard, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 double DiceSim(const std::vector<std::string>& x,
                const std::vector<std::string>& y) {
-  if (x.empty() && y.empty()) return 1.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  size_t total = x.size() + y.size();
-  return total == 0 ? 0.0 : 2.0 * inter / total;
+  return SetSimFromCounts(SimFunction::kDice, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 double OverlapSim(const std::vector<std::string>& x,
                   const std::vector<std::string>& y) {
-  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  return static_cast<double>(inter) / std::min(x.size(), y.size());
+  return SetSimFromCounts(SimFunction::kOverlap, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 double CosineSim(const std::vector<std::string>& x,
                  const std::vector<std::string>& y) {
-  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  return static_cast<double>(inter) /
-         std::sqrt(static_cast<double>(x.size()) * y.size());
-}
-
-size_t SortedIntersectionSize(std::span<const TokenId> a,
-                              std::span<const TokenId> b) {
-  size_t i = 0;
-  size_t j = 0;
-  size_t count = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return count;
+  return SetSimFromCounts(SimFunction::kCosine, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 double JaccardSim(std::span<const TokenId> x, std::span<const TokenId> y) {
-  if (x.empty() && y.empty()) return 1.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  size_t uni = x.size() + y.size() - inter;
-  return uni == 0 ? 0.0 : static_cast<double>(inter) / uni;
+  return SetSimFromCounts(SimFunction::kJaccard, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 double DiceSim(std::span<const TokenId> x, std::span<const TokenId> y) {
-  if (x.empty() && y.empty()) return 1.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  size_t total = x.size() + y.size();
-  return total == 0 ? 0.0 : 2.0 * inter / total;
+  return SetSimFromCounts(SimFunction::kDice, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 double OverlapSim(std::span<const TokenId> x, std::span<const TokenId> y) {
-  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  return static_cast<double>(inter) / std::min(x.size(), y.size());
+  return SetSimFromCounts(SimFunction::kOverlap, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 double CosineSim(std::span<const TokenId> x, std::span<const TokenId> y) {
-  if (x.empty() || y.empty()) return x.empty() && y.empty() ? 1.0 : 0.0;
-  size_t inter = SortedIntersectionSize(x, y);
-  return static_cast<double>(inter) /
-         std::sqrt(static_cast<double>(x.size()) * y.size());
+  return SetSimFromCounts(SimFunction::kCosine, SortedIntersectionSize(x, y),
+                          x.size(), y.size());
 }
 
 size_t LevenshteinDistance(std::string_view a, std::string_view b) {

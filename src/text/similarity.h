@@ -19,6 +19,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "text/intersect.h"
 #include "text/token_dictionary.h"
 
 namespace falcon {
@@ -74,16 +75,22 @@ double CosineSim(const std::vector<std::string>& x,
 // Because the set functions depend only on |x ∩ y|, |x| and |y|, results are
 // bit-identical to the string overloads whenever both sides were interned
 // through one TokenDictionary (any total order on distinct elements yields
-// the same intersection size).
-
-/// Integer merge-intersection of two sorted unique id spans.
-size_t SortedIntersectionSize(std::span<const TokenId> a,
-                              std::span<const TokenId> b);
+// the same intersection size). `SortedIntersectionSize` itself lives in
+// text/intersect.h (adaptive scalar/galloping/SIMD kernels).
 
 double JaccardSim(std::span<const TokenId> x, std::span<const TokenId> y);
 double DiceSim(std::span<const TokenId> x, std::span<const TokenId> y);
 double OverlapSim(std::span<const TokenId> x, std::span<const TokenId> y);
 double CosineSim(std::span<const TokenId> x, std::span<const TokenId> y);
+
+/// The shared closed form behind every set-based similarity: the score of a
+/// set-based `fn` given |x ∩ y| = `inter`, |x| = `nx`, |y| = `ny` (NaN for
+/// non-set-based functions). Both the value paths above and the
+/// threshold-predicate fast path (RuleApplier) evaluate THIS function, which
+/// is what keeps their keep/drop decisions bit-identical. Monotone
+/// nondecreasing in `inter` for fixed sizes — the property the threshold
+/// path's binary search relies on.
+double SetSimFromCounts(SimFunction fn, size_t inter, size_t nx, size_t ny);
 
 // --- string similarities ---------------------------------------------------
 

@@ -79,24 +79,4 @@ std::vector<std::string> ToTokenSet(std::vector<std::string> tokens) {
   return tokens;
 }
 
-size_t SortedIntersectionSize(const std::vector<std::string>& a,
-                              const std::vector<std::string>& b) {
-  size_t i = 0;
-  size_t j = 0;
-  size_t count = 0;
-  while (i < a.size() && j < b.size()) {
-    int cmp = a[i].compare(b[j]);
-    if (cmp == 0) {
-      ++count;
-      ++i;
-      ++j;
-    } else if (cmp < 0) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return count;
-}
-
 }  // namespace falcon

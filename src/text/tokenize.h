@@ -34,11 +34,8 @@ std::vector<std::string> QGramTokens(std::string_view s, int q = 3);
 std::vector<std::string> Tokenize(std::string_view s, Tokenization t);
 
 /// Sorted unique copy of `tokens` (set semantics for set-based similarity).
+/// Intersect the results with `SortedIntersectionSize` (text/intersect.h).
 std::vector<std::string> ToTokenSet(std::vector<std::string> tokens);
-
-/// Size of the intersection of two *sorted unique* token vectors.
-size_t SortedIntersectionSize(const std::vector<std::string>& a,
-                              const std::vector<std::string>& b);
 
 }  // namespace falcon
 

@@ -1,0 +1,372 @@
+// Adaptive set-intersection kernels: every strategy must return exactly
+// |a ∩ b| for sorted unique inputs — the scalar merge is the ground truth and
+// the galloping, branchless-small, SIMD, and threshold kernels are checked
+// against it across the shapes that historically break such kernels (empty,
+// singleton, disjoint, identical, ragged SIMD-width tails, ids past 2^16).
+// Plus: the strategy rule is a pure function of the lengths, the activity
+// counters move, and a threaded MapReduce run is byte-identical to serial
+// and to a force-scalar run.
+#include "text/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "blocking/apply.h"
+#include "blocking/index_builder.h"
+#include "mapreduce/cluster.h"
+#include "rules/feature.h"
+#include "rules/rule.h"
+#include "workload/generator.h"
+
+namespace falcon {
+namespace {
+
+using intersect::Gallop;
+using intersect::ScalarMerge;
+using intersect::SimdMerge;
+using intersect::SmallMerge;
+
+// Sorted unique ids drawn from [0, universe). Deterministic per (seed, size).
+std::vector<TokenId> MakeSet(uint32_t seed, size_t size, uint32_t universe) {
+  std::mt19937 rng(seed);
+  std::uniform_int_distribution<uint32_t> dist(0, universe - 1);
+  std::vector<TokenId> v;
+  v.reserve(size * 2);
+  while (v.size() < size) {
+    size_t need = size - v.size();
+    for (size_t i = 0; i < need; ++i) v.push_back(dist(rng));
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+    if (v.size() >= universe) break;  // can't reach `size`; settle
+  }
+  return v;
+}
+
+// Reference count by the definition, not by any merge kernel.
+size_t RefCount(const std::vector<TokenId>& a, const std::vector<TokenId>& b) {
+  size_t n = 0;
+  for (TokenId x : a) n += std::binary_search(b.begin(), b.end(), x) ? 1 : 0;
+  return n;
+}
+
+void ExpectAllKernelsAgree(const std::vector<TokenId>& a,
+                           const std::vector<TokenId>& b) {
+  const size_t want = RefCount(a, b);
+  EXPECT_EQ(ScalarMerge(a, b), want) << a.size() << " vs " << b.size();
+  EXPECT_EQ(ScalarMerge(b, a), want);
+  EXPECT_EQ(SmallMerge(a, b), want) << a.size() << " vs " << b.size();
+  EXPECT_EQ(SmallMerge(b, a), want);
+  EXPECT_EQ(Gallop(a, b), want) << a.size() << " vs " << b.size();
+  EXPECT_EQ(Gallop(b, a), want);
+  EXPECT_EQ(SimdMerge(a, b), want) << a.size() << " vs " << b.size();
+  EXPECT_EQ(SimdMerge(b, a), want);
+  EXPECT_EQ(SortedIntersectionSize(std::span<const TokenId>(a),
+                                   std::span<const TokenId>(b)),
+            want);
+}
+
+TEST(IntersectKernelsTest, EmptyAndSingletonShapes) {
+  std::vector<TokenId> empty;
+  std::vector<TokenId> one = {7};
+  std::vector<TokenId> big = MakeSet(1, 100, 1000);
+  ExpectAllKernelsAgree(empty, empty);
+  ExpectAllKernelsAgree(empty, one);
+  ExpectAllKernelsAgree(empty, big);
+  ExpectAllKernelsAgree(one, one);
+  ExpectAllKernelsAgree(one, big);
+  std::vector<TokenId> other = {8};
+  ExpectAllKernelsAgree(one, other);
+}
+
+TEST(IntersectKernelsTest, DisjointAndIdenticalShapes) {
+  std::vector<TokenId> evens, odds;
+  for (TokenId i = 0; i < 200; ++i) (i % 2 ? odds : evens).push_back(i);
+  ExpectAllKernelsAgree(evens, odds);   // fully disjoint, interleaved
+  ExpectAllKernelsAgree(evens, evens);  // identical
+  std::vector<TokenId> low = MakeSet(2, 64, 100);
+  std::vector<TokenId> high;
+  for (TokenId v : low) high.push_back(v + 1000);
+  ExpectAllKernelsAgree(low, high);  // disjoint, non-overlapping ranges
+}
+
+TEST(IntersectKernelsTest, RaggedSimdWidthTails) {
+  // Sizes straddling the 4-lane SSE2 and 8-lane AVX2 block widths, so the
+  // vector loop leaves 0..7 element scalar tails on each side.
+  for (size_t na : {3u, 4u, 5u, 7u, 8u, 9u, 15u, 16u, 17u, 23u, 24u, 25u,
+                    31u, 32u, 33u, 40u}) {
+    for (size_t nb : {4u, 8u, 9u, 17u, 31u, 33u, 64u}) {
+      auto a = MakeSet(100 + static_cast<uint32_t>(na), na, 128);
+      auto b = MakeSet(200 + static_cast<uint32_t>(nb), nb, 128);
+      ExpectAllKernelsAgree(a, b);
+    }
+  }
+}
+
+TEST(IntersectKernelsTest, IdsBeyondSixteenBits) {
+  // Ids past 2^16 catch any 16-bit truncation inside a SIMD compare.
+  auto a = MakeSet(5, 300, 1u << 20);
+  auto b = MakeSet(6, 280, 1u << 20);
+  for (TokenId v : {65535u, 65536u, 65537u, 1048575u}) {
+    a.push_back(v);
+    b.push_back(v);
+  }
+  std::sort(a.begin(), a.end());
+  a.erase(std::unique(a.begin(), a.end()), a.end());
+  std::sort(b.begin(), b.end());
+  b.erase(std::unique(b.begin(), b.end()), b.end());
+  ExpectAllKernelsAgree(a, b);
+  EXPECT_GE(RefCount(a, b), 4u);
+}
+
+TEST(IntersectKernelsTest, RandomizedSweepAllRegimes) {
+  std::mt19937 shape_rng(42);
+  const size_t sizes[] = {0, 1, 2, 3, 5, 8, 13, 16, 17, 30,
+                          64, 100, 127, 256, 500, 1024};
+  for (size_t na : sizes) {
+    for (size_t nb : sizes) {
+      const uint32_t universe =
+          std::max<uint32_t>(16, static_cast<uint32_t>((na + nb) * 2));
+      auto a = MakeSet(shape_rng(), na, universe);
+      auto b = MakeSet(shape_rng(), nb, universe);
+      ExpectAllKernelsAgree(a, b);
+    }
+  }
+}
+
+TEST(IntersectThresholdTest, AgreesWithFullCountForEveryAlpha) {
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 30; ++trial) {
+    auto a = MakeSet(rng(), rng() % 200, 256);
+    auto b = MakeSet(rng(), rng() % 200, 256);
+    const size_t inter = RefCount(a, b);
+    const size_t top = std::min(a.size(), b.size()) + 2;
+    for (size_t alpha = 0; alpha <= top; ++alpha) {
+      EXPECT_EQ(SortedIntersectionAtLeast(a, b, alpha), inter >= alpha)
+          << "alpha=" << alpha << " inter=" << inter;
+      EXPECT_EQ(SortedIntersectionAtLeast(b, a, alpha), inter >= alpha);
+    }
+  }
+}
+
+TEST(IntersectThresholdTest, LopsidedShapesUseGallopPathCorrectly) {
+  auto small = MakeSet(10, 20, 1 << 16);
+  auto large = MakeSet(11, 2000, 1 << 16);
+  const size_t inter = RefCount(small, large);
+  for (size_t alpha = 0; alpha <= small.size() + 1; ++alpha) {
+    EXPECT_EQ(SortedIntersectionAtLeast(small, large, alpha), inter >= alpha);
+    EXPECT_EQ(SortedIntersectionAtLeast(large, small, alpha), inter >= alpha);
+  }
+}
+
+TEST(IntersectStrategyTest, RuleIsPureAndMatchesDocumentedRegimes) {
+  EXPECT_EQ(ChooseIntersectStrategy(0, 100), IntersectStrategy::kScalar);
+  EXPECT_EQ(ChooseIntersectStrategy(100, 0), IntersectStrategy::kScalar);
+  // Both tiny -> branchless merge.
+  EXPECT_EQ(ChooseIntersectStrategy(4, 4), IntersectStrategy::kSmall);
+  EXPECT_EQ(ChooseIntersectStrategy(2, 6), IntersectStrategy::kSmall);
+  // Short side below a SIMD block but lists not tiny -> scalar merge...
+  EXPECT_EQ(ChooseIntersectStrategy(4, 8), IntersectStrategy::kScalar);
+  EXPECT_EQ(ChooseIntersectStrategy(7, 50), IntersectStrategy::kScalar);
+  // ...until the ratio hits 16, where galloping takes over.
+  EXPECT_EQ(ChooseIntersectStrategy(4, 64), IntersectStrategy::kGallop);
+  EXPECT_EQ(ChooseIntersectStrategy(64, 4), IntersectStrategy::kGallop);
+  // Short side fits a block: gallop only for small-short, ratio >= 32.
+  EXPECT_EQ(ChooseIntersectStrategy(16, 1024), IntersectStrategy::kGallop);
+  EXPECT_EQ(ChooseIntersectStrategy(20, 640), IntersectStrategy::kGallop);
+  EXPECT_EQ(ChooseIntersectStrategy(24, 1024), IntersectStrategy::kSimd);
+  EXPECT_EQ(ChooseIntersectStrategy(10, 160), IntersectStrategy::kSimd);
+  // The blocked regime: balanced and mildly lopsided shapes.
+  EXPECT_EQ(ChooseIntersectStrategy(8, 16), IntersectStrategy::kSimd);
+  EXPECT_EQ(ChooseIntersectStrategy(64, 64), IntersectStrategy::kSimd);
+  EXPECT_EQ(ChooseIntersectStrategy(64, 1024), IntersectStrategy::kSimd);
+  EXPECT_EQ(ChooseIntersectStrategy(100, 800), IntersectStrategy::kSimd);
+  // Symmetric and repeatable: a pure function of the two lengths.
+  for (size_t na : {0u, 1u, 16u, 17u, 64u, 1000u}) {
+    for (size_t nb : {0u, 1u, 16u, 17u, 64u, 1000u}) {
+      EXPECT_EQ(ChooseIntersectStrategy(na, nb),
+                ChooseIntersectStrategy(nb, na));
+      EXPECT_EQ(ChooseIntersectStrategy(na, nb),
+                ChooseIntersectStrategy(na, nb));
+    }
+  }
+}
+
+TEST(IntersectStrategyTest, SimdDispatchIsConsistent) {
+  const std::string name = SimdIntersectKernelName();
+  if (SimdIntersectAvailable()) {
+    EXPECT_TRUE(name == "avx2" || name == "sse2") << name;
+  } else {
+    EXPECT_EQ(name, "none");
+  }
+}
+
+TEST(IntersectCountersTest, AdaptiveCallsBumpTheMatchingCounter) {
+  auto tiny_a = MakeSet(20, 4, 16);
+  auto tiny_b = MakeSet(21, 4, 16);
+  auto bal_a = MakeSet(22, 64, 512);
+  auto bal_b = MakeSet(23, 64, 512);
+  auto short_s = MakeSet(24, 20, 1 << 14);
+  auto long_s = MakeSet(25, 2000, 1 << 14);
+
+  IntersectCounts before = IntersectCountsSnapshot();
+  SortedIntersectionSize(std::span<const TokenId>(tiny_a),
+                         std::span<const TokenId>(tiny_b));
+  SortedIntersectionSize(std::span<const TokenId>(bal_a),
+                         std::span<const TokenId>(bal_b));
+  SortedIntersectionSize(std::span<const TokenId>(short_s),
+                         std::span<const TokenId>(long_s));
+  SortedSetContains(bal_a, bal_a[0]);
+  IntersectCounts delta = IntersectCountsSnapshot() - before;
+
+  EXPECT_EQ(delta.small, 1u);
+  EXPECT_EQ(delta.gallop, 1u);
+  if (SimdIntersectAvailable()) {
+    EXPECT_EQ(delta.simd, 1u);
+    EXPECT_EQ(delta.scalar, 0u);
+  } else {
+    EXPECT_EQ(delta.simd, 0u);
+    EXPECT_EQ(delta.scalar, 1u);
+  }
+  EXPECT_EQ(delta.contains, 1u);
+
+  // Early exit on a decidable threshold call.
+  before = IntersectCountsSnapshot();
+  EXPECT_TRUE(SortedIntersectionAtLeast(bal_a, bal_a, 1));
+  delta = IntersectCountsSnapshot() - before;
+  EXPECT_EQ(delta.early_exit, 1u);
+
+  // Raw kernels never count.
+  before = IntersectCountsSnapshot();
+  ScalarMerge(bal_a, bal_b);
+  SmallMerge(tiny_a, tiny_b);
+  Gallop(short_s, long_s);
+  SimdMerge(bal_a, bal_b);
+  delta = IntersectCountsSnapshot() - before;
+  EXPECT_EQ(delta.total(), 0u);
+}
+
+TEST(IntersectCountersTest, ForceScalarRoutesEverythingToScalarMerge) {
+  auto bal_a = MakeSet(30, 64, 512);
+  auto bal_b = MakeSet(31, 64, 512);
+  const size_t want = RefCount(bal_a, bal_b);
+  SetIntersectForceScalar(true);
+  IntersectCounts before = IntersectCountsSnapshot();
+  EXPECT_EQ(SortedIntersectionSize(std::span<const TokenId>(bal_a),
+                                   std::span<const TokenId>(bal_b)),
+            want);
+  EXPECT_EQ(SortedIntersectionAtLeast(bal_a, bal_b, 1), want >= 1);
+  IntersectCounts delta = IntersectCountsSnapshot() - before;
+  SetIntersectForceScalar(false);
+  EXPECT_EQ(delta.scalar, 2u);
+  EXPECT_EQ(delta.simd, 0u);
+  EXPECT_EQ(delta.small, 0u);
+  EXPECT_EQ(delta.gallop, 0u);
+  EXPECT_EQ(delta.early_exit, 0u);
+  EXPECT_FALSE(IntersectForceScalar());
+}
+
+TEST(IntersectStringPathTest, MatchesIdPathSemantics) {
+  std::vector<std::string> a = {"alpha", "beta", "delta", "zeta"};
+  std::vector<std::string> b = {"beta", "gamma", "zeta"};
+  EXPECT_EQ(SortedIntersectionSize(a, b), 2u);
+  EXPECT_EQ(SortedIntersectionSize(b, a), 2u);
+  EXPECT_EQ(SortedIntersectionSize(a, std::vector<std::string>{}), 0u);
+  EXPECT_EQ(SortedIntersectionSize(a, a), a.size());
+}
+
+// --- end-to-end: adaptive kernels under the MapReduce engine ----------------
+
+ClusterConfig FastCluster() {
+  ClusterConfig c;
+  c.job_startup = VDuration::Seconds(0.5);
+  c.task_overhead = VDuration::Seconds(0.01);
+  return c;
+}
+
+// Zipf products + a Jaccard threshold rule: posting probes, set similarity,
+// and the threshold fast path all run inside one blocking job.
+struct IntersectJobFixture {
+  GeneratedDataset data;
+  FeatureSet fs;
+  RuleSequence seq;
+  IndexCatalog catalog;
+  Cluster build_cluster{FastCluster()};
+
+  IntersectJobFixture() {
+    WorkloadOptions opt;
+    opt.size_a = 120;
+    opt.size_b = 300;
+    opt.seed = 13;
+    opt.zipf_s = 1.3;
+    data = GenerateProducts(opt);
+    fs = FeatureSet::Generate(data.a, data.b);
+
+    int jac_title = -1;
+    for (const auto& f : fs.features()) {
+      if (f.fn == SimFunction::kJaccard && f.tok == Tokenization::kWord &&
+          f.name.find("(title,title)") != std::string::npos) {
+        jac_title = f.id;
+      }
+    }
+    EXPECT_GE(jac_title, 0);
+    Rule r;
+    r.predicates = {{jac_title, jac_title, PredOp::kLe, 0.4}};
+    r.selectivity = 0.05;
+    seq.rules = {r};
+    seq.selectivity = 0.05;
+
+    IndexBuilder builder(&data.a, &build_cluster);
+    builder.EnsureTokenStores(data.b, fs, &catalog);
+    builder.Ensure(IndexBuilder::NeedsOfCnf(ToCnf(seq), fs), &catalog);
+    // The pipeline always binds the interned token stores before applying
+    // rules (StageApplyRules); do the same so features run on the id path.
+    fs.BindTokenStores(catalog.store(&data.a), catalog.store(&data.b));
+  }
+
+  ApplyResult Run(int threads) {
+    ClusterConfig cfg = FastCluster();
+    cfg.local_threads = threads;
+    Cluster cluster(cfg);
+    auto res = ApplyBlockingRules(data.a, data.b, seq, fs, catalog, &cluster,
+                                  ApplyMethod::kApplyAll, ApplyOptions{});
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() ? std::move(*res) : ApplyResult{};
+  }
+};
+
+TEST(IntersectJobTest, ByteIdenticalAcrossThreadsAndKernels) {
+  IntersectJobFixture fixture;
+  ApplyResult serial = fixture.Run(1);
+  ASSERT_FALSE(serial.pairs.empty());
+  ApplyResult threaded = fixture.Run(4);
+  EXPECT_EQ(serial.pairs, threaded.pairs);
+  EXPECT_EQ(serial.candidates_examined, threaded.candidates_examined);
+
+  // Forcing the scalar merge (which also disables the threshold fast path)
+  // must not change a single candidate: the adaptive kernels and the
+  // early-exit predicate evaluation are pure strategy swaps.
+  SetIntersectForceScalar(true);
+  ApplyResult scalar = fixture.Run(4);
+  SetIntersectForceScalar(false);
+  EXPECT_EQ(serial.pairs, scalar.pairs);
+  EXPECT_EQ(serial.candidates_examined, scalar.candidates_examined);
+}
+
+TEST(IntersectJobTest, JobStatsCarryIntersectCounters) {
+  IntersectJobFixture fixture;
+  ApplyResult res = fixture.Run(2);
+  uint64_t total = 0;
+  for (const auto& [key, value] : res.main_job.counters) {
+    if (key.rfind("intersect/", 0) == 0) total += value;
+  }
+  EXPECT_GT(total, 0u) << "blocking job recorded no intersect/* activity";
+}
+
+}  // namespace
+}  // namespace falcon
