@@ -6,18 +6,26 @@
 //   # demo mode (synthetic catalogs + simulated crowd):
 //   ./build/examples/em_service --demo
 //
+//   # multi-tenant service mode: N tenants share one cluster under
+//   # fair-share step scheduling, budget ledgers, and an admission cap:
+//   ./build/examples/em_service --tenants 8 --workers 2 --max-resident 4
+//
 //   # real tables, you label the pairs yourself (Example 1's no-crowd path):
 //   ./build/examples/em_service --a left.csv --b right.csv \
 //       --out matches.csv --rules rules.txt --interactive
 #include <cstdio>
 #include <cstring>
+#include <deque>
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/pipeline.h"
 #include "crowd/cli_crowd.h"
+#include "em_service_args.h"
 #include "rules/serialize.h"
+#include "session/service.h"
 #include "table/csv.h"
 #include "workload/generator.h"
 #include "workload/quality.h"
@@ -26,48 +34,123 @@ using namespace falcon;
 
 namespace {
 
-struct Args {
-  std::string a_path;
-  std::string b_path;
-  std::string out_path = "matches.csv";
-  std::string rules_path;
-  bool demo = false;
-  bool interactive = false;
-  double budget = 349.60;
-};
-
-Args ParseArgs(int argc, char** argv) {
-  Args args;
-  for (int i = 1; i < argc; ++i) {
-    std::string flag = argv[i];
-    auto value = [&]() -> std::string {
-      return i + 1 < argc ? argv[++i] : "";
-    };
-    if (flag == "--a") args.a_path = value();
-    else if (flag == "--b") args.b_path = value();
-    else if (flag == "--out") args.out_path = value();
-    else if (flag == "--rules") args.rules_path = value();
-    else if (flag == "--budget") args.budget = std::atof(value().c_str());
-    else if (flag == "--demo") args.demo = true;
-    else if (flag == "--interactive") args.interactive = true;
-  }
-  return args;
-}
-
 int Fail(const Status& status) {
   std::fprintf(stderr, "em_service: %s\n", status.ToString().c_str());
   return 1;
 }
 
+/// One tenant's standing state in the multi-tenant demo: the synthetic
+/// tables and the simulated crowd must outlive the service's sessions.
+struct DemoTenant {
+  std::string name;
+  GeneratedDataset data;
+  std::unique_ptr<SimulatedCrowd> crowd;
+};
+
+int RunMultiTenant(const ServiceArgs& args) {
+  Cluster cluster{ClusterConfig{}};
+  ServiceConfig scfg;
+  scfg.max_resident_sessions = static_cast<size_t>(args.max_resident);
+  EmService service(&cluster, scfg);
+
+  // Heterogeneous tenants: workload sizes cycle x1..x4 so fair sharing has
+  // something to balance, every tenant with the same per-tenant budget.
+  std::deque<DemoTenant> tenants;  // deque: tenant addresses stay stable
+  for (int i = 0; i < args.tenants; ++i) {
+    DemoTenant& t = tenants.emplace_back();
+    t.name = "tenant-" + std::to_string(i);
+    WorkloadOptions opt;
+    opt.size_a = 200 * (1 + i % 4);
+    opt.size_b = 3 * opt.size_a;
+    opt.seed = 77 + static_cast<uint64_t>(i);
+    t.data = GenerateProducts(opt);
+    SimulatedCrowdConfig ccfg;
+    ccfg.error_rate = 0.05;
+    ccfg.budget_cap = args.budget;
+    ccfg.seed = opt.seed;
+    GroundTruth* truth = &t.data.truth;
+    t.crowd = std::make_unique<SimulatedCrowd>(
+        ccfg, [truth](RowId a, RowId b) { return truth->IsMatch(a, b); });
+  }
+  uint64_t seed = 1000;
+  for (auto& t : tenants) {
+    TenantConfig tc;
+    tc.budget_cap = args.budget;
+    if (Status st = service.RegisterTenant(t.name, tc); !st.ok()) {
+      return Fail(st);
+    }
+    FalconConfig config;
+    config.sample_size = 8000;
+    config.matcher_only_max_bytes = 1 << 20;  // small FV estimate: blocker plan
+    config.estimate_accuracy = false;
+    config.seed = seed++;
+    Status st = service.Submit(t.name, t.name + "/job-0", &t.data.a,
+                               &t.data.b, t.crowd.get(), config);
+    if (!st.ok()) return Fail(st);
+  }
+
+  std::printf("multi-tenant demo: %d tenants, admission cap %d, %d workers\n",
+              args.tenants, args.max_resident, args.workers);
+  if (Status st = service.Drain(args.workers); !st.ok()) return Fail(st);
+
+  ServiceStats stats = service.stats();
+  std::printf("\n=== service report ===\n");
+  std::printf("steps %llu  completed %llu  failed %llu  evictions %llu  "
+              "peak resident %zu (cap %d)\n",
+              static_cast<unsigned long long>(stats.steps),
+              static_cast<unsigned long long>(stats.completed),
+              static_cast<unsigned long long>(stats.failed),
+              static_cast<unsigned long long>(stats.evictions),
+              stats.peak_resident, args.max_resident);
+
+  std::printf("%-12s %10s %10s %10s %8s %8s\n", "tenant", "vtime(s)",
+              "crowd($)", "vruntime", "matches", "P/R");
+  double min_share = 0.0, max_share = 0.0;
+  for (auto& t : tenants) {
+    auto ts = service.tenant_stats(t.name);
+    if (!ts.ok()) return Fail(ts.status());
+    if (&t == &tenants.front() || ts->vruntime_s < min_share) {
+      min_share = ts->vruntime_s;
+    }
+    if (&t == &tenants.front() || ts->vruntime_s > max_share) {
+      max_share = ts->vruntime_s;
+    }
+    auto result = service.TakeResult(t.name + "/job-0");
+    if (!result.ok()) {
+      std::printf("%-12s %10.2f %10.2f %10.2f %8s %8s  (%s)\n",
+                  t.name.c_str(), ts->machine_vtime_s, ts->crowd_cost,
+                  ts->vruntime_s, "FAILED", "-",
+                  result.status().ToString().c_str());
+      continue;
+    }
+    auto q = EvaluateMatches(result->matches, t.data.truth);
+    char pr[32];
+    std::snprintf(pr, sizeof(pr), "%2.0f/%2.0f", q.precision * 100,
+                  q.recall * 100);
+    std::printf("%-12s %10.2f %10.2f %10.2f %8zu %8s\n", t.name.c_str(),
+                ts->machine_vtime_s, ts->crowd_cost, ts->vruntime_s,
+                result->matches.size(), pr);
+  }
+  if (min_share > 0.0) {
+    std::printf("fair-share spread (max/min tenant vruntime): %.2fx\n",
+                max_share / min_share);
+  }
+  return stats.failed == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  Args args = ParseArgs(argc, argv);
+  auto parsed = ParseServiceArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "em_service: %s\n%s\n",
+                 parsed.status().ToString().c_str(), ServiceUsage());
+    return 2;
+  }
+  ServiceArgs args = std::move(parsed).value();
+  if (args.tenants > 0) return RunMultiTenant(args);
   if (!args.demo && (args.a_path.empty() || args.b_path.empty())) {
-    std::fprintf(stderr,
-                 "usage: em_service --demo | --a A.csv --b B.csv "
-                 "[--out matches.csv] [--rules rules.txt] [--interactive] "
-                 "[--budget dollars]\n");
+    std::fprintf(stderr, "%s\n", ServiceUsage());
     return 2;
   }
 

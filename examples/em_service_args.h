@@ -1,0 +1,102 @@
+// Command-line parsing for the em_service example, split out so the
+// regression tests can drive it directly (tests/service_test.cc includes
+// this header). Parsing is strict: a value flag at the end of argv and an
+// unrecognized flag are both hard errors — the old parser silently read
+// `--budget` with no value as $0.00 and dropped typos like `--bugdet`
+// entirely, running with defaults the user never asked for.
+#ifndef FALCON_EXAMPLES_EM_SERVICE_ARGS_H_
+#define FALCON_EXAMPLES_EM_SERVICE_ARGS_H_
+
+#include <cstdlib>
+#include <string>
+
+#include "common/status.h"
+
+namespace falcon {
+
+struct ServiceArgs {
+  std::string a_path;
+  std::string b_path;
+  std::string out_path = "matches.csv";
+  std::string rules_path;
+  bool demo = false;
+  bool interactive = false;
+  double budget = 349.60;
+  /// > 0 selects the multi-tenant demo: N tenants submit synthetic tasks to
+  /// one EmService sharing the cluster under fair-share scheduling.
+  int tenants = 0;
+  /// Scheduler worker threads in multi-tenant mode.
+  int workers = 2;
+  /// Admission cap (resident sessions) in multi-tenant mode.
+  int max_resident = 4;
+};
+
+inline const char* ServiceUsage() {
+  return "usage: em_service --demo | --tenants N [--workers W] "
+         "[--max-resident R] | --a A.csv --b B.csv [--out matches.csv] "
+         "[--rules rules.txt] [--interactive] [--budget dollars]";
+}
+
+inline Result<ServiceArgs> ParseServiceArgs(int argc, char** argv) {
+  ServiceArgs args;
+  auto value = [&](int* i, const std::string& flag) -> Result<std::string> {
+    if (*i + 1 >= argc) {
+      return Status::InvalidArgument("flag " + flag + " requires a value");
+    }
+    return std::string(argv[++*i]);
+  };
+  auto number = [&](int* i, const std::string& flag) -> Result<double> {
+    FALCON_ASSIGN_OR_RETURN(std::string raw, value(i, flag));
+    char* end = nullptr;
+    double parsed = std::strtod(raw.c_str(), &end);
+    if (raw.empty() || end != raw.c_str() + raw.size()) {
+      return Status::InvalidArgument("flag " + flag +
+                                     " needs a numeric value, got '" + raw +
+                                     "'");
+    }
+    return parsed;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--a") {
+      FALCON_ASSIGN_OR_RETURN(args.a_path, value(&i, flag));
+    } else if (flag == "--b") {
+      FALCON_ASSIGN_OR_RETURN(args.b_path, value(&i, flag));
+    } else if (flag == "--out") {
+      FALCON_ASSIGN_OR_RETURN(args.out_path, value(&i, flag));
+    } else if (flag == "--rules") {
+      FALCON_ASSIGN_OR_RETURN(args.rules_path, value(&i, flag));
+    } else if (flag == "--budget") {
+      FALCON_ASSIGN_OR_RETURN(args.budget, number(&i, flag));
+    } else if (flag == "--tenants") {
+      FALCON_ASSIGN_OR_RETURN(double n, number(&i, flag));
+      args.tenants = static_cast<int>(n);
+    } else if (flag == "--workers") {
+      FALCON_ASSIGN_OR_RETURN(double n, number(&i, flag));
+      args.workers = static_cast<int>(n);
+    } else if (flag == "--max-resident") {
+      FALCON_ASSIGN_OR_RETURN(double n, number(&i, flag));
+      args.max_resident = static_cast<int>(n);
+    } else if (flag == "--demo") {
+      args.demo = true;
+    } else if (flag == "--interactive") {
+      args.interactive = true;
+    } else {
+      return Status::InvalidArgument("unknown flag: " + flag);
+    }
+  }
+  if (args.tenants < 0 || args.workers < 1 || args.max_resident < 1) {
+    return Status::InvalidArgument(
+        "--tenants must be >= 0; --workers and --max-resident >= 1");
+  }
+  if (args.tenants > 0 && (args.interactive || !args.a_path.empty())) {
+    return Status::InvalidArgument(
+        "--tenants runs the synthetic multi-tenant demo and cannot be "
+        "combined with --a/--b/--interactive");
+  }
+  return args;
+}
+
+}  // namespace falcon
+
+#endif  // FALCON_EXAMPLES_EM_SERVICE_ARGS_H_

@@ -179,8 +179,9 @@ class Cluster {
   /// Records a finished job in the accounting ledger.
   void RecordJob(const JobStats& stats);
 
-  /// Sum of virtual durations of all executed jobs.
-  VDuration total_machine_time() const { return total_machine_time_; }
+  /// Sum of virtual durations of all executed jobs. Synchronized against
+  /// concurrent RecordJob, so sibling sessions can roll up metrics mid-run.
+  VDuration total_machine_time() const;
   /// Unsynchronized view of the accounting ledger — only safe while no
   /// other thread can be inside RecordJob (single-session benches/tests).
   const std::vector<JobStats>& job_history() const { return job_history_; }

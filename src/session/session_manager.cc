@@ -1,18 +1,40 @@
 #include "session/session_manager.h"
 
+#include <algorithm>
 #include <thread>
 #include <utility>
 
 namespace falcon {
 
-Status SessionManager::Register(std::unique_ptr<WorkflowSession> session,
-                                WorkflowSession** out) {
-  if (Get(session->id()) != nullptr) {
+Status AnnotateSessionStatus(const std::string& session_id,
+                             const Status& status) {
+  if (status.ok()) return status;
+  return Status(status.code(),
+                "session '" + session_id + "': " + status.message());
+}
+
+Status SessionManager::RegisterLocked(std::unique_ptr<WorkflowSession> session,
+                                      WorkflowSession** out) {
+  if (FindLocked(session->id()) != nullptr) {
     return Status::InvalidArgument("duplicate session id: " + session->id());
   }
   sessions_.push_back(std::move(session));
   *out = sessions_.back().get();
   return Status::OK();
+}
+
+WorkflowSession* SessionManager::FindLocked(const std::string& id) const {
+  for (const auto& s : sessions_) {
+    if (s->id() == id) return s.get();
+  }
+  return nullptr;
+}
+
+std::vector<WorkflowSession*> SessionManager::SnapshotLocked() const {
+  std::vector<WorkflowSession*> out;
+  out.reserve(sessions_.size());
+  for (const auto& s : sessions_) out.push_back(s.get());
+  return out;
 }
 
 Result<WorkflowSession*> SessionManager::Create(std::string id,
@@ -22,8 +44,9 @@ Result<WorkflowSession*> SessionManager::Create(std::string id,
                                                 FalconConfig config) {
   auto session = std::make_unique<WorkflowSession>(
       std::move(id), a, b, crowd, cluster_, std::move(config));
+  std::lock_guard<std::mutex> lock(mu_);
   WorkflowSession* out = nullptr;
-  FALCON_RETURN_NOT_OK(Register(std::move(session), &out));
+  FALCON_RETURN_NOT_OK(RegisterLocked(std::move(session), &out));
   return out;
 }
 
@@ -36,26 +59,44 @@ Result<WorkflowSession*> SessionManager::Resume(std::string_view snapshot,
       std::unique_ptr<WorkflowSession> session,
       WorkflowSession::Resume(snapshot, a, b, crowd, cluster_,
                               std::move(config)));
+  std::lock_guard<std::mutex> lock(mu_);
   WorkflowSession* out = nullptr;
-  FALCON_RETURN_NOT_OK(Register(std::move(session), &out));
+  FALCON_RETURN_NOT_OK(RegisterLocked(std::move(session), &out));
   return out;
 }
 
-WorkflowSession* SessionManager::Get(const std::string& id) {
-  for (auto& s : sessions_) {
-    if (s->id() == id) return s.get();
+WorkflowSession* SessionManager::Get(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(id);
+}
+
+Status SessionManager::Remove(const std::string& id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = std::find_if(
+      sessions_.begin(), sessions_.end(),
+      [&](const std::unique_ptr<WorkflowSession>& s) { return s->id() == id; });
+  if (it == sessions_.end()) {
+    return Status::NotFound("no session with id: " + id);
   }
-  return nullptr;
+  sessions_.erase(it);
+  return Status::OK();
 }
 
 std::vector<std::string> SessionManager::ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<std::string> out;
   out.reserve(sessions_.size());
   for (const auto& s : sessions_) out.push_back(s->id());
   return out;
 }
 
+size_t SessionManager::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return sessions_.size();
+}
+
 size_t SessionManager::active() const {
+  std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const auto& s : sessions_) {
     if (!s->done()) ++n;
@@ -64,8 +105,19 @@ size_t SessionManager::active() const {
 }
 
 Status SessionManager::StepAll() {
-  for (auto& s : sessions_) {
-    if (!s->done()) FALCON_RETURN_NOT_OK(s->Step());
+  // Step outside the registry lock (a step can run MapReduce jobs); the
+  // pointers stay valid because only Remove destroys sessions, and Remove of
+  // a session being stepped is a documented contract violation.
+  std::vector<WorkflowSession*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions = SnapshotLocked();
+  }
+  for (WorkflowSession* s : sessions) {
+    if (s->done()) continue;
+    if (Status st = s->Step(); !st.ok()) {
+      return AnnotateSessionStatus(s->id(), st);
+    }
   }
   return Status::OK();
 }
@@ -76,17 +128,28 @@ Status SessionManager::RunAll() {
 }
 
 Status SessionManager::RunAllThreaded() {
+  // Snapshot stable session pointers before spawning anything: a concurrent
+  // Register may grow (and reallocate) sessions_, so worker threads must
+  // never index into the live vector.
+  std::vector<WorkflowSession*> sessions;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    sessions = SnapshotLocked();
+  }
   std::vector<std::thread> threads;
-  std::vector<Status> results(sessions_.size(), Status::OK());
-  for (size_t i = 0; i < sessions_.size(); ++i) {
-    if (sessions_[i]->done()) continue;
-    threads.emplace_back([this, i, &results] {
-      results[i] = sessions_[i]->RunToCompletion();
+  std::vector<Status> results(sessions.size(), Status::OK());
+  for (size_t i = 0; i < sessions.size(); ++i) {
+    WorkflowSession* session = sessions[i];
+    if (session->done()) continue;
+    threads.emplace_back([session, i, &results] {
+      results[i] = session->RunToCompletion();
     });
   }
   for (auto& t : threads) t.join();
-  for (auto& st : results) {
-    if (!st.ok()) return st;
+  for (size_t i = 0; i < results.size(); ++i) {
+    if (!results[i].ok()) {
+      return AnnotateSessionStatus(sessions[i]->id(), results[i]);
+    }
   }
   return Status::OK();
 }

@@ -6,10 +6,19 @@
 // and journal — so interleaving or running them from concurrent driver
 // threads must produce exactly the outputs each would produce alone; the
 // session tests pin that property.
+//
+// Thread safety: the registry (Create/Resume/Get/Remove/ids/size/active) is
+// internally synchronized, so driver threads may register and query
+// concurrently with RunAllThreaded. Stepping a single session is NOT
+// synchronized — a WorkflowSession has one driver at a time (RunAllThreaded
+// assigns each session its own thread), and Remove must not be called for a
+// session another thread is currently stepping. The fair-share service layer
+// (session/service.h) enforces that discipline on top of this registry.
 #ifndef FALCON_SESSION_SESSION_MANAGER_H_
 #define FALCON_SESSION_SESSION_MANAGER_H_
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -35,31 +44,51 @@ class SessionManager {
                                   FalconConfig config);
 
   /// Looks up a session by id (nullptr if absent).
-  WorkflowSession* Get(const std::string& id);
+  WorkflowSession* Get(const std::string& id) const;
+
+  /// Destroys a session (e.g. after its result was taken, or to evict it
+  /// once its state is snapshotted). The caller must ensure no other thread
+  /// is stepping it. Fails if the id is unknown.
+  Status Remove(const std::string& id);
 
   std::vector<std::string> ids() const;
-  size_t size() const { return sessions_.size(); }
+  size_t size() const;
   /// Sessions not yet done.
   size_t active() const;
 
   /// One Step() on every unfinished session, in registration order (round-
-  /// robin interleaving). Returns the first error.
+  /// robin interleaving). Returns the first error, prefixed with the id of
+  /// the session that failed. Sessions registered concurrently with the
+  /// sweep are picked up by the NEXT call.
   Status StepAll();
 
   /// StepAll() until every session is done.
   Status RunAll();
 
   /// Drives every unfinished session to completion from its own thread, all
-  /// sharing the cluster's ThreadPool. Returns the first error.
+  /// sharing the cluster's ThreadPool. Returns the first error (in
+  /// registration order), prefixed with the failing session's id. Operates
+  /// on the set of sessions registered at entry; concurrent registrations
+  /// are safe but not driven by this call.
   Status RunAllThreaded();
 
  private:
-  Status Register(std::unique_ptr<WorkflowSession> session,
-                  WorkflowSession** out);
+  Status RegisterLocked(std::unique_ptr<WorkflowSession> session,
+                        WorkflowSession** out);
+  WorkflowSession* FindLocked(const std::string& id) const;
+  /// Stable session pointers (unique_ptr targets survive vector growth), for
+  /// stepping outside the registry lock.
+  std::vector<WorkflowSession*> SnapshotLocked() const;
 
   Cluster* cluster_;
+  mutable std::mutex mu_;  ///< guards sessions_
   std::vector<std::unique_ptr<WorkflowSession>> sessions_;
 };
+
+/// `status` with the failing session's id prefixed to its message, so a
+/// multi-session driver's first-error return names the culprit.
+Status AnnotateSessionStatus(const std::string& session_id,
+                             const Status& status);
 
 }  // namespace falcon
 

@@ -23,17 +23,24 @@ Result<std::unique_ptr<WorkflowSession>> WorkflowSession::Resume(
                                     &session->pipeline_, &session->id_));
   FALCON_RETURN_NOT_OK(
       session->pipeline_.Rehydrate(&session->resume_rebuild_time_));
+  session->PublishStage();
   return session;
 }
 
 Status WorkflowSession::Step() {
   if (!started()) FALCON_RETURN_NOT_OK(Start());
-  return pipeline_.Step();
+  Status st = pipeline_.Step();
+  PublishStage();
+  return st;
 }
 
 Status WorkflowSession::RunToCompletion() {
   if (!started()) FALCON_RETURN_NOT_OK(Start());
-  while (!done()) FALCON_RETURN_NOT_OK(pipeline_.Step());
+  while (!pipeline_.done()) {
+    Status st = pipeline_.Step();
+    PublishStage();
+    FALCON_RETURN_NOT_OK(st);
+  }
   return Status::OK();
 }
 

@@ -16,6 +16,7 @@
 #ifndef FALCON_SESSION_WORKFLOW_SESSION_H_
 #define FALCON_SESSION_WORKFLOW_SESSION_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -42,15 +43,31 @@ class WorkflowSession {
       std::string_view snapshot, const Table* a, const Table* b,
       CrowdPlatform* crowd, Cluster* cluster, FalconConfig config);
 
-  Status Start() { return pipeline_.Start(); }
+  Status Start() {
+    Status st = pipeline_.Start();
+    PublishStage();
+    return st;
+  }
   /// Runs exactly one operator.
   Status Step();
   /// Start if needed, then Step until done.
   Status RunToCompletion();
 
-  bool started() const { return pipeline_.started(); }
-  bool done() const { return pipeline_.done(); }
-  PipelineStage next_stage() const { return pipeline_.state().next; }
+  /// started()/done()/next_stage() read an atomic mirror of the pipeline's
+  /// stage, published at every operator boundary — so registry observers
+  /// (SessionManager::active(), StepAll's skip check) may poll them from
+  /// other threads while a stepping thread is mid-Step(). They lag a
+  /// running Step() by design; everything else on this class is
+  /// single-stepper-at-a-time, as documented on SessionManager.
+  bool started() const {
+    return stage_.load(std::memory_order_acquire) != PipelineStage::kInit;
+  }
+  bool done() const {
+    return stage_.load(std::memory_order_acquire) == PipelineStage::kDone;
+  }
+  PipelineStage next_stage() const {
+    return stage_.load(std::memory_order_acquire);
+  }
 
   /// Serializes the full durable state at the current operator boundary.
   std::string SaveSnapshot() const;
@@ -75,6 +92,10 @@ class WorkflowSession {
   VDuration resume_rebuild_time() const { return resume_rebuild_time_; }
 
  private:
+  void PublishStage() {
+    stage_.store(pipeline_.state().next, std::memory_order_release);
+  }
+
   std::string id_;
   const Table* a_;
   const Table* b_;
@@ -82,6 +103,7 @@ class WorkflowSession {
   FalconConfig config_;
   FalconPipeline pipeline_;
   VDuration resume_rebuild_time_;
+  std::atomic<PipelineStage> stage_{PipelineStage::kInit};
 };
 
 }  // namespace falcon
